@@ -1,0 +1,170 @@
+(* Command-line driver for the Lyra reproduction: run a cluster, replay
+   the paper's experiments, or demo the attacks. `lyra_cli --help`. *)
+
+open Cmdliner
+
+let seed_t =
+  let doc = "Simulation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_t default =
+  let doc = "Number of processes (n > 3f)." in
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
+
+let duration_t =
+  let doc = "Measured simulated duration in seconds." in
+  Arg.(value & opt float 3.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let clients_t =
+  let doc = "Closed-loop clients per node." in
+  Arg.(value & opt int 2 & info [ "clients" ] ~docv:"K" ~doc)
+
+let rate_t =
+  let doc = "Open-loop offered load per node (tx/s); overrides --clients." in
+  Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"TPS" ~doc)
+
+let protocol_t =
+  let doc = "Protocol to run: lyra or pompe." in
+  Arg.(value & opt (enum [ ("lyra", `Lyra); ("pompe", `Pompe) ]) `Lyra
+       & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+
+let print_result (r : Harness.Scenario.result) =
+  Format.printf "%a@." Harness.Scenario.pp_result r;
+  Format.printf
+    "  decide rounds (mean): %.3f   accept rate: %.3f   messages: %d   MB: %.1f@."
+    r.decide_rounds r.accept_rate r.messages
+    (float_of_int r.bytes /. 1e6);
+  if not r.prefix_safe then (
+    Format.printf "  !! SMR prefix safety violated@.";
+    exit 1)
+
+let run_cmd =
+  let run seed n duration clients rate protocol =
+    let load =
+      match rate with
+      | Some r -> Harness.Scenario.Open_rate r
+      | None -> Harness.Scenario.Closed clients
+    in
+    let duration_us = int_of_float (duration *. 1e6) in
+    let r =
+      match protocol with
+      | `Lyra -> Harness.Scenario.run_lyra ~seed ~n ~load ~duration_us ()
+      | `Pompe -> Harness.Scenario.run_pompe ~seed ~n ~load ~duration_us ()
+    in
+    print_result r
+  in
+  let doc = "Run a geo-distributed cluster and report latency/throughput." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ seed_t $ n_t 16 $ duration_t $ clients_t $ rate_t $ protocol_t)
+
+let frontrun_cmd =
+  let run trials =
+    let p = Attacks.Frontrun.run_pompe ~trials () in
+    Format.printf "pompe: %a@." Attacks.Frontrun.pp_outcome p;
+    let l = Attacks.Frontrun.run_lyra ~trials () in
+    Format.printf "lyra : %a@." Attacks.Frontrun.pp_outcome l
+  in
+  let trials_t =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"K" ~doc:"Attack trials.")
+  in
+  let doc = "Replay the Fig. 1 triangle-inequality front-running attack." in
+  Cmd.v (Cmd.info "frontrun" ~doc) Term.(const run $ trials_t)
+
+let sandwich_cmd =
+  let run trials =
+    let p = Attacks.Sandwich.run_pompe ~trials () in
+    Format.printf "pompe: %a@." Attacks.Sandwich.pp_outcome p;
+    let l = Attacks.Sandwich.run_lyra ~trials () in
+    Format.printf "lyra : %a@." Attacks.Sandwich.pp_outcome l
+  in
+  let trials_t =
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"K" ~doc:"Attack trials.")
+  in
+  let doc = "Replay the AMM sandwich (MEV) attack." in
+  Cmd.v (Cmd.info "sandwich" ~doc) Term.(const run $ trials_t)
+
+let censor_cmd =
+  let run n =
+    let o = Attacks.Censorship.run ~n () in
+    Format.printf "%a@." Attacks.Censorship.pp_outcome o
+  in
+  let doc = "Measure Byzantine-leader censorship impact." in
+  Cmd.v (Cmd.info "censor" ~doc) Term.(const run $ n_t 7)
+
+let byz_cmd =
+  let run seed n behaviour =
+    let mis =
+      match behaviour with
+      | "silent" -> Some Lyra.Misbehavior.Silent
+      | "flood" -> Some (Lyra.Misbehavior.Flood { batches_per_sec = 4 })
+      | "future-seq" -> Some (Lyra.Misbehavior.Future_seq { offset_us = 40_000 })
+      | "low-status" -> Some Lyra.Misbehavior.Low_status
+      | "equivocate" -> Some Lyra.Misbehavior.Equivocate
+      | "stale-votes" -> Some (Lyra.Misbehavior.Stale_votes { delay_us = 1_000_000 })
+      | "none" -> None
+      | other -> failwith ("unknown behaviour " ^ other)
+    in
+    let f = Dbft.Quorums.max_faulty n in
+    let r =
+      Harness.Scenario.run_lyra ~seed ~n
+        ~byz:(fun i -> if i < f then mis else None)
+        ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
+    in
+    print_result r
+  in
+  let behaviour_t =
+    Arg.(value & pos 0 string "none"
+         & info [] ~docv:"BEHAVIOUR"
+             ~doc:"none|silent|flood|future-seq|low-status|equivocate|stale-votes")
+  in
+  let doc = "Run Lyra with f Byzantine nodes of a given behaviour." in
+  Cmd.v (Cmd.info "byz" ~doc) Term.(const run $ seed_t $ n_t 16 $ behaviour_t)
+
+let lambda_cmd =
+  let run n =
+    List.iter
+      (fun lambda_ms ->
+        let r =
+          Harness.Scenario.run_lyra ~n
+            ~tweak:(fun c -> { c with Lyra.Config.lambda_us = lambda_ms * 1000 })
+            ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
+        in
+        Format.printf "lambda=%2dms accept=%.3f tx/s=%.0f latency=%.0fms@."
+          lambda_ms r.accept_rate r.throughput_tps
+          (Metrics.Recorder.mean r.latency_ms))
+      [ 1; 2; 5; 10; 20; 50 ]
+  in
+  let doc = "Sweep the security parameter lambda (the §VI-B experiment)." in
+  Cmd.v (Cmd.info "lambda" ~doc) Term.(const run $ n_t 16)
+
+let batch_cmd =
+  let run n =
+    List.iter
+      (fun bs ->
+        let r =
+          Harness.Scenario.run_lyra ~n
+            ~tweak:(fun c ->
+              {
+                c with
+                Lyra.Config.batch_size = bs;
+                batch_timeout_us = 250_000;
+                max_inflight = 16;
+              })
+            ~load:(Harness.Scenario.Open_rate 4_000.0) ~duration_us:3_000_000 ()
+        in
+        Format.printf "batch=%4d tx/s=%.0f latency=%.0fms p95=%.0fms@." bs
+          r.throughput_tps
+          (Metrics.Recorder.mean r.latency_ms)
+          (if Metrics.Recorder.is_empty r.latency_ms then Float.nan
+           else Metrics.Recorder.percentile 95.0 r.latency_ms))
+      [ 100; 200; 400; 800; 1600; 3200 ]
+  in
+  let doc = "Sweep the batch size (the §VI-B experiment)." in
+  Cmd.v (Cmd.info "batch" ~doc) Term.(const run $ n_t 16)
+
+let main =
+  let doc = "Lyra: order-fair, MEV-resistant leaderless SMR (IPDPS'23 reproduction)" in
+  Cmd.group (Cmd.info "lyra_cli" ~doc ~version:"1.0.0")
+    [ run_cmd; frontrun_cmd; sandwich_cmd; censor_cmd; byz_cmd; lambda_cmd; batch_cmd ]
+
+let () = exit (Cmd.eval main)

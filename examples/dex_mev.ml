@@ -1,0 +1,35 @@
+(* MEV on a decentralized exchange: a constant-product AMM replicated
+   by the SMR layer, a whale swap from a victim, and a sandwich
+   attacker colocated with the consensus quorum.
+
+       dune exec examples/dex_mev.exe
+
+   Measures the attacker's extraction under Pompē and under Lyra. *)
+
+let () =
+  Printf.printf
+    "Pool: 10,000,000 X / 10,000,000 Y (x*y = k, 0.3%% fee)\n\
+     Victim: swap 500,000 X -> Y submitted in Tokyo\n\
+     Attacker: Singapore node, front-buys 250,000 X and sells right after\n\n";
+
+  Printf.printf "--- Pompē ---\n%!";
+  let p = Attacks.Sandwich.run_pompe ~trials:3 () in
+  Format.printf "  %a@." Attacks.Sandwich.pp_outcome p;
+  Printf.printf
+    "  The sandwich fires: the victim receives %.0f Y instead of %.0f\n\
+     (%.1f%% slippage stolen); the attacker banks ~%.0f X per attack.\n\n"
+    p.victim_out_mean p.victim_out_baseline
+    (100.
+    *. (p.victim_out_baseline -. p.victim_out_mean)
+    /. p.victim_out_baseline)
+    p.attacker_profit_x;
+
+  Printf.printf "--- Lyra ---\n%!";
+  let l = Attacks.Sandwich.run_lyra ~trials:3 () in
+  Format.printf "  %a@." Attacks.Sandwich.pp_outcome l;
+  Printf.printf
+    "  The payload is obfuscated until the order is immutable: no\n\
+     trigger, no sandwich, the victim gets the full %.0f Y.\n"
+    l.victim_out_baseline;
+  assert (p.attacker_profit_x > 0.0 && l.attacker_profit_x = 0.0);
+  print_endline "\ndex_mev OK"

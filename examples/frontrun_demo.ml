@@ -1,0 +1,42 @@
+(* The Fig. 1 story, narrated: Alice (Tokyo) submits a transaction;
+   Mallory (Singapore) sees it in flight and races her own through a
+   triangle-inequality shortcut to the Sydney quorum.
+
+       dune exec examples/frontrun_demo.exe
+
+   Under Pompē the race wins; under Lyra Mallory sees only ciphertext. *)
+
+let () =
+  let open Sim.Regions in
+  Printf.printf "One-way latencies (ms):\n";
+  Printf.printf "  Tokyo -> Sydney     %3d  (direct, via a routing detour)\n"
+    (one_way_us Tokyo Sydney / 1000);
+  Printf.printf "  Tokyo -> Singapore  %3d\n" (one_way_us Tokyo Singapore / 1000);
+  Printf.printf "  Singapore -> Sydney %3d\n" (one_way_us Singapore Sydney / 1000);
+  Printf.printf "  => relayed path %d ms beats the direct %d ms: %b\n\n"
+    ((one_way_us Tokyo Singapore + one_way_us Singapore Sydney) / 1000)
+    (one_way_us Tokyo Sydney / 1000)
+    (violates_triangle ~src:Tokyo ~via:Singapore ~dst:Sydney);
+
+  Printf.printf
+    "Scenario: Alice (node 0, Tokyo) submits a DEX swap. Mallory (node 1,\n\
+     Singapore) watches the mempool; the 2f+1 quorum majority is in Sydney.\n\n";
+
+  Printf.printf "--- Pompē (cleartext ordering phase) ---\n%!";
+  let p = Attacks.Frontrun.run_pompe ~trials:5 () in
+  Format.printf "  %a@." Attacks.Frontrun.pp_outcome p;
+  Printf.printf
+    "  Mallory read Alice's payload %d/%d times; her transaction was\n\
+     sequenced BEFORE Alice's in %d/%d trials (mean gap %.1f ms) even\n\
+     though it was issued ~34 ms later.\n\n"
+    p.observed p.trials p.succeeded p.trials p.victim_first_gap_ms;
+
+  Printf.printf "--- Lyra (commit-reveal obfuscation) ---\n%!";
+  let l = Attacks.Frontrun.run_lyra ~trials:5 () in
+  Format.printf "  %a@." Attacks.Frontrun.pp_outcome l;
+  Printf.printf
+    "  Mallory observed a payload %d/%d times: the VSS cipher reveals\n\
+     nothing before commitment, so the attack never launches.\n"
+    l.observed l.trials;
+  assert (p.succeeded > 0 && l.succeeded = 0);
+  print_endline "\nfrontrun_demo OK"

@@ -1,0 +1,87 @@
+type t = {
+  mutable x : int;
+  mutable y : int;
+  positions : (string, int ref * int ref) Hashtbl.t;  (** net x, net y *)
+  mutable swaps : int;
+}
+
+type direction = X_to_y | Y_to_x
+
+type swap = { trader : string; dir : direction; amount_in : int }
+
+let create ~reserve_x ~reserve_y =
+  if reserve_x <= 0 || reserve_y <= 0 then
+    invalid_arg "Amm.create: reserves must be positive";
+  { x = reserve_x; y = reserve_y; positions = Hashtbl.create 16; swaps = 0 }
+
+let parse s =
+  match String.split_on_char ' ' s with
+  | [ "swap"; trader; "x2y"; amount ] -> (
+      match int_of_string_opt amount with
+      | Some amount_in -> Some { trader; dir = X_to_y; amount_in }
+      | None -> None)
+  | [ "swap"; trader; "y2x"; amount ] -> (
+      match int_of_string_opt amount with
+      | Some amount_in -> Some { trader; dir = Y_to_x; amount_in }
+      | None -> None)
+  | _ -> None
+
+let encode { trader; dir; amount_in } =
+  Printf.sprintf "swap %s %s %d" trader
+    (match dir with X_to_y -> "x2y" | Y_to_x -> "y2x")
+    amount_in
+
+(* Uniswap-v2 style output with a 0.3% fee. *)
+let out_amount ~r_in ~r_out amount_in =
+  let amount_fee = amount_in * 997 in
+  amount_fee * r_out / ((r_in * 1000) + amount_fee)
+
+let quote t dir amount_in =
+  if amount_in <= 0 then 0
+  else
+    match dir with
+    | X_to_y -> out_amount ~r_in:t.x ~r_out:t.y amount_in
+    | Y_to_x -> out_amount ~r_in:t.y ~r_out:t.x amount_in
+
+let position_refs t trader =
+  match Hashtbl.find_opt t.positions trader with
+  | Some p -> p
+  | None ->
+      let p = (ref 0, ref 0) in
+      Hashtbl.replace t.positions trader p;
+      p
+
+let apply t ({ trader; dir; amount_in } : swap) =
+  if amount_in <= 0 then 0
+  else begin
+    t.swaps <- t.swaps + 1;
+    let out = quote t dir amount_in in
+    let px, py = position_refs t trader in
+    (match dir with
+    | X_to_y ->
+        t.x <- t.x + amount_in;
+        t.y <- t.y - out;
+        px := !px - amount_in;
+        py := !py + out
+    | Y_to_x ->
+        t.y <- t.y + amount_in;
+        t.x <- t.x - out;
+        py := !py - amount_in;
+        px := !px + out);
+    out
+  end
+
+let apply_payload t s = Option.map (apply t) (parse s)
+
+let reserve_x t = t.x
+
+let reserve_y t = t.y
+
+let price_x_micro t = t.y * 1_000_000 / t.x
+
+let position t trader =
+  match Hashtbl.find_opt t.positions trader with
+  | Some (px, py) -> (!px, !py)
+  | None -> (0, 0)
+
+let swaps_applied t = t.swaps

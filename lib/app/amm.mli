@@ -1,0 +1,50 @@
+(** Constant-product automated market maker (x·y = k), the DeFi venue
+    where transaction reordering turns into money.
+
+    This is the measurement instrument for the paper's motivation
+    (§I, §V-E): a sandwich attacker who can order its buy before and
+    its sell after a victim's buy extracts value from the victim's
+    price impact; a front-runner who sees a pending buy can ride the
+    price up. Under Lyra the attacker never sees the payload before
+    ordering is fixed, so the measured extraction collapses to zero.
+
+    Commands are encoded in payload strings:
+    ["swap <trader> x2y <amount>"] (sell asset X for Y) and
+    ["swap <trader> y2x <amount>"]. Amounts are integer units. *)
+
+type t
+
+(** [create ~reserve_x ~reserve_y] opens the pool. *)
+val create : reserve_x:int -> reserve_y:int -> t
+
+type direction = X_to_y | Y_to_x
+
+type swap = { trader : string; dir : direction; amount_in : int }
+
+val parse : string -> swap option
+
+val encode : swap -> string
+
+(** [quote t dir amount_in] is the output the pool would give now
+    (after the 0.3% fee), without executing. *)
+val quote : t -> direction -> int -> int
+
+(** [apply t swap] executes a swap and returns the amount paid out.
+    Swaps with non-positive input are no-ops returning 0. *)
+val apply : t -> swap -> int
+
+(** [apply_payload t s] parses and applies; [None] if not a swap. *)
+val apply_payload : t -> string -> int option
+
+val reserve_x : t -> int
+
+val reserve_y : t -> int
+
+(** Mid price of X in Y, scaled by 1e6. *)
+val price_x_micro : t -> int
+
+(** Net position (received − spent) of a trader per asset, for
+    computing attacker profit. *)
+val position : t -> string -> int * int
+
+val swaps_applied : t -> int

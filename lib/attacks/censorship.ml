@@ -1,0 +1,192 @@
+type measurement = { mean_ms : float; worst_ms : float; reordered : int }
+
+type outcome = {
+  n : int;
+  byzantine : int;
+  pompe_rows : (string * measurement) list;
+  lyra_rows : (string * measurement) list;
+}
+
+let pp_m fmt m =
+  Format.fprintf fmt "%.0f/%.0fms reordered=%d" m.mean_ms m.worst_ms m.reordered
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "n=%d f=%d |" o.n o.byzantine;
+  List.iter
+    (fun (label, m) -> Format.fprintf fmt " pompe/%s [%a]" label pp_m m)
+    o.pompe_rows;
+  List.iter
+    (fun (label, m) -> Format.fprintf fmt " lyra/%s [%a]" label pp_m m)
+    o.lyra_rows
+
+let victim_count = 24
+
+let victim_spacing_us = 350_000
+
+let victim_payload k = Printf.sprintf "put victim-key %d" k
+
+let is_victim (tx : Lyra.Types.tx) =
+  String.length tx.payload >= 14 && String.sub tx.payload 0 14 = "put victim-key"
+
+let summarize (rec_, reordered) =
+  if Metrics.Recorder.is_empty rec_ then
+    { mean_ms = Float.nan; worst_ms = Float.nan; reordered }
+  else
+    {
+      mean_ms = Metrics.Recorder.mean rec_;
+      worst_ms = snd (Metrics.Stats.min_max (Metrics.Recorder.to_array rec_));
+      reordered;
+    }
+
+(* Execution-order inversions: victim transactions that ran after a
+   transaction carrying a higher sequence number — the "effectively
+   reordered" outcome of §I. *)
+let count_inversions outputs =
+  let inversions = ref 0 in
+  let max_seq_before = ref min_int in
+  List.iter
+    (fun (txs, seq) ->
+      if Array.exists is_victim txs && seq < !max_seq_before then
+        incr inversions;
+      max_seq_before := max !max_seq_before seq)
+    outputs;
+  !inversions
+
+let pompe_latency ~censors ~n seed =
+  let engine = Sim.Engine.create ~seed () in
+  (* A tighter stable window makes inclusion delay visible as actual
+     reordering rather than being absorbed by the execution margin. *)
+  let cfg =
+    {
+      (Pompe.Config.default ~n) with
+      batch_timeout_us = 10_000;
+      batch_size = 8;
+      exec_window_us = 150_000;
+    }
+  in
+  let latency = Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n) in
+  let net =
+    Sim.Network.create engine ~n ~latency
+      ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost Sim.Costs.default ~n b)
+      ~size:Pompe.Types.msg_size ()
+  in
+  let lat = Metrics.Recorder.create () in
+  let on_output (o : Pompe.Node.output) =
+    Array.iter
+      (fun (tx : Lyra.Types.tx) ->
+        if is_victim tx then
+          Metrics.Recorder.record lat
+            (float_of_int (o.output_at - tx.submitted_at) /. 1000.))
+      o.batch.txs
+  in
+  let victim_origin = 0 in
+  let nodes =
+    Array.init n (fun id ->
+        Pompe.Node.create cfg net ~id
+          ~on_output:(if id = victim_origin then on_output else fun _ -> ())
+          ~censor:(fun iid ->
+            List.mem id censors && iid.Lyra.Types.proposer = victim_origin)
+          ())
+  in
+  Array.iter Pompe.Node.start nodes;
+  for k = 0 to victim_count - 1 do
+    ignore
+      (Sim.Engine.schedule engine
+         ~delay:(1_000_000 + (k * victim_spacing_us))
+         (fun () ->
+           ignore
+             (Pompe.Node.submit nodes.(victim_origin)
+                ~payload:(victim_payload k)
+               : string);
+           (* Background traffic from the other nodes, so displacement
+              is observable. *)
+           for j = 1 to n - 1 do
+             ignore
+               (Pompe.Node.submit nodes.(j)
+                  ~payload:(Printf.sprintf "put bg%d-%d 0" j k)
+                 : string)
+           done)
+        : Sim.Engine.timer)
+  done;
+  Sim.Engine.run engine ~until:30_000_000;
+  let outputs =
+    List.map
+      (fun (o : Pompe.Node.output) -> (o.batch.Lyra.Types.txs, o.seq))
+      (Pompe.Node.output_log nodes.(victim_origin))
+  in
+  (lat, count_inversions outputs)
+
+let lyra_latency ~byz ~n seed =
+  let engine = Sim.Engine.create ~seed () in
+  let cfg =
+    { (Lyra.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
+  in
+  let latency = Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n) in
+  let net =
+    Sim.Network.create engine ~n ~latency
+      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
+      ~size:Lyra.Types.msg_size ()
+  in
+  let lat = Metrics.Recorder.create () in
+  let on_output (o : Lyra.Node.output) =
+    Array.iter
+      (fun (tx : Lyra.Types.tx) ->
+        if is_victim tx then
+          Metrics.Recorder.record lat
+            (float_of_int (o.output_at - tx.submitted_at) /. 1000.))
+      o.batch.txs
+  in
+  let nodes =
+    Array.init n (fun id ->
+        Lyra.Node.create cfg net ~id
+          ?misbehavior:(if List.mem id byz then
+                          Some (Lyra.Misbehavior.Stale_votes { delay_us = 2_000_000 })
+                        else None)
+          ~on_output:(if id = 0 then on_output else fun _ -> ())
+          ())
+  in
+  Array.iter Lyra.Node.start nodes;
+  for k = 0 to victim_count - 1 do
+    ignore
+      (Sim.Engine.schedule engine
+         ~delay:(1_500_000 + (k * victim_spacing_us))
+         (fun () ->
+           ignore (Lyra.Node.submit nodes.(0) ~payload:(victim_payload k) : string);
+           for j = 1 to n - 1 do
+             if not (List.mem j byz) then
+               ignore
+                 (Lyra.Node.submit nodes.(j)
+                    ~payload:(Printf.sprintf "put bg%d-%d 0" j k)
+                   : string)
+           done)
+        : Sim.Engine.timer)
+  done;
+  Sim.Engine.run engine ~until:30_000_000;
+  let outputs =
+    List.map
+      (fun (o : Lyra.Node.output) -> (o.batch.Lyra.Types.txs, o.seq))
+      (Lyra.Node.output_log nodes.(0))
+  in
+  (lat, count_inversions outputs)
+
+let run ?(seed = 900L) ~n () =
+  let f = Dbft.Quorums.max_faulty n in
+  let some k = List.init k (fun i -> i + 1) in
+  {
+    n;
+    byzantine = f;
+    pompe_rows =
+      [
+        ("0-censors", summarize (pompe_latency ~censors:[] ~n seed));
+        (Printf.sprintf "%d-censors" f,
+         summarize (pompe_latency ~censors:(some f) ~n seed));
+        (Printf.sprintf "%d-censors" (n - 1),
+         summarize (pompe_latency ~censors:(some (n - 1)) ~n seed));
+      ];
+    lyra_rows =
+      [
+        ("0-byz", summarize (lyra_latency ~byz:[] ~n seed));
+        (Printf.sprintf "%d-byz" f,
+         summarize (lyra_latency ~byz:(some f) ~n seed));
+      ];
+  }

@@ -1,0 +1,192 @@
+type outcome = {
+  trials : int;
+  observed : int;
+  launched : int;
+  succeeded : int;
+  victim_first_gap_ms : float;
+}
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "trials=%d observed=%d launched=%d succeeded=%d mean-gap=%.1fms" o.trials
+    o.observed o.launched o.succeeded o.victim_first_gap_ms
+
+(* Topology of Fig. 1: Alice in Tokyo (node 0), Mallory in Singapore
+   (node 1), the quorum majority in Sydney (nodes 2–4). *)
+let regions =
+  [|
+    Sim.Regions.Tokyo;
+    Sim.Regions.Singapore;
+    Sim.Regions.Sydney;
+    Sim.Regions.Sydney;
+    Sim.Regions.Sydney;
+  |]
+
+let n = Array.length regions
+
+let victim_payload = "swap victim x2y 50000"
+
+let attack_payload = "swap mallory x2y 50000"
+
+let is_victim_tx (tx : Lyra.Types.tx) =
+  String.length tx.payload >= 11 && String.sub tx.payload 0 11 = "swap victim"
+
+let batch_has_victim batch =
+  match Lyra.Types.observable_txs batch with
+  | None -> false
+  | Some txs -> Array.exists is_victim_tx txs
+
+(* Order of execution of the two payloads in a node's output stream:
+   negative result means the attacker executed first. *)
+let exec_positions outputs =
+  let vic = ref None and att = ref None in
+  List.iteri
+    (fun i txs ->
+      Array.iter
+        (fun (tx : Lyra.Types.tx) ->
+          if is_victim_tx tx && !vic = None then vic := Some i;
+          if tx.payload = attack_payload && !att = None then att := Some i)
+        txs)
+    outputs;
+  (!vic, !att)
+
+let run_pompe_trial seed =
+  let engine = Sim.Engine.create ~seed () in
+  let cfg =
+    { (Pompe.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
+  in
+  let latency = Sim.Latency.regional ~jitter:0.01 regions in
+  let net =
+    Sim.Network.create engine ~n ~latency
+      ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost Sim.Costs.default ~n b)
+      ~size:Pompe.Types.msg_size ()
+  in
+  let observed = ref false and launched = ref false in
+  let mallory : Pompe.Node.t option ref = ref None in
+  let attack batch =
+    if batch_has_victim batch && not !observed then begin
+      observed := true;
+      (* (iii) race a dependent transaction from Singapore. *)
+      match !mallory with
+      | Some node ->
+          launched := true;
+          ignore (Pompe.Node.submit node ~payload:attack_payload : string)
+      | None -> ()
+    end
+  in
+  let nodes =
+    Array.init n (fun id ->
+        if id = 1 then
+          Pompe.Node.create cfg net ~id ~on_observe:attack
+            ~respond_ts:(fun batch ~honest ->
+              (* (ii) withhold the timestamp for the victim's batch so
+                 its quorum is dominated by the distant Sydney clocks. *)
+              if batch_has_victim batch then None else Some honest)
+            ()
+        else Pompe.Node.create cfg net ~id ())
+  in
+  mallory := Some nodes.(1);
+  Array.iter Pompe.Node.start nodes;
+  ignore
+    (Sim.Engine.schedule engine ~delay:1_000_000 (fun () ->
+         ignore (Pompe.Node.submit nodes.(0) ~payload:victim_payload : string))
+      : Sim.Engine.timer);
+  Sim.Engine.run engine ~until:15_000_000;
+  let outputs =
+    List.map
+      (fun (o : Pompe.Node.output) -> o.batch.txs)
+      (Pompe.Node.output_log nodes.(2))
+  in
+  let seqs =
+    List.map
+      (fun (o : Pompe.Node.output) -> (o.batch.txs, o.seq))
+      (Pompe.Node.output_log nodes.(2))
+  in
+  let seq_of pred =
+    List.find_map
+      (fun (txs, seq) -> if Array.exists pred txs then Some seq else None)
+      seqs
+  in
+  let vic, att = exec_positions outputs in
+  let gap =
+    match (seq_of is_victim_tx, seq_of (fun tx -> tx.payload = attack_payload))
+    with
+    | Some v, Some a -> float_of_int (v - a) /. 1000.
+    | _ -> 0.0
+  in
+  let success =
+    match (vic, att) with Some v, Some a -> a < v | _ -> false
+  in
+  (!observed, !launched, success, gap)
+
+let run_lyra_trial seed =
+  let engine = Sim.Engine.create ~seed () in
+  let cfg =
+    { (Lyra.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
+  in
+  let latency = Sim.Latency.regional ~jitter:0.01 regions in
+  let net =
+    Sim.Network.create engine ~n ~latency
+      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
+      ~size:Lyra.Types.msg_size ()
+  in
+  let observed = ref false and launched = ref false in
+  let mallory : Lyra.Node.t option ref = ref None in
+  let attack batch =
+    (* Same attacker logic — but observable_txs yields nothing under
+       commit-reveal, so the trigger never fires. *)
+    if batch_has_victim batch && not !observed then begin
+      observed := true;
+      match !mallory with
+      | Some node ->
+          launched := true;
+          ignore (Lyra.Node.submit node ~payload:attack_payload : string)
+      | None -> ()
+    end
+  in
+  let nodes =
+    Array.init n (fun id ->
+        if id = 1 then Lyra.Node.create cfg net ~id ~on_observe:attack ()
+        else Lyra.Node.create cfg net ~id ())
+  in
+  mallory := Some nodes.(1);
+  Array.iter Lyra.Node.start nodes;
+  ignore
+    (Sim.Engine.schedule engine ~delay:1_500_000 (fun () ->
+         ignore (Lyra.Node.submit nodes.(0) ~payload:victim_payload : string))
+      : Sim.Engine.timer);
+  Sim.Engine.run engine ~until:15_000_000;
+  let outputs =
+    List.map
+      (fun (o : Lyra.Node.output) -> o.batch.txs)
+      (Lyra.Node.output_log nodes.(2))
+  in
+  let vic, att = exec_positions outputs in
+  let success =
+    match (vic, att) with Some v, Some a -> a < v | _ -> false
+  in
+  (!observed, !launched, success, 0.0)
+
+let aggregate ~trials run seed0 =
+  let observed = ref 0
+  and launched = ref 0
+  and succeeded = ref 0
+  and gaps = ref 0.0 in
+  for k = 0 to trials - 1 do
+    let o, l, s, g = run (Int64.add seed0 (Int64.of_int (31 * k))) in
+    if o then incr observed;
+    if l then incr launched;
+    if s then incr succeeded;
+    gaps := !gaps +. g
+  done;
+  {
+    trials;
+    observed = !observed;
+    launched = !launched;
+    succeeded = !succeeded;
+    victim_first_gap_ms = (if trials = 0 then 0.0 else !gaps /. float_of_int trials);
+  }
+
+let run_pompe ?(seed = 100L) ~trials () = aggregate ~trials run_pompe_trial seed
+
+let run_lyra ?(seed = 100L) ~trials () = aggregate ~trials run_lyra_trial seed

@@ -1,0 +1,25 @@
+(** Sandwich attack on a constant-product AMM (§I, §V-E — the MEV
+    extraction that motivates the paper).
+
+    A victim submits a large buy. The attacker, seeing the pending
+    payload, buys first (riding the price up before the victim's
+    impact) and sells right after the victim (into the victim-moved
+    price), pocketing the victim's slippage. Success requires the
+    attacker to order a transaction *before* one it has already seen —
+    exactly the harmful reordering Lyra eliminates: under commit-reveal
+    the payload is unreadable until the order is fixed, so the measured
+    extraction is zero. *)
+
+type outcome = {
+  trials : int;
+  launched : int;
+  attacker_profit_x : float;  (** mean net X gained by the attacker *)
+  victim_out_mean : float;  (** mean Y received by the victim *)
+  victim_out_baseline : float;  (** Y the victim receives with no attack *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run_pompe : ?seed:int64 -> trials:int -> unit -> outcome
+
+val run_lyra : ?seed:int64 -> trials:int -> unit -> outcome

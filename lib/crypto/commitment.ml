@@ -1,0 +1,14 @@
+type commitment = string
+
+type opening = { message : string; randomizer : string }
+
+let commit rng msg =
+  let randomizer = Rng.bytes rng 16 in
+  (Sha256.digest_list [ randomizer; msg ], { message = msg; randomizer })
+
+let verify c { message; randomizer } =
+  String.equal c (Sha256.digest_list [ randomizer; message ])
+
+let to_string c = c
+
+let equal = String.equal

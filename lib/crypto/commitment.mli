@@ -1,0 +1,20 @@
+(** Halevi–Micali hash-based commitments (paper §VI-A, [13]).
+
+    The paper's prototype obfuscates transactions with a hash commitment
+    scheme; we provide it alongside the VSS scheme so both reveal
+    disciplines can be exercised. [commit] is hiding (the randomizer
+    blinds the message) and binding (collision resistance of SHA-256). *)
+
+type commitment = private string
+
+type opening = { message : string; randomizer : string }
+
+(** [commit rng msg] returns the commitment and its opening. *)
+val commit : Rng.t -> string -> commitment * opening
+
+(** [verify c opening] checks that [opening] opens [c]. *)
+val verify : commitment -> opening -> bool
+
+val to_string : commitment -> string
+
+val equal : commitment -> commitment -> bool

@@ -1,0 +1,40 @@
+(** Signature of a prime field, shared by the fast Mersenne field
+    {!Field} and the scalar field {!Group.Scalar} of the safe-prime
+    commitment group. {!Shamir.Make} is a functor over this signature. *)
+
+module type S = sig
+  type t
+
+  (** The field modulus (a prime that fits a native int). *)
+  val order : int
+
+  val zero : t
+
+  val one : t
+
+  val of_int : int -> t
+
+  val to_int : t -> int
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val add : t -> t -> t
+
+  val sub : t -> t -> t
+
+  val neg : t -> t
+
+  val mul : t -> t -> t
+
+  val inv : t -> t
+
+  val div : t -> t -> t
+
+  val pow : t -> int -> t
+
+  val random : Rng.t -> t
+
+  val to_bytes : t -> string
+end

@@ -1,0 +1,82 @@
+(* Constants found by a deterministic Miller–Rabin search upward from
+   2^60: Q is the first prime with 2Q + 1 also prime. *)
+let q = 1152921504606849959
+
+let p = 2305843009213699919 (* = 2q + 1 *)
+
+module Scalar = struct
+  type t = int
+
+  let order = q
+
+  let zero = 0
+
+  let one = 1
+
+  let of_int x =
+    let r = x mod q in
+    if r < 0 then r + q else r
+
+  let to_int x = x
+
+  let equal = Int.equal
+
+  let compare = Int.compare
+
+  let add a b =
+    let s = a + b in
+    if s >= q then s - q else s
+
+  let sub a b = if a >= b then a - b else a - b + q
+
+  let neg a = if a = 0 then 0 else q - a
+
+  let mul a b = Field.mulmod a b q
+
+  let pow b e =
+    if e < 0 then invalid_arg "Group.Scalar.pow: negative exponent";
+    let rec go acc b e =
+      if e = 0 then acc
+      else go (if e land 1 = 1 then mul acc b else acc) (mul b b) (e lsr 1)
+    in
+    go one (of_int b) e
+
+  let inv x =
+    if x = 0 then raise Division_by_zero;
+    pow x (q - 2)
+
+  let div a b = mul a (inv b)
+
+  let random rng =
+    let rec draw () =
+      let v = Rng.int64_nonneg rng land ((1 lsl 61) - 1) in
+      if v >= q then draw () else v
+    in
+    draw ()
+
+  let to_bytes x = String.init 8 (fun i -> Char.chr ((x lsr (8 * i)) land 0xFF))
+end
+
+type element = int
+
+let g = 4
+
+let one = 1
+
+let equal = Int.equal
+
+let mul a b = Field.mulmod a b p
+
+let pow h (s : Scalar.t) =
+  let e = Scalar.to_int s in
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul acc b else acc) (mul b b) (e lsr 1)
+  in
+  go one h e
+
+let commit s = pow g s
+
+let to_bytes x = String.init 8 (fun i -> Char.chr ((x lsr (8 * i)) land 0xFF))
+
+let pp fmt x = Format.fprintf fmt "%d" x

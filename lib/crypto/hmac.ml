@@ -1,0 +1,28 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key < block_size then
+    key ^ String.make (block_size - String.length key) '\x00'
+  else key
+
+let xor_pad key byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_pad key 0x36; msg ] in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let mac_hex ~key msg = Sha256.to_hex (mac ~key msg)
+
+let verify ~key ~tag msg =
+  let expected = mac ~key msg in
+  String.length tag = String.length expected
+  &&
+  (* Constant-time comparison. *)
+  let diff = ref 0 in
+  String.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  !diff = 0

@@ -1,0 +1,13 @@
+(** HMAC-SHA256 (RFC 2104), verified against the RFC 4231 vectors.
+
+    Used to derive deterministic Schnorr nonces and as a keyed PRF in the
+    workload generators. *)
+
+(** [mac ~key msg] is the raw 32-byte HMAC-SHA256 tag. *)
+val mac : key:string -> string -> string
+
+(** [mac_hex ~key msg] is the hex rendering of [mac]. *)
+val mac_hex : key:string -> string -> string
+
+(** [verify ~key ~tag msg] checks a tag in constant time. *)
+val verify : key:string -> tag:string -> string -> bool

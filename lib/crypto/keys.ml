@@ -1,0 +1,21 @@
+type keypair = { id : int; sk : int; pk : Field.t }
+
+type directory = Field.t array
+
+let group_order = Field.p - 1
+
+let generate rng ~id =
+  let rec draw () =
+    let sk = Rng.int rng group_order in
+    if sk = 0 then draw () else sk
+  in
+  let sk = draw () in
+  { id; sk; pk = Field.pow Field.g sk }
+
+let setup rng n =
+  let pairs = Array.init n (fun id -> generate rng ~id) in
+  (pairs, Array.map (fun kp -> kp.pk) pairs)
+
+let public_key dir i = dir.(i)
+
+let size = Array.length

@@ -1,0 +1,37 @@
+type signature = { r : Field.t; s : int }
+
+let q = Field.p - 1 (* exponent group order *)
+
+(* First 8 digest bytes reduced mod q: a hash-to-exponent map. *)
+let hash_to_exp parts =
+  let d = Sha256.digest_list parts in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int mod q
+
+let sign (kp : Keys.keypair) msg =
+  (* Deterministic nonce; a zero nonce would leak nothing here but is
+     degenerate, so it is nudged to 1. *)
+  let k = hash_to_exp [ "nonce"; string_of_int kp.sk; msg ] in
+  let k = if k = 0 then 1 else k in
+  let r = Field.pow Field.g k in
+  let e = hash_to_exp [ "chal"; Field.to_bytes r; msg ] in
+  let s = (k + Field.mulmod e kp.sk q) mod q in
+  { r; s }
+
+let verify ~pk msg { r; s } =
+  s >= 0 && s < q
+  &&
+  let e = hash_to_exp [ "chal"; Field.to_bytes r; msg ] in
+  Field.equal (Field.pow Field.g s) (Field.mul r (Field.pow pk e))
+
+let verify_by ~dir ~signer msg sg =
+  signer >= 0
+  && signer < Keys.size dir
+  && verify ~pk:(Keys.public_key dir signer) msg sg
+
+let to_string { r; s } = Field.to_bytes r ^ Field.to_bytes (Field.of_int s)
+
+let equal a b = Field.equal a.r b.r && a.s = b.s

@@ -1,0 +1,58 @@
+module type SCHEME = sig
+  type elt
+
+  type share = { x : elt; y : elt }
+
+  type polynomial = elt array
+
+  val eval : polynomial -> elt -> elt
+
+  val share :
+    Rng.t -> secret:elt -> threshold:int -> n:int -> share array * polynomial
+
+  val reconstruct : share list -> elt
+
+  val lagrange_coefficient : elt list -> elt -> elt
+end
+
+module Make (F : Field_intf.S) = struct
+  type elt = F.t
+
+  type share = { x : elt; y : elt }
+
+  type polynomial = elt array
+
+  let eval poly x =
+    Array.fold_right (fun c acc -> F.add c (F.mul x acc)) poly F.zero
+
+  let share rng ~secret ~threshold ~n =
+    if threshold <= 0 || threshold > n then
+      invalid_arg "Shamir.share: need 0 < threshold <= n";
+    let poly =
+      Array.init threshold (fun i -> if i = 0 then secret else F.random rng)
+    in
+    let shares =
+      Array.init n (fun i ->
+          let x = F.of_int (i + 1) in
+          { x; y = eval poly x })
+    in
+    (shares, poly)
+
+  let lagrange_coefficient xs x =
+    (* ∏_{x' ≠ x} x' / (x' − x), evaluated at 0. *)
+    List.fold_left
+      (fun acc x' ->
+        if F.equal x' x then acc else F.mul acc (F.div x' (F.sub x' x)))
+      F.one xs
+
+  let reconstruct shares =
+    let xs = List.map (fun s -> s.x) shares in
+    let distinct = List.sort_uniq F.compare xs in
+    if List.length distinct <> List.length xs then
+      invalid_arg "Shamir.reconstruct: duplicate share coordinates";
+    List.fold_left
+      (fun acc s -> F.add acc (F.mul s.y (lagrange_coefficient xs s.x)))
+      F.zero shares
+end
+
+include Make (Field)

@@ -1,0 +1,12 @@
+let max_faulty n =
+  if n < 1 then invalid_arg "Quorums.max_faulty: n must be positive";
+  (n - 1) / 3
+
+let quorum n = n - max_faulty n
+
+let supermajority n = (2 * max_faulty n) + 1
+
+let aux_union ~need ~in_bin auxs =
+  let valid = List.filter (List.for_all in_bin) auxs in
+  if List.length valid < need then None
+  else Some (List.sort_uniq Int.compare (List.concat valid))

@@ -1,0 +1,62 @@
+(** Experiment scenario builders: wire a cluster of Lyra or Pompē nodes
+    onto the simulated WAN, attach client load, run for a simulated
+    duration and report the measurements the paper's figures plot.
+
+    Placement follows §VI-A: nodes spread evenly across Oregon,
+    Ireland and Sydney. Measurement excludes the warm-up window.
+    Everything is deterministic in the seed. *)
+
+type load =
+  | Closed of int  (** closed-loop clients per node (§VI-A) *)
+  | Open_rate of float  (** open-loop tx/s per node (saturation sweeps) *)
+
+type result = {
+  n : int;
+  protocol : string;
+  window_us : int;  (** measurement window *)
+  committed_txs : int;  (** transactions output within the window *)
+  throughput_tps : float;
+  latency_ms : Metrics.Recorder.t;  (** per-tx submit → output, origin node *)
+  decide_rounds : float;  (** mean BOC decision round (Lyra; 0 for Pompē) *)
+  accept_rate : float;  (** accepted / decided own proposals (Lyra; 1.0 Pompē) *)
+  messages : int;
+  bytes : int;
+  prefix_safe : bool;  (** output logs are prefixes of each other *)
+  late_accepts : int;  (** Lyra safety counter; must be 0 *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run_lyra ~n ~load ~duration_us ()] — [tweak] edits the default
+    config; [byz i] optionally makes node [i] Byzantine; [warmup_us]
+    (default 1.5 s) precedes the measurement window; [jitter] is the
+    relative link jitter (default 0.01). *)
+val run_lyra :
+  ?seed:int64 ->
+  ?tweak:(Lyra.Config.t -> Lyra.Config.t) ->
+  ?byz:(int -> Lyra.Misbehavior.t option) ->
+  ?warmup_us:int ->
+  ?jitter:float ->
+  ?ns_per_byte:int ->
+  n:int ->
+  load:load ->
+  duration_us:int ->
+  unit ->
+  result
+
+val run_pompe :
+  ?seed:int64 ->
+  ?tweak:(Pompe.Config.t -> Pompe.Config.t) ->
+  ?warmup_us:int ->
+  ?jitter:float ->
+  ?ns_per_byte:int ->
+  ?censors:int list ->
+  n:int ->
+  load:load ->
+  duration_us:int ->
+  unit ->
+  result
+
+(** Effective WAN line rate used by the experiments (ns per byte;
+    ≈ 200 Mb/s per node, a realistic cross-continent TCP ceiling). *)
+val wan_ns_per_byte : int

@@ -1,0 +1,342 @@
+type qc = { q_block : string; q_height : int; voters : int list }
+
+type 'cmd block = {
+  b_id : string;
+  height : int;
+  parent : string;
+  justify : qc;
+  cmds : 'cmd list;
+  proposer : int;
+}
+
+type 'cmd msg =
+  | Proposal of 'cmd block
+  | Vote of { block_id : string; height : int }
+  | New_view of { view : int; qc : qc }
+
+type 'cmd transport = {
+  tr_n : int;
+  tr_broadcast : 'cmd msg -> unit;
+  tr_send : dst:int -> 'cmd msg -> unit;
+  tr_schedule : delay_us:int -> (unit -> unit) -> unit;
+}
+
+let qc_size qc = 48 + (8 * List.length qc.voters)
+
+let msg_size ~cmd_size = function
+  | Proposal b ->
+      96 + qc_size b.justify
+      + List.fold_left (fun acc c -> acc + cmd_size c) 0 b.cmds
+  | Vote _ -> 96 (* block id + signature share *)
+  | New_view { qc; _ } -> 40 + qc_size qc
+
+let genesis_id = "genesis"
+
+let genesis_qc = { q_block = genesis_id; q_height = 0; voters = [] }
+
+type 'cmd t = {
+  tr : 'cmd transport;
+  id : int;
+  n : int;
+  f : int;
+  delta_us : int;
+  block_capacity : int;
+  cmd_id : 'cmd -> string;
+  on_commit : height:int -> 'cmd list -> unit;
+  blocks : (string, 'cmd block) Hashtbl.t;
+  votes : (string, bool array * int ref) Hashtbl.t;
+  new_views : (int, (bool array * int ref) * qc ref) Hashtbl.t;
+  mutable pending : 'cmd list;  (** reversed queue *)
+  mutable pending_n : int;
+  seen_cmds : (string, unit) Hashtbl.t;  (** committed or queued here *)
+  done_cmds : (string, unit) Hashtbl.t;  (** delivered to on_commit *)
+  mutable view_no : int;
+  mutable vheight : int;
+  mutable high_qc : qc;
+  mutable locked_qc : qc;
+  mutable last_committed : int;
+  mutable committed_ids : (string, unit) Hashtbl.t;
+  mutable proposed_in : int;  (** last view this replica proposed in *)
+  mutable blocks_proposed : int;
+  mutable started : bool;
+}
+
+let view t = t.view_no
+
+let committed_height t = t.last_committed
+
+let blocks_proposed t = t.blocks_proposed
+
+let pending_count t = t.pending_n
+
+let leader t v = v mod t.n
+
+let block_id ~height ~parent ~proposer cmd_ids =
+  Crypto.Sha256.digest_list
+    (string_of_int height :: parent :: string_of_int proposer :: cmd_ids)
+
+let find_block t id = Hashtbl.find_opt t.blocks id
+
+(* b extends the locked block if the locked block is an ancestor. *)
+let rec extends t ~anc id =
+  String.equal id anc
+  ||
+  match find_block t id with
+  | None -> false
+  | Some b -> b.height > 0 && extends t ~anc b.parent
+
+let update_high_qc t qc = if qc.q_height > t.high_qc.q_height then t.high_qc <- qc
+
+let broadcast t m = t.tr.tr_broadcast m
+
+let send t ~dst m = t.tr.tr_send ~dst m
+
+(* Commit every uncommitted ancestor of [b] (inclusive), oldest first. *)
+let commit_chain t b =
+  let rec ancestors acc b =
+    if b.height <= t.last_committed then acc
+    else
+      match find_block t b.parent with
+      | Some p -> ancestors (b :: acc) p
+      | None -> b :: acc
+  in
+  let chain = ancestors [] b in
+  List.iter
+    (fun blk ->
+      if blk.height > t.last_committed then begin
+        t.last_committed <- blk.height;
+        Hashtbl.replace t.committed_ids blk.b_id ();
+        (* Different leaders may include the same command before
+           learning it committed; deliver each command once. *)
+        let fresh =
+          List.filter
+            (fun c -> not (Hashtbl.mem t.done_cmds (t.cmd_id c)))
+            blk.cmds
+        in
+        List.iter
+          (fun c ->
+            let id = t.cmd_id c in
+            Hashtbl.replace t.done_cmds id ();
+            Hashtbl.replace t.seen_cmds id ())
+          fresh;
+        let ids = List.map t.cmd_id blk.cmds in
+        if ids <> [] then begin
+          t.pending <-
+            List.filter (fun c -> not (List.mem (t.cmd_id c) ids)) t.pending;
+          t.pending_n <- List.length t.pending
+        end;
+        if fresh <> [] then t.on_commit ~height:blk.height fresh
+      end)
+    chain
+
+(* Three-chain rule, evaluated when processing a new block bstar:
+   b2 = justify(bstar), b1 = justify(b2), b0 = justify(b1); if the
+   links are parent-consecutive, b0 is committed. *)
+let try_commit t bstar =
+  match find_block t bstar.justify.q_block with
+  | None -> ()
+  | Some b2 -> (
+      (* Lock on the middle block's QC. *)
+      if b2.justify.q_height > t.locked_qc.q_height then
+        t.locked_qc <- b2.justify;
+      match find_block t b2.justify.q_block with
+      | None -> ()
+      | Some b1 -> (
+          match find_block t b1.justify.q_block with
+          | None -> ()
+          | Some b0 ->
+              if
+                String.equal b2.parent b1.b_id
+                && String.equal b1.parent b0.b_id
+              then commit_chain t b0))
+
+let rec enter_view t v =
+  if v > t.view_no then begin
+    t.view_no <- v;
+    arm_view_timer t v;
+    maybe_propose t
+  end
+
+and arm_view_timer t v =
+  t.tr.tr_schedule ~delay_us:(4 * t.delta_us) (fun () ->
+      if t.view_no = v then begin
+        (* View failed: tell the next leader and move on. *)
+        send t ~dst:(leader t (v + 1)) (New_view { view = v; qc = t.high_qc });
+        enter_view t (v + 1)
+      end)
+
+and maybe_propose t =
+  let v = t.view_no in
+  if t.started && t.id = leader t v && t.proposed_in < v then begin
+    let quorum_newviews =
+      match Hashtbl.find_opt t.new_views v with
+      | Some ((_, count), _) -> !count >= t.n - t.f
+      | None -> false
+    in
+    if t.high_qc.q_height = v - 1 || quorum_newviews then begin
+      t.proposed_in <- v;
+      t.blocks_proposed <- t.blocks_proposed + 1;
+      let cmds, rest =
+        let rec split k acc = function
+          | x :: tl when k > 0 -> split (k - 1) (x :: acc) tl
+          | rest -> (acc, rest)
+        in
+        split t.block_capacity [] (List.rev t.pending)
+      in
+      t.pending <- List.rev rest;
+      t.pending_n <- List.length rest;
+      let parent = t.high_qc.q_block in
+      let b_id =
+        block_id ~height:v ~parent ~proposer:t.id (List.map t.cmd_id cmds)
+      in
+      let b =
+        { b_id; height = v; parent; justify = t.high_qc; cmds; proposer = t.id }
+      in
+      broadcast t (Proposal b)
+    end
+  end
+
+let on_proposal t b =
+  if b.height > 0 && leader t b.height = b.proposer && not (Hashtbl.mem t.blocks b.b_id)
+  then begin
+    Hashtbl.replace t.blocks b.b_id b;
+    update_high_qc t b.justify;
+    (* safeNode: extend the locked block, or see a higher QC. *)
+    let safe =
+      extends t ~anc:t.locked_qc.q_block b.b_id
+      || b.justify.q_height > t.locked_qc.q_height
+    in
+    if b.height > t.vheight && safe then begin
+      t.vheight <- b.height;
+      send t
+        ~dst:(leader t (b.height + 1))
+        (Vote { block_id = b.b_id; height = b.height })
+    end;
+    try_commit t b;
+    enter_view t (b.height + 1)
+  end
+
+let on_vote t ~src ~block_id ~height =
+  (* Collect votes if we lead the next view. *)
+  if leader t (height + 1) = t.id then begin
+    let voters, count =
+      match Hashtbl.find_opt t.votes block_id with
+      | Some vc -> vc
+      | None ->
+          let vc = (Array.make t.n false, ref 0) in
+          Hashtbl.replace t.votes block_id vc;
+          vc
+    in
+    if not voters.(src) then begin
+      voters.(src) <- true;
+      incr count;
+      if !count = t.n - t.f then begin
+        let voters_list =
+          Array.to_list voters
+          |> List.mapi (fun i b -> (i, b))
+          |> List.filter snd |> List.map fst
+        in
+        update_high_qc t
+          { q_block = block_id; q_height = height; voters = voters_list };
+        enter_view t (height + 1);
+        maybe_propose t
+      end
+    end
+  end
+
+let on_new_view t ~src ~view_v qc =
+  update_high_qc t qc;
+  if leader t (view_v + 1) = t.id then begin
+    let (senders, count), best =
+      match Hashtbl.find_opt t.new_views (view_v + 1) with
+      | Some e -> e
+      | None ->
+          let e = ((Array.make t.n false, ref 0), ref qc) in
+          Hashtbl.replace t.new_views (view_v + 1) e;
+          e
+    in
+    if not senders.(src) then begin
+      senders.(src) <- true;
+      incr count;
+      if qc.q_height > !best.q_height then best := qc;
+      if !count >= t.n - t.f then begin
+        enter_view t (view_v + 1);
+        maybe_propose t
+      end
+    end
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Proposal b -> on_proposal t b
+  | Vote { block_id; height } -> on_vote t ~src ~block_id ~height
+  | New_view { view = v; qc } -> on_new_view t ~src ~view_v:v qc
+
+let create tr ~id ~delta_us ~block_capacity ~cmd_id ~on_commit () =
+  let n = tr.tr_n in
+  let t =
+    {
+      tr;
+      id;
+      n;
+      f = Dbft.Quorums.max_faulty n;
+      delta_us;
+      block_capacity;
+      cmd_id;
+      on_commit;
+      blocks = Hashtbl.create 256;
+      votes = Hashtbl.create 256;
+      new_views = Hashtbl.create 16;
+      pending = [];
+      pending_n = 0;
+      seen_cmds = Hashtbl.create 256;
+      done_cmds = Hashtbl.create 256;
+      view_no = 0;
+      vheight = 0;
+      high_qc = genesis_qc;
+      locked_qc = genesis_qc;
+      last_committed = 0;
+      committed_ids = Hashtbl.create 256;
+      proposed_in = 0;
+      blocks_proposed = 0;
+      started = false;
+    }
+  in
+  Hashtbl.replace t.blocks genesis_id
+    {
+      b_id = genesis_id;
+      height = 0;
+      parent = genesis_id;
+      justify = genesis_qc;
+      cmds = [];
+      proposer = 0;
+    };
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    t.view_no <- 1;
+    arm_view_timer t 1;
+    maybe_propose t
+  end
+
+let submit t cmd =
+  if not (Hashtbl.mem t.seen_cmds (t.cmd_id cmd)) then begin
+    Hashtbl.replace t.seen_cmds (t.cmd_id cmd) ();
+    t.pending <- cmd :: t.pending;
+    t.pending_n <- t.pending_n + 1;
+    maybe_propose t
+  end
+
+let network_transport net ~id =
+  {
+    tr_n = Sim.Network.n net;
+    tr_broadcast = (fun m -> Sim.Network.broadcast net ~src:id m);
+    tr_send = (fun ~dst m -> Sim.Network.send net ~src:id ~dst m);
+    tr_schedule =
+      (fun ~delay_us fn ->
+        ignore
+          (Sim.Engine.schedule (Sim.Network.engine net) ~delay:delay_us fn
+            : Sim.Engine.timer));
+  }

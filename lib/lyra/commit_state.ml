@@ -1,0 +1,132 @@
+type t = {
+  n : int;
+  f : int;
+  r : int array;  (** locked_j per peer (monotone) *)
+  s : int array;  (** min_pending_j per peer *)
+  accepted : (Types.iid, int) Hashtbl.t;
+  mutable pending_commit : (int * Types.iid) list;  (** ascending (seq, iid) *)
+  mutable committed_value : int;
+  mutable all_leaves : string list;  (** reversed commit-order digests *)
+  mutable leaf_count : int;
+  mutable root_cache : string option;  (** invalidated when leaves change *)
+  mutable prefix_dirty : bool;
+  mutable locked_cache : int;
+  mutable stable_cache : int;
+  mutable version : int;  (** bumps when the accepted set changes *)
+}
+
+let create ~n ~f =
+  {
+    n;
+    f;
+    r = Array.make n 0;
+    s = Array.make n 0;
+    accepted = Hashtbl.create 64;
+    pending_commit = [];
+    committed_value = 0;
+    all_leaves = [];
+    leaf_count = 0;
+    root_cache = None;
+    prefix_dirty = true;
+    locked_cache = 0;
+    stable_cache = 0;
+    version = 0;
+  }
+
+let peer_status t ~peer ~locked ~min_pending =
+  if peer < 0 || peer >= t.n then invalid_arg "Commit_state.peer_status";
+  t.r.(peer) <- max t.r.(peer) locked;
+  t.s.(peer) <- min_pending;
+  t.prefix_dirty <- true
+
+(* The (2f+1)-th highest entry of an array: sort descending and take
+   index 2f. With at most f Byzantine peers, at least f+1 of the 2f+1
+   highest are from correct processes, so the result is bounded by a
+   correct process's report. *)
+let quorum_low t a =
+  let sorted = Array.copy a in
+  Array.sort (fun x y -> Int.compare y x) sorted;
+  sorted.((2 * t.f) + 1 - 1)
+
+(* locked/stable are recomputed lazily: statuses arrive with every
+   message, but the prefixes are only needed when a commit is actually
+   attempted. *)
+let refresh t =
+  if t.prefix_dirty then begin
+    t.prefix_dirty <- false;
+    t.locked_cache <- quorum_low t t.r;
+    t.stable_cache <- min t.locked_cache (quorum_low t t.s)
+  end
+
+let locked t =
+  refresh t;
+  t.locked_cache
+
+let stable t =
+  refresh t;
+  t.stable_cache
+
+let entry_compare (s1, i1) (s2, i2) =
+  match Int.compare s1 s2 with 0 -> Types.iid_compare i1 i2 | c -> c
+
+let add_accepted t iid ~seq =
+  if not (Hashtbl.mem t.accepted iid) then begin
+    Hashtbl.replace t.accepted iid seq;
+    t.version <- t.version + 1;
+    let rec insert = function
+      | [] -> [ (seq, iid) ]
+      | x :: rest as l ->
+          if entry_compare (seq, iid) x <= 0 then (seq, iid) :: l
+          else x :: insert rest
+    in
+    t.pending_commit <- insert t.pending_commit
+  end
+
+let is_accepted t iid = Hashtbl.mem t.accepted iid
+
+let committed t =
+  let s = stable t in
+  (* pending_commit is sorted ascending: stop at the first entry past
+     the stable point. *)
+  let rec walk acc = function
+    | (seq, _) :: rest when seq <= s -> walk (max acc seq) rest
+    | _ -> acc
+  in
+  walk t.committed_value t.pending_commit
+
+let take_committable t =
+  let boundary = committed t in
+  t.committed_value <- max t.committed_value boundary;
+  let rec split acc = function
+    | (seq, iid) :: rest when seq <= boundary -> split ((iid, seq) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let taken, remaining = split [] t.pending_commit in
+  t.pending_commit <- remaining;
+  List.iter
+    (fun (iid, seq) ->
+      let leaf =
+        Printf.sprintf "%d.%d.%d" iid.Types.proposer iid.Types.index seq
+      in
+      t.all_leaves <- leaf :: t.all_leaves;
+      t.leaf_count <- t.leaf_count + 1;
+      t.root_cache <- None;
+      t.version <- t.version + 1)
+    taken;
+  taken
+
+let accepted_recent t = List.map (fun (seq, iid) -> (iid, seq)) t.pending_commit
+
+let accepted_root t =
+  match t.root_cache with
+  | Some r -> r
+  | None ->
+      let r = Crypto.Merkle.root_of_leaves (List.rev t.all_leaves) in
+      t.root_cache <- Some r;
+      r
+
+let accepted_count t = Hashtbl.length t.accepted
+
+let version t = t.version
+
+let uncommitted_count t = List.length t.pending_commit

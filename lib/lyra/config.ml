@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  lambda_us : int;
+  delta_us : int;
+  batch_size : int;
+  batch_timeout_us : int;
+  max_inflight : int;
+  status_interval_us : int;
+  warmup_proposals : int;
+  warmup_spacing_us : int;
+  ewma_alpha : float;
+  real_crypto : bool;
+  vss_scheme : Crypto.Vss.scheme;
+  max_rounds : int;
+  tx_size : int;
+  clock_offset_max_us : int;
+  future_bound_us : int;
+}
+
+let default ~n =
+  {
+    n;
+    lambda_us = 5_000;
+    delta_us = 160_000;
+    batch_size = 800;
+    batch_timeout_us = 50_000;
+    max_inflight = 8;
+    status_interval_us = 25_000;
+    warmup_proposals = 4;
+    warmup_spacing_us = 120_000;
+    ewma_alpha = 0.3;
+    real_crypto = false;
+    vss_scheme = Crypto.Vss.Hashed;
+    max_rounds = 64;
+    tx_size = 32;
+    clock_offset_max_us = 2_000;
+    future_bound_us = 1_000_000;
+  }
+
+let l_us t = 3 * t.delta_us
+
+let f t = Dbft.Quorums.max_faulty t.n
+
+let quorum t = Dbft.Quorums.quorum t.n
+
+let supermajority t = Dbft.Quorums.supermajority t.n

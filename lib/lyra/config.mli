@@ -1,0 +1,35 @@
+(** Protocol and experiment parameters (paper §VI-B defaults). *)
+
+type t = {
+  n : int;  (** number of processes *)
+  lambda_us : int;  (** security parameter λ (default 5 ms, §VI-B) *)
+  delta_us : int;  (** post-GST message-delay bound Δ *)
+  batch_size : int;  (** transactions per BOC instance (default 800) *)
+  batch_timeout_us : int;  (** propose a partial batch after this long *)
+  max_inflight : int;  (** cap on a node's undecided own proposals *)
+  status_interval_us : int;  (** heartbeat period for commit gossip *)
+  warmup_proposals : int;  (** distance-measurement proposals (§IV-B1) *)
+  warmup_spacing_us : int;
+  ewma_alpha : float;  (** smoothing of distance estimates d_ij *)
+  real_crypto : bool;  (** run signatures/VSS for real, or charge costs only *)
+  vss_scheme : Crypto.Vss.scheme;  (** payload obfuscation scheme *)
+  max_rounds : int;  (** per-instance round bound (safety net) *)
+  tx_size : int;  (** bytes per transaction payload (32 in the paper) *)
+  clock_offset_max_us : int;  (** spread of unsynchronized node clocks *)
+  future_bound_us : int;  (** reject requested seqs this far in the future
+                              (§VI-D memory-exhaustion mitigation) *)
+}
+
+(** [default ~n] — paper defaults: λ = 5 ms, Δ = 160 ms, batch 800. *)
+val default : n:int -> t
+
+(** Maximum BOC latency L = 3Δ (Alg. 4 line 52), the acceptance
+    window. *)
+val l_us : t -> int
+
+(** f = ⌊(n − 1)/3⌋ and quorum sizes for this configuration. *)
+val f : t -> int
+
+val quorum : t -> int
+
+val supermajority : t -> int

@@ -1,0 +1,17 @@
+type t =
+  | Silent
+  | Flood of { batches_per_sec : int }
+  | Future_seq of { offset_us : int }
+  | Low_status
+  | Equivocate
+  | Stale_votes of { delay_us : int }
+
+let to_string = function
+  | Silent -> "silent"
+  | Flood { batches_per_sec } -> Printf.sprintf "flood(%d/s)" batches_per_sec
+  | Future_seq { offset_us } -> Printf.sprintf "future-seq(+%dus)" offset_us
+  | Low_status -> "low-status"
+  | Equivocate -> "equivocate"
+  | Stale_votes { delay_us } -> Printf.sprintf "stale-votes(%dus)" delay_us
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

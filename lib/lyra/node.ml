@@ -1,0 +1,832 @@
+type output = { batch : Types.batch; seq : int; output_at : int }
+
+type pending_kind = Validated | External
+
+type pending_entry = { p_seq : int; kind : pending_kind; added_at : int }
+
+type reveal_state = {
+  senders : bool array;
+  mutable count : int;
+  mutable vss_shares : Crypto.Vss.decryption_share list;
+}
+
+type commit_record = {
+  c_batch : Types.batch;
+  c_seq : int;
+  mutable emitted : bool;
+}
+
+type t = {
+  config : Config.t;
+  id : int;
+  net : Types.msg Sim.Network.t;
+  engine : Sim.Engine.t;
+  clock : Ordering_clock.t;
+  predictor : Predictor.t;
+  commit : Commit_state.t;
+  keys : Crypto.Keys.keypair option;
+  dir : Crypto.Keys.directory option;
+  rng : Crypto.Rng.t;
+  misbehavior : Misbehavior.t option;
+  on_observe : Types.batch -> unit;
+  on_output : output -> unit;
+  instances : (Types.iid, Instance.t) Hashtbl.t;
+  own_sref : (int, int) Hashtbl.t;  (** proposal index → s_ref *)
+  pending : (Types.iid, pending_entry) Hashtbl.t;
+  shares_held : (Types.iid, Crypto.Vss.decryption_share) Hashtbl.t;
+  reveals : (Types.iid, reveal_state) Hashtbl.t;
+  records : (Types.iid, commit_record) Hashtbl.t;
+  outbox : Types.iid Queue.t;  (** commit order; emitted when revealed *)
+  mutable outputs_rev : output list;
+  mutable output_count : int;
+  mutable mempool : Types.tx list;  (** reversed *)
+  mutable mempool_count : int;
+  mutable batch_timer_armed : bool;
+  mutable next_index : int;
+  mutable inflight : int;
+  mutable tx_counter : int;
+  mutable started : bool;
+  mutable min_pending_dirty : bool;
+  mutable min_pending_cache : int;
+  mutable gossip_cache : (int * (Types.iid * int) list * string) option;
+  peer_versions : int array;
+  mutable late_accepts : int;
+  mutable own_accepted : int;
+  mutable own_rejected : int;
+  decide_rounds : Metrics.Recorder.t;
+  boc_latency : Metrics.Recorder.t;
+  mutable proposals_made : int;
+}
+
+let id t = t.id
+
+let proposals_made t = t.proposals_made
+
+let output_log t = List.rev t.outputs_rev
+
+let accepted_count t = Commit_state.accepted_count t.commit
+
+let committed_seq t = Commit_state.committed t.commit
+
+let pending_count t = Hashtbl.length t.pending
+
+let mempool_size t = t.mempool_count
+
+let late_accepts t = t.late_accepts
+
+let decide_rounds t = t.decide_rounds
+
+let boc_latency t = t.boc_latency
+
+let own_accepted t = t.own_accepted
+
+let own_rejected t = t.own_rejected
+
+let distances_known t = Predictor.known_count t.predictor
+
+let f t = Config.f t.config
+
+let supermajority t = Config.supermajority t.config
+
+let is_byz t m = t.misbehavior = Some m
+
+(* ------------------------------------------------------------------ *)
+(* Status piggybacking (Alg. 4 lines 74–78).                           *)
+(* ------------------------------------------------------------------ *)
+
+let gossip_cap = 64
+
+let min_pending_value t =
+  if t.min_pending_dirty then begin
+    t.min_pending_dirty <- false;
+    t.min_pending_cache <-
+      Hashtbl.fold
+        (fun _ e acc -> if e.kind = Validated then min acc e.p_seq else acc)
+        t.pending Types.no_pending
+  end;
+  t.min_pending_cache
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+(* The gossip payload (accepted set + Merkle root) only changes when
+   the accepted set does; rebuild it per version, not per message. *)
+let gossip_parts t =
+  let version = Commit_state.version t.commit in
+  match t.gossip_cache with
+  | Some (v, recent, root) when v = version -> (recent, root, version)
+  | _ ->
+      let recent = take gossip_cap (Commit_state.accepted_recent t.commit) in
+      let root = Commit_state.accepted_root t.commit in
+      t.gossip_cache <- Some (version, recent, root);
+      (recent, root, version)
+
+(* The accepted-set list is heavy (up to gossip_cap entries); riding it
+   on every vote would serialize kilobytes per message on the NIC and
+   collapse large clusters under synchronized waves. Scalars piggyback
+   everywhere (they are what locked/stable need, Alg. 4 lines 83-86);
+   the list itself rides the periodic heartbeat — this is the
+   message-size reduction the paper itself calls for in §V-C ("hash
+   trees are used in lieu of older prefixes"). *)
+let build_status ?(full = false) t : Types.status =
+  if is_byz t Misbehavior.Low_status then
+    (* Lying low to stall prefixes (§VI-D); neutralized by the
+       2f+1-highest rule. *)
+    {
+      locked_upto = 0;
+      min_pending = 0;
+      accepted_recent = [];
+      accepted_root = "";
+      version = 0;
+    }
+  else if full then
+    let recent, root, version = gossip_parts t in
+    {
+      locked_upto = Ordering_clock.peek t.clock - Config.l_us t.config;
+      min_pending = min_pending_value t;
+      accepted_recent = recent;
+      accepted_root = root;
+      version;
+    }
+  else
+    {
+      locked_upto = Ordering_clock.peek t.clock - Config.l_us t.config;
+      min_pending = min_pending_value t;
+      accepted_recent = [];
+      accepted_root = "";
+      version = 0 (* scalar-only status: gossip not re-sent *);
+    }
+
+let broadcast_body t body =
+  Sim.Network.broadcast t.net ~src:t.id { status = build_status t; body }
+
+let send_body t ~dst body =
+  Sim.Network.send t.net ~src:t.id ~dst { status = build_status t; body }
+
+(* ------------------------------------------------------------------ *)
+(* Reveal and output (commit-reveal, §V-C lines 89–95).                *)
+(* ------------------------------------------------------------------ *)
+
+let reveal_state t iid =
+  match Hashtbl.find_opt t.reveals iid with
+  | Some r -> r
+  | None ->
+      let r =
+        { senders = Array.make t.config.n false; count = 0; vss_shares = [] }
+      in
+      Hashtbl.replace t.reveals iid r;
+      r
+
+let reveal_complete t iid =
+  match Hashtbl.find_opt t.reveals iid with
+  | None -> false
+  | Some r -> r.count >= supermajority t
+
+(* Emit revealed batches in commit order only: the head of the outbox
+   must be decryptable before anything behind it is output. *)
+let rec drain_outbox t =
+  match Queue.peek_opt t.outbox with
+  | None -> ()
+  | Some iid -> (
+      match Hashtbl.find_opt t.records iid with
+      | None -> ()
+      | Some rec_ when rec_.emitted ->
+          ignore (Queue.pop t.outbox : Types.iid);
+          drain_outbox t
+      | Some rec_ ->
+          if reveal_complete t iid then begin
+            let decrypted =
+              match rec_.c_batch.obf with
+              | Types.Clear | Types.Structural -> true
+              | Types.Vss cipher -> (
+                  let r = reveal_state t iid in
+                  match Crypto.Vss.decrypt cipher r.vss_shares with
+                  | Some _payload -> true
+                  | None -> false)
+            in
+            if decrypted then begin
+              rec_.emitted <- true;
+              ignore (Queue.pop t.outbox : Types.iid);
+              let out =
+                {
+                  batch = rec_.c_batch;
+                  seq = rec_.c_seq;
+                  output_at = Sim.Engine.now t.engine;
+                }
+              in
+              t.outputs_rev <- out :: t.outputs_rev;
+              t.output_count <- t.output_count + 1;
+              t.on_output out;
+              drain_outbox t
+            end
+          end)
+
+let on_reveal t ~src iid share =
+  let r = reveal_state t iid in
+  if not r.senders.(src) then begin
+    let share_ok =
+      match share with
+      | None -> not t.config.real_crypto
+      | Some s -> (
+          s.Crypto.Vss.holder = src
+          &&
+          (* Check against the cipher's commitments when we have it. *)
+          match Hashtbl.find_opt t.records iid with
+          | Some { c_batch = { obf = Types.Vss cipher; _ }; _ } ->
+              Crypto.Vss.verify_share cipher s
+          | _ -> true)
+    in
+    if share_ok then begin
+      r.senders.(src) <- true;
+      r.count <- r.count + 1;
+      (match share with
+      | Some s -> r.vss_shares <- s :: r.vss_shares
+      | None -> ());
+      drain_outbox t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Commit (Alg. 4: try-commit).                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pending_blocks_commit t boundary =
+  let now = Sim.Engine.now t.engine in
+  let expiry = 2 * Config.l_us t.config in
+  let blocking = ref false in
+  let expired = ref [] in
+  Hashtbl.iter
+    (fun iid e ->
+      if e.p_seq <= boundary then
+        match e.kind with
+        | Validated -> blocking := true
+        | External ->
+            (* A gossiped instance we never decided locally. Any truly
+               accepted transaction generates VVB traffic that reaches
+               us within the window, so stale claims (e.g. from a
+               Byzantine gossiper) are dropped after 2L. *)
+            if now - e.added_at > expiry then expired := iid :: !expired
+            else blocking := true)
+    t.pending;
+  if !expired <> [] then t.min_pending_dirty <- true;
+  List.iter (Hashtbl.remove t.pending) !expired;
+  !blocking
+
+let try_commit t =
+  let boundary = Commit_state.committed t.commit in
+  if boundary > 0 && not (pending_blocks_commit t boundary) then begin
+    let taken = Commit_state.take_committable t.commit in
+    List.iter
+      (fun (iid, seq) ->
+        match Hashtbl.find_opt t.instances iid with
+        | None -> ()
+        | Some inst -> (
+            match Instance.proposal inst with
+            | None -> ()
+            | Some proposal ->
+                Hashtbl.replace t.records iid
+                  { c_batch = proposal.Types.batch; c_seq = seq; emitted = false };
+                Queue.push iid t.outbox;
+                (* Broadcast our decryption share (line 95). *)
+                let share =
+                  if t.config.real_crypto then
+                    Hashtbl.find_opt t.shares_held iid
+                  else None
+                in
+                broadcast_body t (Types.Reveal { iid; share })))
+      taken;
+    if taken <> [] then drain_outbox t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Validation function (Alg. 4 line 62, Eq. 1).                        *)
+(* ------------------------------------------------------------------ *)
+
+let reject_pred = ref 0
+let reject_window = ref 0
+let reject_other = ref 0
+let pred_err = ref 0
+
+let validate t (proposal : Types.proposal) ~seq_obs =
+  let cfg = t.config in
+  let n = cfg.n and fv = f t in
+  let ok =
+    Array.length proposal.st = n
+    && Array.length proposal.batch.txs <= 4 * cfg.batch_size
+    &&
+    match proposal.st.(t.id) with
+    | None -> incr reject_other; false
+    | Some prediction -> (
+        let perr = abs (seq_obs - prediction) in
+        pred_err := max !pred_err perr;
+        if perr > cfg.lambda_us then (incr reject_pred; false)
+        else
+        match Types.requested_seq ~n ~f:fv proposal.st with
+        | None -> incr reject_other; false
+        | Some s ->
+            (* Acceptance window: not locally locked, not too far in
+               the future (§VI-D). *)
+            if s > seq_obs - Config.l_us cfg && s < seq_obs + cfg.future_bound_us
+            then true
+            else (incr reject_window; false))
+  in
+  (* A slow INIT can arrive after the instance already decided from the
+     other processes' messages; booking it as pending then would leave a
+     stale min-pending that stalls everyone's stable prefix. *)
+  let already_decided =
+    match Hashtbl.find_opt t.instances proposal.batch.iid with
+    | Some inst -> Instance.decided inst <> None
+    | None -> false
+  in
+  if ok && not already_decided then begin
+    let s =
+      match Types.requested_seq ~n ~f:fv proposal.st with
+      | Some s -> s
+      | None -> assert false
+    in
+    (match Hashtbl.find_opt t.pending proposal.batch.iid with
+    | Some { kind = Validated; _ } -> ()
+    | Some _ | None ->
+        t.min_pending_dirty <- true;
+        Hashtbl.replace t.pending proposal.batch.iid
+          {
+            p_seq = s;
+            kind = Validated;
+            added_at = Sim.Engine.now t.engine;
+          })
+  end;
+  ok
+
+(* ------------------------------------------------------------------ *)
+(* Instance management.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward declaration: re-proposal of rejected client batches needs
+   maybe_propose, defined later. *)
+let reproposal_hook : (t -> Types.tx list -> unit) ref =
+  ref (fun _ _ -> ())
+
+let on_decide t iid ~value ~round proposal =
+  (match Hashtbl.find_opt t.pending iid with
+  | Some _ ->
+      Hashtbl.remove t.pending iid;
+      t.min_pending_dirty <- true
+  | None -> ());
+  t.decide_rounds |> fun r -> Metrics.Recorder.record r (float_of_int round);
+  (if iid.Types.proposer = t.id then begin
+     t.inflight <- max 0 (t.inflight - 1);
+     if value = 1 then t.own_accepted <- t.own_accepted + 1
+     else begin
+       t.own_rejected <- t.own_rejected + 1;
+       (* A rejected batch carries live client transactions: requeue
+          them for a fresh proposal with updated predictions
+          (SMR-Liveness, Lemma 8 — processes continuously re-input). *)
+       match Hashtbl.find_opt t.instances iid with
+       | Some inst -> (
+           match Instance.proposal inst with
+           | Some p ->
+               let live =
+                 Array.to_list p.Types.batch.Types.txs
+                 |> List.filter (fun (tx : Types.tx) ->
+                        String.length tx.tx_id > 0 && tx.tx_id.[0] = 'c')
+               in
+               if live <> [] then !reproposal_hook t live
+           | None -> ())
+       | None -> ()
+     end;
+     match Hashtbl.find_opt t.own_sref iid.Types.index with
+     | Some s_ref ->
+         Metrics.Recorder.record t.boc_latency
+           (float_of_int (Ordering_clock.peek t.clock - s_ref))
+     | None -> ()
+   end);
+  (if value = 1 then
+     match proposal with
+     | Some p -> (
+         match
+           Types.requested_seq ~n:t.config.n ~f:(f t) p.Types.st
+         with
+         | Some seq ->
+             if seq <= Commit_state.committed t.commit then
+               t.late_accepts <- t.late_accepts + 1;
+             Commit_state.add_accepted t.commit iid ~seq
+         | None -> ())
+     | None -> ());
+  try_commit t
+
+let make_env t iid : Instance.env =
+  let cfg = t.config in
+  {
+    self = t.id;
+    n = cfg.n;
+    f = f t;
+    delta_us = cfg.delta_us;
+    max_rounds = cfg.max_rounds;
+    clock_read = (fun () -> Ordering_clock.read t.clock);
+    validate = (fun proposal ~seq_obs -> validate t proposal ~seq_obs);
+    verify_init =
+      (fun proposal sigma ->
+        if not cfg.real_crypto then true
+        else
+          match (sigma, t.dir) with
+          | Some sg, Some dir ->
+              Crypto.Schnorr.verify_by ~dir ~signer:iid.Types.proposer
+                (Types.proposal_digest proposal)
+                sg
+          | _ -> false);
+    verify_vote_share =
+      (fun ~digest ~src share ->
+        if not cfg.real_crypto then true
+        else
+          match (share, t.dir) with
+          | Some sh, Some dir ->
+              sh.Crypto.Threshold.signer = src
+              && Crypto.Threshold.share_verify ~dir digest sh
+          | _ -> false);
+    make_vote_share =
+      (fun ~digest ->
+        if not cfg.real_crypto then None
+        else
+          match t.keys with
+          | Some kp -> Some (Crypto.Threshold.share_sign kp digest)
+          | None -> None);
+    make_deliver_proof =
+      (fun ~digest:_ shares ->
+        if not cfg.real_crypto then None
+        else Crypto.Threshold.combine ~threshold:(supermajority t) shares);
+    check_deliver =
+      (fun proposal proof ->
+        if not cfg.real_crypto then true
+        else
+          match (proof, t.dir) with
+          | Some pf, Some dir ->
+              Crypto.Threshold.verify_combined ~dir
+                ~threshold:(supermajority t)
+                (Types.proposal_digest proposal)
+                pf
+          | _ -> false);
+    broadcast =
+      (fun body ->
+        match (t.misbehavior, body) with
+        | Some (Misbehavior.Stale_votes { delay_us }), Types.Vote _ ->
+            ignore
+              (Sim.Engine.schedule t.engine ~delay:delay_us (fun () ->
+                   broadcast_body t body)
+                : Sim.Engine.timer)
+        | _ -> broadcast_body t body);
+    schedule =
+      (fun ~delay_us fn ->
+        ignore (Sim.Engine.schedule t.engine ~delay:delay_us fn : Sim.Engine.timer));
+    observe_vote =
+      (fun ~src ~seq_obs ->
+        if iid.Types.proposer = t.id then
+          match Hashtbl.find_opt t.own_sref iid.Types.index with
+          | Some s_ref -> Predictor.observe t.predictor ~peer:src ~s_ref ~seq_obs
+          | None -> ());
+    on_decide =
+      (fun ~value ~round proposal -> on_decide t iid ~value ~round proposal);
+  }
+
+let instance_of t iid =
+  match Hashtbl.find_opt t.instances iid with
+  | Some inst -> inst
+  | None ->
+      let inst = Instance.create (make_env t iid) iid in
+      Hashtbl.replace t.instances iid inst;
+      inst
+
+(* ------------------------------------------------------------------ *)
+(* Proposing (ordered-propose, Alg. 2).                                *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_txs t k =
+  List.init k (fun _ ->
+      t.tx_counter <- t.tx_counter + 1;
+      {
+        Types.tx_id = Printf.sprintf "w%d-%d" t.id t.tx_counter;
+        payload = String.make t.config.tx_size '\x00';
+        submitted_at = Sim.Engine.now t.engine;
+        origin = t.id;
+      })
+
+let batch_payload txs =
+  String.concat "" (Array.to_list (Array.map (fun tx -> tx.Types.payload) txs))
+
+let propose_batch t txs =
+  let cfg = t.config in
+  let index = t.next_index in
+  t.next_index <- index + 1;
+  t.proposals_made <- t.proposals_made + 1;
+  let iid = { Types.proposer = t.id; index } in
+  (* The reference sequence number is the moment the INIT actually
+     leaves this node: under load the egress NIC has a backlog, and
+     timestamping at enqueue time would shift every receiver's
+     perceived time by that backlog, breaking the λ check. *)
+  let s_ref =
+    Ordering_clock.read t.clock
+    + Sim.Cpu.backlog_us (Sim.Network.nic t.net t.id)
+  in
+  Hashtbl.replace t.own_sref index s_ref;
+  let st = Predictor.predict t.predictor ~s_ref in
+  let st =
+    match t.misbehavior with
+    | Some (Misbehavior.Future_seq { offset_us }) ->
+        Array.map (Option.map (fun s -> s + offset_us)) st
+    | _ -> st
+  in
+  t.inflight <- t.inflight + 1;
+  let txs = Array.of_list txs in
+  let make_batch txs obf = { Types.iid; txs; obf; created_at = s_ref } in
+  let sign proposal =
+    if cfg.real_crypto then
+      Option.map
+        (fun kp -> Crypto.Schnorr.sign kp (Types.proposal_digest proposal))
+        t.keys
+    else None
+  in
+  if is_byz t Misbehavior.Equivocate then begin
+    (* Two proposals under one instance id, split across the network.
+       VVB-Unicity prevents both from being delivered with 1. *)
+    let variant tag =
+      let txs' =
+        Array.map
+          (fun tx -> { tx with Types.tx_id = tx.Types.tx_id ^ tag })
+          txs
+      in
+      let p = { Types.batch = make_batch txs' Types.Structural; st } in
+      (p, sign p)
+    in
+    let a, sig_a = variant ".a" and b, sig_b = variant ".b" in
+    for dst = 0 to cfg.n - 1 do
+      let proposal, sigma = if dst < cfg.n / 2 then (a, sig_a) else (b, sig_b) in
+      send_body t ~dst (Types.Init { proposal; share = None; sigma })
+    done
+  end
+  else if cfg.real_crypto then begin
+    let cipher, dshares =
+      Crypto.Vss.encrypt ~scheme:cfg.vss_scheme t.rng ~n:cfg.n
+        ~threshold:(supermajority t) (batch_payload txs)
+    in
+    let proposal = { Types.batch = make_batch txs (Types.Vss cipher); st } in
+    let sigma = sign proposal in
+    for dst = 0 to cfg.n - 1 do
+      send_body t ~dst
+        (Types.Init { proposal; share = Some dshares.(dst); sigma })
+    done
+  end
+  else begin
+    let proposal = { Types.batch = make_batch txs Types.Structural; st } in
+    broadcast_body t (Types.Init { proposal; share = None; sigma = None })
+  end
+
+let rec maybe_propose t =
+  if t.started && t.inflight < t.config.max_inflight then begin
+    if t.mempool_count >= t.config.batch_size then begin
+      let txs = List.rev t.mempool in
+      let rec split k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (k - 1) (x :: acc) tl
+      in
+      let batch, rest = split t.config.batch_size [] txs in
+      t.mempool <- List.rev rest;
+      t.mempool_count <- t.mempool_count - List.length batch;
+      propose_batch t batch;
+      maybe_propose t
+    end
+    else if t.mempool_count > 0 && not t.batch_timer_armed then begin
+      t.batch_timer_armed <- true;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:t.config.batch_timeout_us
+           (fun () ->
+             t.batch_timer_armed <- false;
+             if t.mempool_count > 0 && t.inflight < t.config.max_inflight
+             then begin
+               let txs = List.rev t.mempool in
+               t.mempool <- [];
+               t.mempool_count <- 0;
+               propose_batch t txs
+             end;
+             maybe_propose t)
+          : Sim.Engine.timer)
+    end
+  end
+
+let () =
+  reproposal_hook :=
+    fun t txs ->
+      t.mempool <- List.rev_append txs t.mempool;
+      t.mempool_count <- t.mempool_count + List.length txs;
+      maybe_propose t
+
+let submit t ~payload =
+  t.tx_counter <- t.tx_counter + 1;
+  let tx =
+    {
+      Types.tx_id = Printf.sprintf "c%d-%d" t.id t.tx_counter;
+      payload;
+      submitted_at = Sim.Engine.now t.engine;
+      origin = t.id;
+    }
+  in
+  t.mempool <- tx :: t.mempool;
+  t.mempool_count <- t.mempool_count + 1;
+  maybe_propose t;
+  tx.Types.tx_id
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let absorb_status t ~src (status : Types.status) =
+  Commit_state.peer_status t.commit ~peer:src ~locked:status.locked_upto
+    ~min_pending:status.min_pending;
+  (* Gossip re-processing is skipped while the sender's accepted set is
+     unchanged; commits are attempted from decisions and the heartbeat
+     tick rather than on every message. *)
+  if status.version > t.peer_versions.(src) then begin
+    t.peer_versions.(src) <- status.version;
+    List.iter
+      (fun (iid, seq) ->
+        if not (Commit_state.is_accepted t.commit iid) then begin
+          let inst = Hashtbl.find_opt t.instances iid in
+          let decided =
+            match inst with
+            | Some i -> Instance.decided i <> None
+            | None -> false
+          in
+          if (not decided) && not (Hashtbl.mem t.pending iid) then begin
+            t.min_pending_dirty <- true;
+            Hashtbl.replace t.pending iid
+              {
+                p_seq = seq;
+                kind = External;
+                added_at = Sim.Engine.now t.engine;
+              }
+          end
+        end)
+      status.accepted_recent
+  end
+
+let on_message t ~src (msg : Types.msg) =
+  absorb_status t ~src msg.status;
+  match msg.body with
+  | Types.Init { proposal; share; sigma } ->
+      (match share with
+      | Some s -> Hashtbl.replace t.shares_held proposal.Types.batch.Types.iid s
+      | None -> ());
+      t.on_observe proposal.Types.batch;
+      Instance.on_init
+        (instance_of t proposal.Types.batch.Types.iid)
+        ~src proposal sigma
+  | Types.Vote { iid; vote } -> Instance.on_vote (instance_of t iid) ~src vote
+  | Types.Deliver { iid; proposal; proof } ->
+      Instance.on_deliver (instance_of t iid) ~src proposal proof
+  | Types.Est { iid; round; value; proposal } ->
+      Instance.on_est (instance_of t iid) ~src ~round ~value proposal
+  | Types.Coord { iid; round; value } ->
+      Instance.on_coord (instance_of t iid) ~src ~round ~value
+  | Types.Aux { iid; round; values } ->
+      Instance.on_aux (instance_of t iid) ~src ~round ~values
+  | Types.Reveal { iid; share } -> on_reveal t ~src iid share
+  | Types.Heartbeat -> try_commit t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec heartbeat_loop t =
+  try_commit t;
+  Sim.Network.broadcast t.net ~src:t.id
+    { status = build_status ~full:true t; body = Types.Heartbeat };
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.config.status_interval_us (fun () ->
+         heartbeat_loop t)
+      : Sim.Engine.timer)
+
+let warmup t =
+  (* Per-node jitter: synchronized warm-up bursts across the whole
+     cluster would bias the distance measurements with self-inflicted
+     queueing that is absent at client time. *)
+  let jitter = Crypto.Rng.int t.rng (max 1 (t.config.warmup_spacing_us / 2)) in
+  for k = 0 to t.config.warmup_proposals - 1 do
+    ignore
+      (Sim.Engine.schedule t.engine
+         ~delay:((k * t.config.warmup_spacing_us) + jitter)
+         (fun () -> propose_batch t (fresh_txs t 1))
+        : Sim.Engine.timer)
+  done
+
+let rec flood_loop t rate =
+  let interval = max 1 (1_000_000 / max 1 rate) in
+  propose_batch t (fresh_txs t t.config.batch_size);
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:interval (fun () -> flood_loop t rate)
+      : Sim.Engine.timer)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    match t.misbehavior with
+    | Some Misbehavior.Silent -> Sim.Network.crash t.net t.id
+    | Some (Misbehavior.Flood { batches_per_sec }) ->
+        heartbeat_loop t;
+        warmup t;
+        ignore
+          (Sim.Engine.schedule t.engine
+             ~delay:(t.config.warmup_proposals * t.config.warmup_spacing_us)
+             (fun () -> flood_loop t batches_per_sec)
+            : Sim.Engine.timer)
+    | _ ->
+        heartbeat_loop t;
+        warmup t
+  end
+
+let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
+    ?misbehavior ?(on_observe = fun _ -> ()) ?(on_output = fun _ -> ()) () =
+  if config.Config.real_crypto && (keys = None || dir = None) then
+    invalid_arg "Node.create: real_crypto requires keys and directory";
+  let engine = Sim.Network.engine net in
+  let t =
+    {
+      config;
+      id;
+      net;
+      engine;
+      clock = Ordering_clock.create engine ~offset_us:clock_offset_us;
+      predictor =
+        Predictor.create ~n:config.Config.n ~alpha:config.Config.ewma_alpha
+          ~self:id;
+      commit = Commit_state.create ~n:config.Config.n ~f:(Dbft.Quorums.max_faulty config.Config.n);
+      keys;
+      dir;
+      rng = Crypto.Rng.split (Sim.Engine.rng engine);
+      misbehavior;
+      on_observe;
+      on_output;
+      instances = Hashtbl.create 64;
+      own_sref = Hashtbl.create 16;
+      pending = Hashtbl.create 32;
+      shares_held = Hashtbl.create 32;
+      reveals = Hashtbl.create 32;
+      records = Hashtbl.create 32;
+      outbox = Queue.create ();
+      outputs_rev = [];
+      output_count = 0;
+      mempool = [];
+      mempool_count = 0;
+      batch_timer_armed = false;
+      next_index = 0;
+      inflight = 0;
+      tx_counter = 0;
+      started = false;
+      min_pending_dirty = true;
+      min_pending_cache = Types.no_pending;
+      gossip_cache = None;
+      peer_versions = Array.make config.Config.n (-1);
+      late_accepts = 0;
+      own_accepted = 0;
+      own_rejected = 0;
+      decide_rounds = Metrics.Recorder.create ();
+      boc_latency = Metrics.Recorder.create ();
+      proposals_made = 0;
+    }
+  in
+  Sim.Network.register net ~id (fun ~src msg -> on_message t ~src msg);
+  t
+
+let undecided t =
+  Hashtbl.fold
+    (fun iid inst acc ->
+      if Instance.decided inst = None then
+        (iid, Instance.decision_round inst) :: acc
+      else acc)
+    t.instances []
+
+let commit_diagnostics t =
+  ( Commit_state.locked t.commit,
+    Commit_state.stable t.commit,
+    Commit_state.committed t.commit,
+    Commit_state.uncommitted_count t.commit,
+    min_pending_value t )
+
+let pending_entries t =
+  Hashtbl.fold
+    (fun iid e acc ->
+      let decided, round =
+        match Hashtbl.find_opt t.instances iid with
+        | Some inst ->
+            ( Instance.decided inst,
+              (match Instance.decision_round inst with Some r -> r | None -> -1)
+            )
+        | None -> (None, -99)
+      in
+      (iid, e.p_seq, e.kind = Validated, decided, round) :: acc)
+    t.pending []
+
+let instance_debug t iid =
+  Option.map Instance.debug_state (Hashtbl.find_opt t.instances iid)

@@ -1,0 +1,109 @@
+(** A full Lyra SMR node (§V): mempool and batching, the BOC protocol
+    for ordering (Alg. 2/3), the Commit protocol for output (Alg. 4),
+    and the commit-reveal of obfuscated payloads.
+
+    Lifecycle: {!create} every node of the cluster on a shared
+    {!Sim.Network}, then {!start} them. Clients inject load with
+    {!submit}; committed, revealed batches surface through the
+    [on_output] callback in a total order that is identical (prefix-
+    wise) across correct nodes (SMR-Safety). *)
+
+type t
+
+type output = {
+  batch : Types.batch;
+  seq : int;  (** decided sequence number *)
+  output_at : int;  (** simulated µs when revealed and executed *)
+}
+
+(** [create config net ~id ()] — [keys]/[dir] are required when
+    [config.real_crypto] is set; [clock_offset_us] models this node's
+    unsynchronized clock; [misbehavior] turns the node Byzantine; [on_observe] fires when a
+    proposal first arrives — what a Byzantine operator of this node
+    could inspect (use {!Types.observable_txs} to read it; under
+    commit-reveal it yields nothing);
+    [on_output] observes the committed log (execution layer). *)
+val create :
+  Config.t ->
+  Types.msg Sim.Network.t ->
+  id:int ->
+  ?keys:Crypto.Keys.keypair ->
+  ?dir:Crypto.Keys.directory ->
+  ?clock_offset_us:int ->
+  ?misbehavior:Misbehavior.t ->
+  ?on_observe:(Types.batch -> unit) ->
+  ?on_output:(output -> unit) ->
+  unit ->
+  t
+
+(** Begin the warm-up (distance measurement, §IV-B1), heartbeats and
+    batching loops. *)
+val start : t -> unit
+
+(** [submit t ~payload] enqueues one client transaction; returns its
+    id. The transaction records submission time and origin for latency
+    accounting. *)
+val submit : t -> payload:string -> string
+
+(** Number of warm-up proposals plus client batches this node has
+    proposed. *)
+val proposals_made : t -> int
+
+(** The committed, revealed output log, oldest first. *)
+val output_log : t -> output list
+
+(** (instance, seq) pairs accepted by BOC so far (committed or not). *)
+val accepted_count : t -> int
+
+val committed_seq : t -> int
+
+val pending_count : t -> int
+
+val mempool_size : t -> int
+
+(** Decisions that arrived after their prefix was already committed —
+    must stay 0 for SMR-Safety (watched by the test suite). *)
+val late_accepts : t -> int
+
+(** Per-decision round numbers (1 = optimal good case). *)
+val decide_rounds : t -> Metrics.Recorder.t
+
+(** BOC decision latency (µs, INIT broadcast → local decision). *)
+val boc_latency : t -> Metrics.Recorder.t
+
+(** Own proposals: how many were accepted / rejected by consensus. *)
+val own_accepted : t -> int
+
+val own_rejected : t -> int
+
+(** Distances known to the predictor (n after warm-up). *)
+val distances_known : t -> int
+
+val id : t -> int
+
+(** Debug: undecided instances as (iid, current round) — empty once the
+    network quiesces. *)
+val undecided : t -> (Types.iid * int option) list
+
+(** Diagnostics: (locked, stable, committed, uncommitted accepted,
+    min-pending) of the Commit protocol at this node. *)
+val commit_diagnostics : t -> int * int * int * int * int
+
+(** Diagnostics: pending entries as (iid, seq, validated?, instance
+    decided?, instance round). *)
+val pending_entries : t -> (Types.iid * int * bool * int option * int) list
+
+(** Debug dump of one instance's internal state, if it exists here. *)
+val instance_debug : t -> Types.iid -> string option
+
+(**/**)
+
+(* Diagnostic counters (validation rejections by cause); used by the
+   calibration tooling and the λ experiments. *)
+val reject_pred : int ref
+
+val reject_window : int ref
+
+val reject_other : int ref
+
+val pred_err : int ref

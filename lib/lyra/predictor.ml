@@ -1,0 +1,50 @@
+(* Distance estimation d_ij (§IV-B1) as a median over a sliding window
+   of recent measurements. The median is robust to isolated queueing
+   spikes (which would drag an EWMA around and cause spurious λ
+   rejections) yet re-converges within window/2 samples after a genuine
+   regime change, e.g. distances first measured during a pre-GST
+   asynchronous period. [alpha] is kept in the interface for
+   compatibility; the window plays its smoothing role. *)
+
+let window = 5
+
+type t = {
+  n : int;
+  alpha : float;
+  samples : int array array;  (** ring buffer per peer *)
+  counts : int array;  (** samples seen per peer *)
+  self : int;
+}
+
+let create ~n ~alpha ~self =
+  let t =
+    { n; alpha; samples = Array.make_matrix n window 0; counts = Array.make n 0; self }
+  in
+  (* self-delivery is immediate: a permanent 0 measurement *)
+  t.counts.(self) <- 1;
+  t
+
+let observe t ~peer ~s_ref ~seq_obs =
+  if peer < 0 || peer >= t.n then invalid_arg "Predictor.observe: bad peer";
+  if peer <> t.self then begin
+    let sample = max 0 (seq_obs - s_ref) in
+    t.samples.(peer).(t.counts.(peer) mod window) <- sample;
+    t.counts.(peer) <- t.counts.(peer) + 1
+  end
+
+let distance t ~peer =
+  if t.counts.(peer) = 0 then None
+  else if peer = t.self then Some 0
+  else begin
+    let k = min window t.counts.(peer) in
+    let xs = Array.sub t.samples.(peer) 0 k in
+    Array.sort Int.compare xs;
+    Some xs.(k / 2)
+  end
+
+let predict t ~s_ref =
+  Array.init t.n (fun peer ->
+      match distance t ~peer with None -> None | Some d -> Some (s_ref + d))
+
+let known_count t =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts

@@ -1,0 +1,130 @@
+type iid = { proposer : int; index : int }
+
+let iid_compare a b =
+  match Int.compare a.proposer b.proposer with
+  | 0 -> Int.compare a.index b.index
+  | c -> c
+
+let pp_iid fmt { proposer; index } = Format.fprintf fmt "%d/%d" proposer index
+
+type tx = {
+  tx_id : string;
+  payload : string;
+  submitted_at : int;
+  origin : int;
+}
+
+type obfuscation = Clear | Vss of Crypto.Vss.cipher | Structural
+
+type batch = { iid : iid; txs : tx array; obf : obfuscation; created_at : int }
+
+let observable_txs batch =
+  match batch.obf with
+  | Clear -> Some batch.txs
+  | Vss _ | Structural -> None
+
+type proposal = { batch : batch; st : int option array }
+
+let proposal_digest { batch; st } =
+  let parts =
+    Printf.sprintf "%d.%d.%d" batch.iid.proposer batch.iid.index
+      batch.created_at
+    :: (match batch.obf with
+       | Clear | Structural ->
+           Array.to_list (Array.map (fun tx -> tx.tx_id) batch.txs)
+       | Vss cipher -> [ Crypto.Vss.tag cipher ])
+    @ Array.to_list
+        (Array.map
+           (function Some s -> string_of_int s | None -> "_")
+           st)
+  in
+  Crypto.Sha256.digest_list parts
+
+let requested_seq ~n ~f st =
+  if Array.length st <> n then None
+  else begin
+    let known = Array.to_list st |> List.filter_map (fun x -> x) in
+    if List.length known < n - f then None
+    else
+      (* Blanks sort last, so the (n−f)-th smallest overall is the
+         (n−f)-th smallest known value. *)
+      let sorted = List.sort Int.compare known in
+      List.nth_opt sorted (n - f - 1)
+  end
+
+type status = {
+  locked_upto : int;
+  min_pending : int;
+  accepted_recent : (iid * int) list;
+  accepted_root : string;
+  version : int;
+}
+
+let no_pending = max_int / 2
+
+type vote =
+  | Vote_one of {
+      digest : string;
+      share : Crypto.Threshold.share option;
+      seq_obs : int;
+    }
+  | Vote_zero of { seq_obs : int }
+
+type body =
+  | Init of {
+      proposal : proposal;
+      share : Crypto.Vss.decryption_share option;
+      sigma : Crypto.Schnorr.signature option;
+    }
+  | Vote of { iid : iid; vote : vote }
+  | Deliver of {
+      iid : iid;
+      proposal : proposal;
+      proof : Crypto.Threshold.combined option;
+    }
+  | Est of { iid : iid; round : int; value : int; proposal : proposal option }
+  | Coord of { iid : iid; round : int; value : int }
+  | Aux of { iid : iid; round : int; values : int list }
+  | Reveal of { iid : iid; share : Crypto.Vss.decryption_share option }
+  | Heartbeat
+
+type msg = { status : status; body : body }
+
+let tx_wire_size = 32
+
+let status_size status = 48 + (24 * List.length status.accepted_recent)
+
+let body_size = function
+  | Init { proposal; _ } ->
+      (* payload + per-node prediction + key share + signature *)
+      96
+      + (tx_wire_size * Array.length proposal.batch.txs)
+      + (8 * Array.length proposal.st)
+  | Vote _ -> 112 (* digest + share + clock *)
+  | Deliver _ -> 160 (* digest + combined proof; payload by reference *)
+  | Est _ -> 48
+  | Coord _ -> 40
+  | Aux { values; _ } -> 40 + (8 * List.length values)
+  | Reveal _ -> 88
+  | Heartbeat -> 8
+
+let msg_size { status; body } = status_size status + body_size body
+
+let msg_cost (c : Sim.Costs.t) { status; body } =
+  let gossip = 1 + (List.length status.accepted_recent / 8) in
+  let body_cost =
+    match body with
+    | Init { proposal; _ } ->
+        (* Verify the broadcaster's signature, hash the batch, check
+           the local prediction, stash the key share. *)
+        let kb = 1 + (tx_wire_size * Array.length proposal.batch.txs / 1024) in
+        c.sig_verify + (c.hash_per_kb * kb) + 6
+    | Vote _ -> 2 (* MAC-authenticated channel; counted, not verified *)
+    | Deliver _ -> c.combined_verify
+    | Est _ -> 2
+    | Coord _ -> 2
+    | Aux _ -> 2
+    | Reveal _ -> c.vss_partial_decrypt / 4 (* share validity check *)
+    | Heartbeat -> 1
+  in
+  c.msg_overhead + gossip + body_cost

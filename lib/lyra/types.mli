@@ -1,0 +1,119 @@
+(** Core vocabulary of the Lyra protocol: instance identifiers,
+    transactions, batches, piggybacked status, and the wire messages.
+
+    Notation follows Table I of the paper: a transaction [t] is
+    obfuscated into a cipher [c_t]; a broadcaster proposes
+    (c_t, S_t) where S_t are the predicted perceived sequence numbers;
+    the requested (decided, if accepted) sequence number is the
+    (n − f)-th smallest value of S_t. *)
+
+(** Identifier of a BOC instance: the [index]-th proposal of
+    [proposer]. *)
+type iid = { proposer : int; index : int }
+
+val iid_compare : iid -> iid -> int
+
+val pp_iid : Format.formatter -> iid -> unit
+
+(** A client transaction. [payload] is the 32-byte value of the paper's
+    workload; [submitted_at]/[origin] support latency accounting. *)
+type tx = {
+  tx_id : string;
+  payload : string;
+  submitted_at : int;
+  origin : int;
+}
+
+(** How a batch payload is obfuscated in flight (DESIGN.md §1):
+    [Clear] — no commit-reveal (used by the Pompē baseline and attack
+    demos); [Vss] — real verifiable secret sharing; [Structural] —
+    commit-reveal discipline without running the cipher (the CPU cost
+    is still charged; used by the large-scale experiments). *)
+type obfuscation =
+  | Clear
+  | Vss of Crypto.Vss.cipher
+  | Structural
+
+type batch = {
+  iid : iid;
+  txs : tx array;
+  obf : obfuscation;
+  created_at : int;  (** broadcaster clock when proposed (s_ref) *)
+}
+
+(** What a Byzantine observer can read out of a batch in flight: the
+    transactions when the payload is [Clear], nothing under
+    commit-reveal. The attack framework goes through this accessor
+    exclusively, which is how the simulator enforces the obfuscation
+    discipline without running the cipher on every batch. *)
+val observable_txs : batch -> tx array option
+
+(** The proposal travelling through one BOC instance: the cipher and
+    the predicted sequence numbers (None = blank, §IV-B1). *)
+type proposal = { batch : batch; st : int option array }
+
+(** Digest identifying a proposal; VVB votes refer to it so that an
+    equivocating broadcaster cannot aggregate votes across different
+    proposals. *)
+val proposal_digest : proposal -> string
+
+(** Requested sequence number: the (n − f)-th smallest value of S_t
+    (blanks sort last). [None] if fewer than n − f predictions. *)
+val requested_seq : n:int -> f:int -> int option array -> int option
+
+(** Commit-protocol state piggybacked on every message (Alg. 4
+    lines 74–78). *)
+type status = {
+  locked_upto : int;  (** local acceptance-window bound seq_i − L *)
+  min_pending : int;  (** lowest pending requested seq; [no_pending] if none *)
+  accepted_recent : (iid * int) list;  (** accepted (instance, seq) pairs *)
+  accepted_root : string;  (** Merkle root over the full accepted prefix *)
+  version : int;  (** sender's accepted-set version; receivers skip
+                      gossip they have already absorbed *)
+}
+
+(** Sentinel for "no pending transaction" (sorts above every seq). *)
+val no_pending : int
+
+(** VVB votes (Alg. 1). [Vote_one] carries a threshold-signature share
+    over the proposal digest (when real crypto is on) and the voter's
+    perceived sequence number, piggybacked for distance estimation
+    (§VI-B). *)
+type vote =
+  | Vote_one of {
+      digest : string;
+      share : Crypto.Threshold.share option;
+      seq_obs : int;
+    }
+  | Vote_zero of { seq_obs : int }
+
+type body =
+  | Init of {
+      proposal : proposal;
+      share : Crypto.Vss.decryption_share option;  (** recipient's key share *)
+      sigma : Crypto.Schnorr.signature option;
+    }
+  | Vote of { iid : iid; vote : vote }
+  | Deliver of {
+      iid : iid;
+      proposal : proposal;
+      proof : Crypto.Threshold.combined option;
+    }
+  | Est of { iid : iid; round : int; value : int; proposal : proposal option }
+  | Coord of { iid : iid; round : int; value : int }
+  | Aux of { iid : iid; round : int; values : int list }
+  | Reveal of { iid : iid; share : Crypto.Vss.decryption_share option }
+  | Heartbeat
+
+type msg = { status : status; body : body }
+
+(** Wire size in bytes (NIC model). Batch payloads count in [Init];
+    other messages carry references/digests as a real implementation
+    would. *)
+val msg_size : msg -> int
+
+(** CPU service cost (µs) of processing a message at a node, from the
+    cost table. This encodes Lyra's O(1)-verifications-per-message
+    property: only [Init] pays a signature verification; votes are
+    MAC-authenticated channel traffic. *)
+val msg_cost : Sim.Costs.t -> msg -> int

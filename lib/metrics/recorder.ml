@@ -1,0 +1,24 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create () = { data = Array.make 1024 0.0; len = 0 }
+
+let record t x =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let count t = t.len
+
+let is_empty t = t.len = 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let mean t = Stats.mean (to_array t)
+
+let percentile p t = Stats.percentile p (to_array t)
+
+let clear t = t.len <- 0

@@ -1,0 +1,23 @@
+(** Append-only sample recorder (e.g. per-transaction commit latency).
+
+    Cheap to record into during a simulation; summaries are computed on
+    demand. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+
+val count : t -> int
+
+val is_empty : t -> bool
+
+val to_array : t -> float array
+
+val mean : t -> float
+
+val percentile : float -> t -> float
+
+(** [clear t] discards everything recorded so far (e.g. warm-up). *)
+val clear : t -> unit

@@ -1,0 +1,16 @@
+(** Small numeric summaries used throughout the experiment reports. *)
+
+val mean : float array -> float
+
+val stddev : float array -> float
+
+(** [percentile p xs] for p in [\[0, 100\]] with linear interpolation;
+    [xs] need not be sorted. Raises [Invalid_argument] on empty input. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+
+val min_max : float array -> float * float
+
+(** [summary xs] is (mean, p50, p95, p99, max). *)
+val summary : float array -> float * float * float * float * float

@@ -1,0 +1,22 @@
+(** Pompē configuration. Defaults mirror the Lyra experiments (§VI-B):
+    batch size 800, HotStuff under the same Δ. *)
+
+type t = {
+  n : int;
+  delta_us : int;
+  batch_size : int;
+  batch_timeout_us : int;
+  max_inflight : int;  (** a node's unsequenced own batches *)
+  block_capacity : int;  (** batches per HotStuff block *)
+  exec_window_us : int;  (** stable-execution margin behind the newest
+                             committed sequence number *)
+  real_crypto : bool;
+  tx_size : int;
+  clock_offset_max_us : int;
+}
+
+val default : n:int -> t
+
+val f : t -> int
+
+val supermajority : t -> int

@@ -1,0 +1,341 @@
+type output = { batch : Lyra.Types.batch; seq : int; output_at : int }
+
+type ts_collect = {
+  responders : bool array;
+  mutable proofs : Types.timestamp_proof list;
+  mutable count : int;
+  mutable done_ : bool;
+}
+
+type t = {
+  config : Config.t;
+  id : int;
+  net : Types.body Sim.Network.t;
+  engine : Sim.Engine.t;
+  clock : Lyra.Ordering_clock.t;
+  keys : Crypto.Keys.keypair option;
+  dir : Crypto.Keys.directory option;
+  on_observe : Lyra.Types.batch -> unit;
+  on_output : output -> unit;
+  censor : Lyra.Types.iid -> bool;
+  respond_ts : Lyra.Types.batch -> honest:int -> int option;
+  mutable replica : Types.cmd Hotstuff.Replica.t option;
+  batches : (Lyra.Types.iid, Lyra.Types.batch) Hashtbl.t;
+  collects : (int, ts_collect) Hashtbl.t;  (** per own proposal index *)
+  seqs : (Lyra.Types.iid, int) Hashtbl.t;
+  mutable exec_buffer : (int * Lyra.Types.iid) list;  (** ascending *)
+  mutable max_committed_seq : int;
+  mutable outputs_rev : output list;
+  mutable output_n : int;
+  mutable mempool : Lyra.Types.tx list;
+  mutable mempool_count : int;
+  mutable batch_timer_armed : bool;
+  mutable next_index : int;
+  mutable inflight : int;
+  mutable tx_counter : int;
+  mutable sequenced : int;
+  mutable started : bool;
+}
+
+let id t = t.id
+
+let output_log t = List.rev t.outputs_rev
+
+let sequenced_count t = t.sequenced
+
+let committed_height t =
+  match t.replica with Some r -> Hotstuff.Replica.committed_height r | None -> 0
+
+let mempool_size t = t.mempool_count
+
+let broadcast t body = Sim.Network.broadcast t.net ~src:t.id body
+
+let send t ~dst body = Sim.Network.send t.net ~src:t.id ~dst body
+
+(* ------------------------------------------------------------------ *)
+(* Stable execution: committed batches run in sequence order once no  *)
+(* lower sequence number can still be committed (margin-based).       *)
+(* ------------------------------------------------------------------ *)
+
+let entry_compare (s1, i1) (s2, i2) =
+  match Int.compare s1 s2 with
+  | 0 -> Lyra.Types.iid_compare i1 i2
+  | c -> c
+
+let flush_exec t =
+  (* A batch with sequence number s may only execute once no batch
+     with a lower sequence number can still be committed: the newest
+     committed sequence number must be at least one full
+     ordering+consensus window ahead, or (idle fallback) wall-clock
+     long past s. This stable wait is intrinsic to Pompē and is part
+     of its latency gap versus Lyra (Fig. 2). *)
+  let horizon =
+    max
+      (t.max_committed_seq - t.config.exec_window_us)
+      (Lyra.Ordering_clock.peek t.clock - (16 * t.config.delta_us))
+  in
+  let rec go = function
+    | (seq, iid) :: rest when seq <= horizon -> (
+        match Hashtbl.find_opt t.batches iid with
+        | Some batch ->
+            let out =
+              { batch; seq; output_at = Sim.Engine.now t.engine }
+            in
+            t.outputs_rev <- out :: t.outputs_rev;
+            t.output_n <- t.output_n + 1;
+            t.on_output out;
+            go rest
+        | None ->
+            (* Payload not yet received (Order_req in flight); retry on
+               the next flush. *)
+            (seq, iid) :: rest)
+    | rest -> rest
+  in
+  t.exec_buffer <- go t.exec_buffer
+
+let on_hotstuff_commit t ~height:_ cmds =
+  List.iter
+    (fun (cmd : Types.cmd) ->
+      t.max_committed_seq <- max t.max_committed_seq cmd.c_seq;
+      let entry = (cmd.c_seq, cmd.c_iid) in
+      let rec insert = function
+        | [] -> [ entry ]
+        | x :: rest as l ->
+            if entry_compare entry x <= 0 then entry :: l else x :: insert rest
+      in
+      t.exec_buffer <- insert t.exec_buffer)
+    cmds;
+  flush_exec t
+
+(* ------------------------------------------------------------------ *)
+(* Ordering phase.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sign_ts t iid ts =
+  if not t.config.real_crypto then None
+  else Option.map (fun kp -> Crypto.Schnorr.sign kp (Types.ts_message iid ts)) t.keys
+
+let verify_ts t iid (p : Types.timestamp_proof) =
+  if not t.config.real_crypto then true
+  else
+    match (p.sigma, t.dir) with
+    | Some sg, Some dir ->
+        Crypto.Schnorr.verify_by ~dir ~signer:p.signer
+          (Types.ts_message iid p.ts) sg
+    | _ -> false
+
+let median_seq proofs =
+  let sorted =
+    List.map (fun (p : Types.timestamp_proof) -> p.ts) proofs
+    |> List.sort Int.compare
+  in
+  List.nth sorted (List.length sorted / 2)
+
+let submit_cmd t (cmd : Types.cmd) =
+  if not (t.censor cmd.c_iid) then
+    match t.replica with
+    | Some r -> Hotstuff.Replica.submit r cmd
+    | None -> ()
+
+let on_order_req t ~src batch =
+  let iid = batch.Lyra.Types.iid in
+  if iid.Lyra.Types.proposer = src && not (Hashtbl.mem t.batches iid) then begin
+    Hashtbl.replace t.batches iid batch;
+    t.on_observe batch;
+    let honest = Lyra.Ordering_clock.read t.clock in
+    (match t.respond_ts batch ~honest with
+    | Some ts -> send t ~dst:src (Types.Ts_resp { iid; ts; sigma = sign_ts t iid ts })
+    | None -> ());
+    flush_exec t
+  end
+
+let rec maybe_propose t =
+  if t.started && t.inflight < t.config.max_inflight then begin
+    if t.mempool_count >= t.config.batch_size then begin
+      let txs = List.rev t.mempool in
+      let rec split k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (k - 1) (x :: acc) tl
+      in
+      let batch_txs, rest = split t.config.batch_size [] txs in
+      t.mempool <- List.rev rest;
+      t.mempool_count <- t.mempool_count - List.length batch_txs;
+      propose_batch t batch_txs;
+      maybe_propose t
+    end
+    else if t.mempool_count > 0 && not t.batch_timer_armed then begin
+      t.batch_timer_armed <- true;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:t.config.batch_timeout_us
+           (fun () ->
+             t.batch_timer_armed <- false;
+             if t.mempool_count > 0 && t.inflight < t.config.max_inflight
+             then begin
+               let txs = List.rev t.mempool in
+               t.mempool <- [];
+               t.mempool_count <- 0;
+               propose_batch t txs
+             end;
+             maybe_propose t)
+          : Sim.Engine.timer)
+    end
+  end
+
+and propose_batch t txs =
+  let index = t.next_index in
+  t.next_index <- index + 1;
+  t.inflight <- t.inflight + 1;
+  let iid = { Lyra.Types.proposer = t.id; index } in
+  let batch =
+    {
+      Lyra.Types.iid;
+      txs = Array.of_list txs;
+      obf = Lyra.Types.Clear;
+      created_at = Lyra.Ordering_clock.read t.clock;
+    }
+  in
+  Hashtbl.replace t.collects index
+    {
+      responders = Array.make t.config.n false;
+      proofs = [];
+      count = 0;
+      done_ = false;
+    };
+  broadcast t (Types.Order_req { batch })
+
+let on_ts_resp t ~src iid ts sigma =
+  if iid.Lyra.Types.proposer = t.id then
+    match Hashtbl.find_opt t.collects iid.Lyra.Types.index with
+    | None -> ()
+    | Some col ->
+        if (not col.done_) && not col.responders.(src) then begin
+          let proof = { Types.signer = src; ts; sigma } in
+          if verify_ts t iid proof then begin
+            col.responders.(src) <- true;
+            col.proofs <- proof :: col.proofs;
+            col.count <- col.count + 1;
+            if col.count >= Config.supermajority t.config then begin
+              col.done_ <- true;
+              t.inflight <- max 0 (t.inflight - 1);
+              let seq = median_seq col.proofs in
+              broadcast t (Types.Sequenced { iid; seq; proofs = col.proofs });
+              maybe_propose t
+            end
+          end
+        end
+
+let on_sequenced t ~src iid seq proofs =
+  if
+    src = iid.Lyra.Types.proposer
+    && List.length proofs >= Config.supermajority t.config
+    && not (Hashtbl.mem t.seqs iid)
+  then begin
+    Hashtbl.replace t.seqs iid seq;
+    t.sequenced <- t.sequenced + 1;
+    submit_cmd t
+      { Types.c_iid = iid; c_seq = seq; c_proof_count = List.length proofs }
+  end
+
+let on_message t ~src body =
+  match body with
+  | Types.Order_req { batch } -> on_order_req t ~src batch
+  | Types.Ts_resp { iid; ts; sigma } -> on_ts_resp t ~src iid ts sigma
+  | Types.Sequenced { iid; seq; proofs } -> on_sequenced t ~src iid seq proofs
+  | Types.Hs m -> (
+      match t.replica with
+      | Some r ->
+          Hotstuff.Replica.handle r ~src m;
+          flush_exec t
+      | None -> ())
+
+let submit t ~payload =
+  t.tx_counter <- t.tx_counter + 1;
+  let tx =
+    {
+      Lyra.Types.tx_id = Printf.sprintf "p%d-%d" t.id t.tx_counter;
+      payload;
+      submitted_at = Sim.Engine.now t.engine;
+      origin = t.id;
+    }
+  in
+  t.mempool <- tx :: t.mempool;
+  t.mempool_count <- t.mempool_count + 1;
+  maybe_propose t;
+  tx.Lyra.Types.tx_id
+
+let rec flush_loop t =
+  flush_exec t;
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.config.delta_us (fun () ->
+         flush_loop t)
+      : Sim.Engine.timer)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    (match t.replica with
+    | Some r -> Hotstuff.Replica.start r
+    | None -> ());
+    flush_loop t
+  end
+
+let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
+    ?(on_observe = fun _ -> ()) ?(on_output = fun _ -> ())
+    ?(censor = fun _ -> false)
+    ?(respond_ts = fun _ ~honest -> Some honest) () =
+  if config.Config.real_crypto && (keys = None || dir = None) then
+    invalid_arg "Pompe.Node.create: real_crypto requires keys and directory";
+  let engine = Sim.Network.engine net in
+  let t =
+    {
+      config;
+      id;
+      net;
+      engine;
+      clock = Lyra.Ordering_clock.create engine ~offset_us:clock_offset_us;
+      keys;
+      dir;
+      on_observe;
+      on_output;
+      censor;
+      respond_ts;
+      replica = None;
+      batches = Hashtbl.create 128;
+      collects = Hashtbl.create 32;
+      seqs = Hashtbl.create 128;
+      exec_buffer = [];
+      max_committed_seq = 0;
+      outputs_rev = [];
+      output_n = 0;
+      mempool = [];
+      mempool_count = 0;
+      batch_timer_armed = false;
+      next_index = 0;
+      inflight = 0;
+      tx_counter = 0;
+      sequenced = 0;
+      started = false;
+    }
+  in
+  let transport =
+    {
+      Hotstuff.Replica.tr_n = config.Config.n;
+      tr_broadcast = (fun m -> broadcast t (Types.Hs m));
+      tr_send = (fun ~dst m -> send t ~dst (Types.Hs m));
+      tr_schedule =
+        (fun ~delay_us fn ->
+          ignore (Sim.Engine.schedule engine ~delay:delay_us fn : Sim.Engine.timer));
+    }
+  in
+  let replica =
+    Hotstuff.Replica.create transport ~id ~delta_us:config.Config.delta_us
+      ~block_capacity:config.Config.block_capacity ~cmd_id:Types.cmd_id
+      ~on_commit:(fun ~height cmds -> on_hotstuff_commit t ~height cmds)
+      ()
+  in
+  t.replica <- Some replica;
+  Sim.Network.register net ~id (fun ~src body -> on_message t ~src body);
+  t

@@ -1,0 +1,51 @@
+(** A Pompē node: ordering phase (2f+1 signed timestamps, median
+    sequencing) in front of chained HotStuff, with stable in-order
+    execution. The baseline of the paper's evaluation (§VI).
+
+    Unlike Lyra, payloads travel in the clear from the very first
+    broadcast — [on_observe] exposes exactly what an adversarial node
+    sees, which the attack framework uses for Fig. 1 front-running. *)
+
+type t
+
+type output = { batch : Lyra.Types.batch; seq : int; output_at : int }
+
+val create :
+  Config.t ->
+  Types.body Sim.Network.t ->
+  id:int ->
+  ?keys:Crypto.Keys.keypair ->
+  ?dir:Crypto.Keys.directory ->
+  ?clock_offset_us:int ->
+  ?on_observe:(Lyra.Types.batch -> unit) ->
+  ?on_output:(output -> unit) ->
+  ?censor:(Lyra.Types.iid -> bool) ->
+  ?respond_ts:(Lyra.Types.batch -> honest:int -> int option) ->
+  unit ->
+  t
+
+(** [respond_ts] (Byzantine behaviour): given an incoming batch and the
+    honest timestamp this node would sign, return [Some ts'] to respond
+    with [ts'] (possibly forged for its own batches) or [None] to
+    withhold the response — the timestamp manipulation behind the
+    Fig. 1 front-running attack. Default: honest. *)
+
+(** [censor] (Byzantine leader behaviour): when this node leads a
+    HotStuff view it omits commands matching the predicate — the
+    censorship Lyra's leaderless design removes (§V-E). *)
+
+val start : t -> unit
+
+(** [submit t ~payload] enqueues a client transaction, returns its id. *)
+val submit : t -> payload:string -> string
+
+(** Committed-and-executed log, oldest first (in sequence order). *)
+val output_log : t -> output list
+
+val sequenced_count : t -> int
+
+val committed_height : t -> int
+
+val mempool_size : t -> int
+
+val id : t -> int

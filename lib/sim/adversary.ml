@@ -1,0 +1,32 @@
+type t = {
+  gst : int;
+  policy : Crypto.Rng.t -> now:int -> src:int -> dst:int -> int;
+}
+
+let extra_delay t rng ~now ~src ~dst = t.policy rng ~now ~src ~dst
+
+let gst t = t.gst
+
+let none = { gst = 0; policy = (fun _ ~now:_ ~src:_ ~dst:_ -> 0) }
+
+let pre_gst ~gst ~max_extra =
+  let policy rng ~now ~src:_ ~dst:_ =
+    if now >= gst then 0
+    else
+      let extra = Crypto.Rng.int rng (max_extra + 1) in
+      (* Cap so that nothing outlives GST by more than max_extra. *)
+      min extra (gst + max_extra - now)
+  in
+  { gst; policy }
+
+let targeted ~gst ~max_extra ~victims =
+  let victim = Array.make (1 + List.fold_left max 0 victims) false in
+  List.iter (fun v -> victim.(v) <- true) victims;
+  let is_victim i = i < Array.length victim && victim.(i) in
+  let policy rng ~now ~src ~dst =
+    if now >= gst || not (is_victim src || is_victim dst) then 0
+    else min (Crypto.Rng.int rng (max_extra + 1)) (gst + max_extra - now)
+  in
+  { gst; policy }
+
+let custom policy = { gst = 0; policy }

@@ -1,0 +1,32 @@
+(** Network adversary for the partially synchronous model (§II-A).
+
+    Before the Global Stabilization Time the adversary may delay any
+    message arbitrarily; after GST every message between correct
+    processes arrives within Δ. The adversary here adds extra delay on
+    top of the link latency; it never drops messages (channels are
+    reliable). *)
+
+type t
+
+(** [extra_delay t rng ~now ~src ~dst] is the additional delay (µs) the
+    adversary imposes on a message sent at [now]. *)
+val extra_delay : t -> Crypto.Rng.t -> now:int -> src:int -> dst:int -> int
+
+(** No interference; GST = 0. *)
+val none : t
+
+(** [pre_gst ~gst ~max_extra] delays every message sent before [gst] by
+    a uniform amount in [\[0, max_extra\]], truncated so that delivery
+    never happens after [gst + max_extra]. *)
+val pre_gst : gst:int -> max_extra:int -> t
+
+(** [targeted ~gst ~max_extra ~victims] only delays messages to or from
+    the victim processes before [gst]. *)
+val targeted : gst:int -> max_extra:int -> victims:int list -> t
+
+(** [custom f] wraps an arbitrary policy. *)
+val custom : (Crypto.Rng.t -> now:int -> src:int -> dst:int -> int) -> t
+
+(** The adversary's GST (0 for {!none}); used by experiments that
+    measure post-GST behaviour. *)
+val gst : t -> int

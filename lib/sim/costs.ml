@@ -1,0 +1,54 @@
+type t = {
+  msg_overhead : int;
+  sig_sign : int;
+  sig_verify : int;
+  share_sign : int;
+  share_verify : int;
+  share_combine : int;
+  combined_verify : int;
+  hash_per_kb : int;
+  vss_encrypt_base : int;
+  vss_share_per_node : int;
+  vss_partial_decrypt : int;
+  vss_combine : int;
+  tx_execute : int;
+  tx_validate : int;
+}
+
+let default =
+  {
+    msg_overhead = 4;
+    sig_sign = 25;
+    sig_verify = 65;
+    share_sign = 30;
+    share_verify = 70;
+    share_combine = 45;
+    combined_verify = 110;
+    hash_per_kb = 3;
+    vss_encrypt_base = 80;
+    vss_share_per_node = 2;
+    vss_partial_decrypt = 30;
+    vss_combine = 120;
+    tx_execute = 1;
+    tx_validate = 1;
+  }
+
+let scale f x = int_of_float (ceil (f *. float_of_int x))
+
+let scaled f t =
+  {
+    msg_overhead = scale f t.msg_overhead;
+    sig_sign = scale f t.sig_sign;
+    sig_verify = scale f t.sig_verify;
+    share_sign = scale f t.share_sign;
+    share_verify = scale f t.share_verify;
+    share_combine = scale f t.share_combine;
+    combined_verify = scale f t.combined_verify;
+    hash_per_kb = scale f t.hash_per_kb;
+    vss_encrypt_base = scale f t.vss_encrypt_base;
+    vss_share_per_node = scale f t.vss_share_per_node;
+    vss_partial_decrypt = scale f t.vss_partial_decrypt;
+    vss_combine = scale f t.vss_combine;
+    tx_execute = scale f t.tx_execute;
+    tx_validate = scale f t.tx_validate;
+  }

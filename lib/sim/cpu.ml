@@ -1,0 +1,27 @@
+type t = {
+  engine : Engine.t;
+  cores : int;
+  mutable free_at : int;  (** absolute time the CPU becomes idle *)
+  mutable busy : int;
+}
+
+let create ?(cores = 1) engine =
+  if cores < 1 then invalid_arg "Cpu.create: cores must be >= 1";
+  { engine; cores; free_at = 0; busy = 0 }
+
+let submit t ~service_us f =
+  if service_us < 0 then invalid_arg "Cpu.submit: negative service time";
+  let service_us = (service_us + t.cores - 1) / t.cores in
+  let now = Engine.now t.engine in
+  let start = max now t.free_at in
+  let finish = start + service_us in
+  t.free_at <- finish;
+  t.busy <- t.busy + service_us;
+  ignore (Engine.schedule_at t.engine ~time:finish f : Engine.timer)
+
+let busy_us t = t.busy
+
+let utilization t ~over_us =
+  if over_us <= 0 then 0.0 else float_of_int t.busy /. float_of_int over_us
+
+let backlog_us t = max 0 (t.free_at - Engine.now t.engine)

@@ -1,0 +1,28 @@
+(** Per-node CPU: a FIFO server with explicit service times.
+
+    Each simulated process owns one CPU. Message handling is submitted
+    as a job with a service time from the {!Costs} table; jobs queue
+    behind each other, so an overloaded node (e.g. a HotStuff leader)
+    develops real queueing delay — the mechanism behind the Fig. 3
+    saturation behaviour. *)
+
+type t
+
+(** [create ?cores engine] — [cores] (default 1) divides service times,
+    approximating a multi-core node as a single proportionally faster
+    server (reasonable at the utilizations the experiments run at). *)
+val create : ?cores:int -> Engine.t -> t
+
+(** [submit t ~service_us f] runs [f] once the CPU has spent
+    [service_us] of (queued) service on the job. *)
+val submit : t -> service_us:int -> (unit -> unit) -> unit
+
+(** Cumulative busy time (µs), for utilization reports. *)
+val busy_us : t -> int
+
+(** [utilization t ~over_us] is busy time divided by the window. *)
+val utilization : t -> over_us:int -> float
+
+(** Current backlog: when the CPU would start a job submitted now,
+    relative to the present (0 = idle). *)
+val backlog_us : t -> int

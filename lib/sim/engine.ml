@@ -1,0 +1,67 @@
+type timer = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  heap : timer Event_heap.t;
+  mutable clock : int;
+  root_rng : Crypto.Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 0xC0FFEEL) () =
+  {
+    heap = Event_heap.create ();
+    clock = 0;
+    root_rng = Crypto.Rng.create seed;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
+         time t.clock);
+  let timer = { cancelled = false; action } in
+  Event_heap.push t.heap ~time timer;
+  timer
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) action
+
+let cancel timer = timer.cancelled <- true
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, timer) ->
+      t.clock <- time;
+      if not timer.cancelled then begin
+        t.executed <- t.executed + 1;
+        timer.action ()
+      end;
+      true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.heap with
+    | Some time when time <= until -> ignore (step t : bool)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- max t.clock until
+
+let run_until_idle ?(limit = 500_000_000) t =
+  let budget = ref limit in
+  while (not (Event_heap.is_empty t.heap)) && !budget > 0 do
+    ignore (step t : bool);
+    decr budget
+  done;
+  if !budget = 0 then failwith "Engine.run_until_idle: event limit exceeded"
+
+let events_executed t = t.executed
+
+let pending t = Event_heap.size t.heap

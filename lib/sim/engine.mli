@@ -1,0 +1,43 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated time is an [int] count of microseconds. Components
+    schedule closures; [run] executes them in timestamp order (FIFO
+    within a timestamp). Given a seed, an entire experiment replays
+    bit-for-bit, which the property tests rely on. *)
+
+type t
+
+type timer
+(** Cancellable handle returned by {!schedule}. *)
+
+(** [create ~seed ()] returns a fresh engine with its own root RNG. *)
+val create : ?seed:int64 -> unit -> t
+
+(** Current simulated time in microseconds. *)
+val now : t -> int
+
+(** The engine's root RNG; [split] it per component for isolation. *)
+val rng : t -> Crypto.Rng.t
+
+(** [schedule t ~delay f] runs [f] at [now + delay] (delay ≥ 0). *)
+val schedule : t -> delay:int -> (unit -> unit) -> timer
+
+(** [schedule_at t ~time f] runs [f] at absolute [time] (≥ now). *)
+val schedule_at : t -> time:int -> (unit -> unit) -> timer
+
+(** [cancel timer] prevents a pending timer from firing; idempotent. *)
+val cancel : timer -> unit
+
+(** [run t ~until] processes events up to and including simulated time
+    [until]; afterwards [now t = until]. *)
+val run : t -> until:int -> unit
+
+(** [run_until_idle t] processes events until none remain. The optional
+    [limit] (default 500M) guards against livelock in buggy protocols. *)
+val run_until_idle : ?limit:int -> t -> unit
+
+(** Number of events executed so far. *)
+val events_executed : t -> int
+
+(** Number of events still pending. *)
+val pending : t -> int

@@ -1,0 +1,100 @@
+type 'msg t = {
+  engine : Engine.t;
+  n : int;
+  latency : Latency.t;
+  adversary : Adversary.t;
+  cost : dst:int -> 'msg -> int;
+  size : 'msg -> int;
+  ns_per_byte : int;
+  handlers : (src:int -> 'msg -> unit) option array;
+  cpus : Cpu.t array;
+  nics : Cpu.t array;
+  crashed : bool array;
+  link_rng : Crypto.Rng.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;
+}
+
+let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
+    ?(cores = 8) ~cost ~size () =
+  {
+    engine;
+    n;
+    latency;
+    adversary;
+    cost;
+    size;
+    ns_per_byte;
+    handlers = Array.make n None;
+    cpus = Array.init n (fun _ -> Cpu.create ~cores engine);
+    nics = Array.init n (fun _ -> Cpu.create engine);
+    crashed = Array.make n false;
+    link_rng = Crypto.Rng.split (Engine.rng engine);
+    sent = 0;
+    delivered = 0;
+    bytes = 0;
+  }
+
+let register t ~id handler = t.handlers.(id) <- Some handler
+
+let deliver t ~src ~dst msg =
+  if not t.crashed.(dst) then
+    match t.handlers.(dst) with
+    | None -> ()
+    | Some handler ->
+        let service = t.cost ~dst msg in
+        Cpu.submit t.cpus.(dst) ~service_us:service (fun () ->
+            if not t.crashed.(dst) then begin
+              t.delivered <- t.delivered + 1;
+              handler ~src msg
+            end)
+
+let wire t ~src ~dst msg =
+  let latency = Latency.sample t.latency t.link_rng ~src ~dst in
+  let extra =
+    Adversary.extra_delay t.adversary t.link_rng ~now:(Engine.now t.engine)
+      ~src ~dst
+  in
+  ignore
+    (Engine.schedule t.engine ~delay:(latency + extra) (fun () ->
+         deliver t ~src ~dst msg)
+      : Engine.timer)
+
+let send t ~src ~dst msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Network.send: endpoint out of range";
+  if not t.crashed.(src) then begin
+    t.sent <- t.sent + 1;
+    if src = dst then deliver t ~src ~dst msg
+    else begin
+      let bytes = t.size msg in
+      t.bytes <- t.bytes + bytes;
+      let tx_us = bytes * t.ns_per_byte / 1000 in
+      Cpu.submit t.nics.(src) ~service_us:tx_us (fun () ->
+          if not t.crashed.(src) then wire t ~src ~dst msg)
+    end
+  end
+
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst msg
+  done
+
+let crash t id = t.crashed.(id) <- true
+
+let is_crashed t id = t.crashed.(id)
+
+let engine t = t.engine
+
+let n t = t.n
+
+let cpu t i = t.cpus.(i)
+
+let nic t i = t.nics.(i)
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered
+
+let bytes_sent t = t.bytes

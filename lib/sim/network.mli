@@ -1,0 +1,69 @@
+(** Simulated point-to-point network with authenticated reliable
+    channels (§II-A), parameterized by the protocol's message type.
+
+    A message from [src] to [dst] pays, in order:
+    - transmission time on [src]'s egress NIC ([size msg] bytes at the
+      configured line rate; broadcasts serialize n transmissions, which
+      is what makes a HotStuff leader a bandwidth bottleneck);
+    - link latency (+ adversarial delay before GST) on the wire;
+    - CPU service on [dst] ([cost ~dst msg] µs on a FIFO CPU queue).
+
+    Self-addressed messages skip the NIC and wire but still pay CPU.
+    Messages are never lost or tampered with; Byzantine behaviour lives
+    in the node logic, not the transport. *)
+
+type 'msg t
+
+(** [create engine ~n ~latency ~cost ~size ()] builds a network of [n]
+    endpoints. [cost ~dst msg] is the CPU service time (µs) node [dst]
+    pays to process [msg]; [size msg] its wire size in bytes.
+    [ns_per_byte] sets the per-node line rate (default 8 ≈ 1 Gb/s);
+    [cores] the per-node CPU parallelism (default 8, as the paper's
+    16-vCPU machines). *)
+val create :
+  Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  ?adversary:Adversary.t ->
+  ?ns_per_byte:int ->
+  ?cores:int ->
+  cost:(dst:int -> 'msg -> int) ->
+  size:('msg -> int) ->
+  unit ->
+  'msg t
+
+(** [register t ~id handler] installs the message handler of node [id];
+    [handler ~src msg] runs after CPU service completes. *)
+val register : 'msg t -> id:int -> (src:int -> 'msg -> unit) -> unit
+
+(** [send t ~src ~dst msg] transmits one message. *)
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** [broadcast t ~src msg] sends to every node, including [src] itself
+    (self-delivery skips NIC and wire but pays CPU). *)
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+
+(** [crash t id] makes node [id] silently drop everything from now on
+    (fail-stop). *)
+val crash : 'msg t -> int -> unit
+
+val is_crashed : 'msg t -> int -> bool
+
+val engine : 'msg t -> Engine.t
+
+val n : 'msg t -> int
+
+(** CPU of a node, for utilization reports. *)
+val cpu : 'msg t -> int -> Cpu.t
+
+(** Egress NIC of a node (service times are transmission times). *)
+val nic : 'msg t -> int -> Cpu.t
+
+(** Total messages handed to the transport so far. *)
+val messages_sent : 'msg t -> int
+
+(** Messages delivered (handler executed). *)
+val messages_delivered : 'msg t -> int
+
+(** Total bytes offered to the transport. *)
+val bytes_sent : 'msg t -> int

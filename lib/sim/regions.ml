@@ -1,0 +1,42 @@
+type t = Oregon | Ireland | Sydney | Tokyo | Singapore
+
+let all = [ Oregon; Ireland; Sydney; Tokyo; Singapore ]
+
+let name = function
+  | Oregon -> "us-west-2"
+  | Ireland -> "eu-west-1"
+  | Sydney -> "ap-southeast-2"
+  | Tokyo -> "ap-northeast-1"
+  | Singapore -> "ap-southeast-1"
+
+let equal a b = a = b
+
+let intra_us = 300
+
+(* One-way latencies (µs), roughly half of the published AWS
+   inter-region RTTs. Tokyo → Sydney carries a trans-Pacific routing
+   detour so that Tokyo → Singapore → Sydney is faster than the direct
+   path, reproducing the Fig. 1 triangle-inequality violation. *)
+let one_way_us a b =
+  if a = b then intra_us
+  else
+    match (a, b) with
+    | Oregon, Ireland | Ireland, Oregon -> 62_000
+    | Oregon, Sydney | Sydney, Oregon -> 69_000
+    | Oregon, Tokyo | Tokyo, Oregon -> 48_000
+    | Oregon, Singapore | Singapore, Oregon -> 82_000
+    | Ireland, Sydney | Sydney, Ireland -> 131_000
+    | Ireland, Tokyo | Tokyo, Ireland -> 105_000
+    | Ireland, Singapore | Singapore, Ireland -> 87_000
+    | Sydney, Tokyo | Tokyo, Sydney -> 95_000 (* routed via us-west *)
+    | Sydney, Singapore | Singapore, Sydney -> 46_000
+    | Tokyo, Singapore | Singapore, Tokyo -> 34_000
+    | (Oregon | Ireland | Sydney | Tokyo | Singapore), _ ->
+        assert false (* equal regions are handled above *)
+
+let paper_placement n =
+  let ring = [| Oregon; Ireland; Sydney |] in
+  Array.init n (fun i -> ring.(i mod 3))
+
+let violates_triangle ~src ~via ~dst =
+  one_way_us src via + one_way_us via dst < one_way_us src dst

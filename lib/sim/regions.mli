@@ -1,0 +1,31 @@
+(** Geographic regions and their one-way network latencies.
+
+    The paper's evaluation (§VI-A) spreads servers evenly across three
+    AWS data centres — Oregon, Ireland, Sydney. Tokyo and Singapore are
+    included for the Fig. 1 front-running scenario, and the Tokyo →
+    Sydney path is deliberately given the real-world routing detour
+    (via the US west coast) that creates the triangle-inequality
+    violation the attack exploits:
+    one_way(Tokyo, Singapore) + one_way(Singapore, Sydney)
+    < one_way(Tokyo, Sydney). *)
+
+type t = Oregon | Ireland | Sydney | Tokyo | Singapore
+
+val all : t list
+
+val name : t -> string
+
+val equal : t -> t -> bool
+
+(** One-way latency in microseconds between two regions (intra-region
+    for equal arguments). Calibrated from published AWS inter-region
+    RTT measurements. *)
+val one_way_us : t -> t -> int
+
+(** [paper_placement n] assigns [n] nodes round-robin across the
+    paper's three regions (Oregon, Ireland, Sydney). *)
+val paper_placement : int -> t array
+
+(** [violates_triangle ~src ~via ~dst] holds when relaying through
+    [via] beats the direct path. *)
+val violates_triangle : src:t -> via:t -> dst:t -> bool

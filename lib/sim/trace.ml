@@ -1,0 +1,60 @@
+type event = { at_us : int; node : int; category : string; detail : string }
+
+type t = {
+  engine : Engine.t;
+  categories : (string, unit) Hashtbl.t option;
+  capacity : int;
+  store : event Queue.t;
+  mutable dropped : int;
+}
+
+let create ?categories ?(capacity = 1_000_000) engine =
+  let categories =
+    Option.map
+      (fun cats ->
+        let tbl = Hashtbl.create 8 in
+        List.iter (fun c -> Hashtbl.replace tbl c ()) cats;
+        tbl)
+      categories
+  in
+  { engine; categories; capacity; store = Queue.create (); dropped = 0 }
+
+let enabled t category =
+  match t.categories with
+  | None -> true
+  | Some tbl -> Hashtbl.mem tbl category
+
+let record t ~node ~category detail =
+  if enabled t category then begin
+    if Queue.length t.store >= t.capacity then begin
+      ignore (Queue.pop t.store : event);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.push { at_us = Engine.now t.engine; node; category; detail } t.store
+  end
+
+let events ?node ?category ?(since_us = min_int) t =
+  Queue.fold
+    (fun acc e ->
+      let keep =
+        e.at_us >= since_us
+        && (match node with None -> true | Some n -> e.node = n)
+        && match category with None -> true | Some c -> String.equal c e.category
+      in
+      if keep then e :: acc else acc)
+    [] t.store
+  |> List.rev
+
+let count t = Queue.length t.store
+
+let dropped t = t.dropped
+
+let pp_event fmt e =
+  Format.fprintf fmt "%8dus n%-3d %-10s %s" e.at_us e.node e.category e.detail
+
+let dump ?node ?category t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" pp_event e))
+    (events ?node ?category t);
+  Buffer.contents buf

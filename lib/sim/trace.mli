@@ -1,0 +1,44 @@
+(** Structured event tracing for simulations.
+
+    A trace is an append-only log of timestamped protocol events with a
+    category and a node attribution. Scenarios install a trace into the
+    components they want to observe; tests and the CLI query it with
+    filters (the whole log of a 100-node run would be enormous, so
+    category subscription happens at record time). *)
+
+type event = {
+  at_us : int;
+  node : int;  (** -1 for system-wide events *)
+  category : string;  (** e.g. "init", "vote", "decide", "commit" *)
+  detail : string;
+}
+
+type t
+
+(** [create engine ()] — [categories] restricts recording to the given
+    categories (default: record everything); [capacity] bounds memory
+    (default 1_000_000 events; older events are dropped, oldest
+    first). *)
+val create : ?categories:string list -> ?capacity:int -> Engine.t -> t
+
+(** [record t ~node ~category detail] appends an event stamped with the
+    current simulated time (no-op if the category is not subscribed). *)
+val record : t -> node:int -> category:string -> string -> unit
+
+(** Whether a category is being recorded (lets callers skip building
+    expensive detail strings). *)
+val enabled : t -> string -> bool
+
+(** Events in chronological order, optionally filtered. *)
+val events :
+  ?node:int -> ?category:string -> ?since_us:int -> t -> event list
+
+val count : t -> int
+
+(** Number of events discarded due to the capacity bound. *)
+val dropped : t -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Render the (filtered) log, one event per line. *)
+val dump : ?node:int -> ?category:string -> t -> string

@@ -1,0 +1,111 @@
+module Closed = struct
+  type t = {
+    engine : Sim.Engine.t;
+    clients : int;
+    think_time_us : int;
+    payload : unit -> string;
+    submit : payload:string -> string;
+    outstanding : (string, unit) Hashtbl.t;
+    mutable submitted : int;
+    mutable completed : int;
+    mutable started : bool;
+  }
+
+  let create engine ~clients ?(think_time_us = 0) ~payload ~submit () =
+    {
+      engine;
+      clients;
+      think_time_us;
+      payload;
+      submit;
+      outstanding = Hashtbl.create 64;
+      submitted = 0;
+      completed = 0;
+      started = false;
+    }
+
+  let launch_one t =
+    let id = t.submit ~payload:(t.payload ()) in
+    t.submitted <- t.submitted + 1;
+    Hashtbl.replace t.outstanding id ()
+
+  let start t =
+    if not t.started then begin
+      t.started <- true;
+      for _ = 1 to t.clients do
+        launch_one t
+      done
+    end
+
+  let tx_done t tx_id =
+    if Hashtbl.mem t.outstanding tx_id then begin
+      Hashtbl.remove t.outstanding tx_id;
+      t.completed <- t.completed + 1;
+      if t.think_time_us = 0 then launch_one t
+      else
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:t.think_time_us (fun () ->
+               launch_one t)
+            : Sim.Engine.timer)
+    end
+
+  let submitted t = t.submitted
+
+  let completed t = t.completed
+end
+
+module Open = struct
+  type t = {
+    engine : Sim.Engine.t;
+    rate_per_sec : float;
+    payload : unit -> string;
+    submit : payload:string -> string;
+    rng : Crypto.Rng.t;
+    mutable submitted : int;
+    mutable running : bool;
+  }
+
+  let create engine ~rate_per_sec ~payload ~submit () =
+    {
+      engine;
+      rate_per_sec;
+      payload;
+      submit;
+      rng = Crypto.Rng.split (Sim.Engine.rng engine);
+      submitted = 0;
+      running = false;
+    }
+
+  let rec arrival t =
+    if t.running then begin
+      ignore (t.submit ~payload:(t.payload ()) : string);
+      t.submitted <- t.submitted + 1;
+      let gap =
+        Crypto.Rng.exponential t.rng ~mean:(1_000_000.0 /. t.rate_per_sec)
+      in
+      ignore
+        (Sim.Engine.schedule t.engine
+           ~delay:(max 1 (int_of_float gap))
+           (fun () -> arrival t)
+          : Sim.Engine.timer)
+    end
+
+  let start t =
+    if not t.running then begin
+      t.running <- true;
+      arrival t
+    end
+
+  let stop t = t.running <- false
+
+  let submitted t = t.submitted
+end
+
+let fixed_payload ~size rng () = Crypto.Rng.bytes rng size
+
+let kv_payload ~keys rng () =
+  let k = Printf.sprintf "key%d" (Crypto.Rng.int rng keys) in
+  match Crypto.Rng.int rng 3 with
+  | 0 -> Printf.sprintf "get %s" k
+  | 1 -> Printf.sprintf "put %s v%d" k (Crypto.Rng.int rng 1_000_000)
+  | _ -> Printf.sprintf "del %s" k

@@ -1,0 +1,120 @@
+(* Execution-layer state machines: KV store and constant-product AMM. *)
+
+let test_kv_basic () =
+  let kv = App.Kvstore.create () in
+  Alcotest.(check (option string)) "missing" None (App.Kvstore.get kv "a");
+  ignore (App.Kvstore.apply kv (App.Kvstore.Put ("a", "1")));
+  Alcotest.(check (option string)) "put" (Some "1") (App.Kvstore.get kv "a");
+  (match App.Kvstore.apply kv (App.Kvstore.Get "a") with
+  | App.Kvstore.Value v -> Alcotest.(check (option string)) "get" (Some "1") v
+  | App.Kvstore.Unit -> Alcotest.fail "expected value");
+  ignore (App.Kvstore.apply kv (App.Kvstore.Del "a"));
+  Alcotest.(check (option string)) "deleted" None (App.Kvstore.get kv "a");
+  Alcotest.(check int) "applied" 3 (App.Kvstore.applied kv)
+
+let test_kv_parse_encode () =
+  List.iter
+    (fun cmd ->
+      Alcotest.(check bool) "roundtrip" true
+        (App.Kvstore.parse (App.Kvstore.encode cmd) = Some cmd))
+    [ App.Kvstore.Put ("k", "v"); App.Kvstore.Get "k"; App.Kvstore.Del "k" ];
+  Alcotest.(check bool) "junk" true (App.Kvstore.parse "explode now" = None);
+  Alcotest.(check bool) "empty" true (App.Kvstore.parse "" = None)
+
+let test_kv_digest_tracks_history () =
+  let a = App.Kvstore.create () and b = App.Kvstore.create () in
+  ignore (App.Kvstore.apply a (App.Kvstore.Put ("x", "1")));
+  ignore (App.Kvstore.apply b (App.Kvstore.Put ("x", "1")));
+  Alcotest.(check string) "same history same digest" (App.Kvstore.state_digest a)
+    (App.Kvstore.state_digest b);
+  ignore (App.Kvstore.apply a (App.Kvstore.Del ("x")));
+  ignore (App.Kvstore.apply b (App.Kvstore.Put ("x", "1")));
+  (* same final map contents would not excuse different histories *)
+  Alcotest.(check bool) "different history different digest" true
+    (App.Kvstore.state_digest a <> App.Kvstore.state_digest b)
+
+let test_kv_junk_folded () =
+  let a = App.Kvstore.create () and b = App.Kvstore.create () in
+  Alcotest.(check bool) "junk applies as no-op" true
+    (App.Kvstore.apply_payload a "garbage!" = None);
+  Alcotest.(check bool) "digests still diverge deterministically" true
+    (App.Kvstore.state_digest a <> App.Kvstore.state_digest b)
+
+let test_amm_quote_math () =
+  let amm = App.Amm.create ~reserve_x:1_000_000 ~reserve_y:1_000_000 in
+  (* tiny trade near mid price, fee included: out ≈ in * 0.997 *)
+  let out = App.Amm.quote amm App.Amm.X_to_y 1_000 in
+  Alcotest.(check bool) "fee applied" true (out >= 990 && out <= 997);
+  (* large trade slips substantially *)
+  let big = App.Amm.quote amm App.Amm.X_to_y 500_000 in
+  Alcotest.(check bool) "slippage" true (big < 500_000 * 997 / 1000 * 9 / 10)
+
+let test_amm_apply_moves_reserves () =
+  let amm = App.Amm.create ~reserve_x:1_000_000 ~reserve_y:1_000_000 in
+  let out = App.Amm.apply amm { trader = "t"; dir = App.Amm.X_to_y; amount_in = 10_000 } in
+  Alcotest.(check int) "x grew" 1_010_000 (App.Amm.reserve_x amm);
+  Alcotest.(check int) "y shrank" (1_000_000 - out) (App.Amm.reserve_y amm);
+  let px, py = App.Amm.position amm "t" in
+  Alcotest.(check int) "net x" (-10_000) px;
+  Alcotest.(check int) "net y" out py;
+  Alcotest.(check int) "swaps" 1 (App.Amm.swaps_applied amm)
+
+let prop_amm_product_nondecreasing =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"amm: fee keeps x*y non-decreasing" ~count:200
+       QCheck.(pair (int_range 1 200_000) bool)
+       (fun (amount, dir) ->
+         let amm = App.Amm.create ~reserve_x:1_000_000 ~reserve_y:2_000_000 in
+         let k0 = App.Amm.reserve_x amm * App.Amm.reserve_y amm in
+         ignore
+           (App.Amm.apply amm
+              {
+                trader = "p";
+                dir = (if dir then App.Amm.X_to_y else App.Amm.Y_to_x);
+                amount_in = amount;
+              });
+         App.Amm.reserve_x amm * App.Amm.reserve_y amm >= k0))
+
+let test_amm_parse_encode () =
+  let s = { App.Amm.trader = "bob"; dir = App.Amm.Y_to_x; amount_in = 42 } in
+  Alcotest.(check bool) "roundtrip" true (App.Amm.parse (App.Amm.encode s) = Some s);
+  Alcotest.(check bool) "junk" true (App.Amm.parse "swap bob sideways 42" = None);
+  Alcotest.(check bool) "non-numeric" true (App.Amm.parse "swap bob x2y many" = None)
+
+let test_amm_sandwich_profitable_in_isolation () =
+  (* Sanity of the measurement instrument: executing front-buy, victim
+     buy, back-sell in that order yields positive attacker profit. *)
+  let amm = App.Amm.create ~reserve_x:10_000_000 ~reserve_y:10_000_000 in
+  let front =
+    App.Amm.apply amm { trader = "m"; dir = App.Amm.X_to_y; amount_in = 250_000 }
+  in
+  ignore (App.Amm.apply amm { trader = "v"; dir = App.Amm.X_to_y; amount_in = 500_000 });
+  ignore (App.Amm.apply amm { trader = "m"; dir = App.Amm.Y_to_x; amount_in = front });
+  let px, py = App.Amm.position amm "m" in
+  Alcotest.(check int) "flat in y" 0 py;
+  Alcotest.(check bool) "profit in x" true (px > 0)
+
+let test_amm_zero_amount_noop () =
+  let amm = App.Amm.create ~reserve_x:1_000 ~reserve_y:1_000 in
+  Alcotest.(check int) "zero swap" 0
+    (App.Amm.apply amm { trader = "z"; dir = App.Amm.X_to_y; amount_in = 0 });
+  Alcotest.(check int) "reserves untouched" 1_000 (App.Amm.reserve_x amm)
+
+let test_amm_price () =
+  let amm = App.Amm.create ~reserve_x:2_000_000 ~reserve_y:1_000_000 in
+  Alcotest.(check int) "price x in y" 500_000 (App.Amm.price_x_micro amm)
+
+let suite =
+  [
+    Alcotest.test_case "kv basic" `Quick test_kv_basic;
+    Alcotest.test_case "kv parse/encode" `Quick test_kv_parse_encode;
+    Alcotest.test_case "kv digest history" `Quick test_kv_digest_tracks_history;
+    Alcotest.test_case "kv junk folded" `Quick test_kv_junk_folded;
+    Alcotest.test_case "amm quote" `Quick test_amm_quote_math;
+    Alcotest.test_case "amm apply" `Quick test_amm_apply_moves_reserves;
+    prop_amm_product_nondecreasing;
+    Alcotest.test_case "amm parse/encode" `Quick test_amm_parse_encode;
+    Alcotest.test_case "amm sandwich math" `Quick test_amm_sandwich_profitable_in_isolation;
+    Alcotest.test_case "amm zero noop" `Quick test_amm_zero_amount_noop;
+    Alcotest.test_case "amm price" `Quick test_amm_price;
+  ]

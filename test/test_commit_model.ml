@@ -1,0 +1,126 @@
+(* Model-based testing of Commit_state: random operation sequences are
+   replayed against a naive reference implementation of Alg. 4
+   lines 79–92, and every observable (locked, stable, committed, the
+   set and order of committed entries) must agree. This pins down the
+   incremental/caching optimizations (lazy prefix refresh, sorted
+   pending list, version counters) against the obviously-correct
+   spec. *)
+
+module Ref_model = struct
+  type t = {
+    n : int;
+    f : int;
+    r : int array;
+    s : int array;
+    mutable accepted : (Lyra.Types.iid * int) list;
+    mutable taken : (Lyra.Types.iid * int) list;  (** commit order *)
+  }
+
+  let create ~n ~f =
+    { n; f; r = Array.make n 0; s = Array.make n 0; accepted = []; taken = [] }
+
+  let peer_status t ~peer ~locked ~min_pending =
+    t.r.(peer) <- max t.r.(peer) locked;
+    t.s.(peer) <- min_pending
+
+  let kth_highest a k =
+    let sorted = Array.copy a in
+    Array.sort (fun x y -> Int.compare y x) sorted;
+    sorted.(k - 1)
+
+  let locked t = kth_highest t.r ((2 * t.f) + 1)
+
+  let stable t = min (locked t) (kth_highest t.s ((2 * t.f) + 1))
+
+  let add_accepted t iid ~seq =
+    if not (List.mem_assoc iid t.accepted) && not (List.mem_assoc iid t.taken)
+    then t.accepted <- (iid, seq) :: t.accepted
+
+  let committed t =
+    let s = stable t in
+    List.fold_left
+      (fun acc (_, seq) -> if seq <= s then max acc seq else acc)
+      (List.fold_left (fun acc (_, seq) -> max acc seq) 0 t.taken)
+      t.accepted
+
+  let take t =
+    let boundary = committed t in
+    let ready, rest =
+      List.partition (fun (_, seq) -> seq <= boundary) t.accepted
+    in
+    let ready =
+      List.sort
+        (fun (i1, s1) (i2, s2) ->
+          match Int.compare s1 s2 with
+          | 0 -> Lyra.Types.iid_compare i1 i2
+          | c -> c)
+        ready
+    in
+    t.accepted <- rest;
+    t.taken <- t.taken @ ready;
+    ready
+end
+
+type op =
+  | Status of int * int * int  (** peer, locked, min_pending *)
+  | Accept of int * int * int  (** proposer, index, seq *)
+  | Take
+
+let gen_ops n =
+  let open QCheck.Gen in
+  list_size (int_range 1 60)
+    (frequency
+       [
+         ( 4,
+           map3
+             (fun p l m -> Status (p, l, m))
+             (int_bound (n - 1))
+             (int_bound 100_000) (int_bound 100_000) );
+         ( 3,
+           map3
+             (fun p i s -> Accept (p, i, s))
+             (int_bound (n - 1))
+             (int_bound 20) (int_bound 100_000) );
+         (2, return Take);
+       ])
+
+let print_op = function
+  | Status (p, l, m) -> Printf.sprintf "Status(%d,%d,%d)" p l m
+  | Accept (p, i, s) -> Printf.sprintf "Accept(%d/%d,%d)" p i s
+  | Take -> "Take"
+
+let prop_matches_model n =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "commit_state = reference model (n=%d)" n)
+    ~count:200
+    (QCheck.make (gen_ops n) ~print:(fun ops ->
+         String.concat "; " (List.map print_op ops)))
+    (fun ops ->
+      let f = Dbft.Quorums.max_faulty n in
+      let real = Lyra.Commit_state.create ~n ~f in
+      let model = Ref_model.create ~n ~f in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Status (peer, locked, min_pending) ->
+              Lyra.Commit_state.peer_status real ~peer ~locked ~min_pending;
+              Ref_model.peer_status model ~peer ~locked ~min_pending
+          | Accept (proposer, index, seq) ->
+              let iid = { Lyra.Types.proposer; index } in
+              Lyra.Commit_state.add_accepted real iid ~seq;
+              Ref_model.add_accepted model iid ~seq
+          | Take ->
+              let a = Lyra.Commit_state.take_committable real in
+              let b = Ref_model.take model in
+              if a <> b then failwith "take mismatch");
+          Lyra.Commit_state.locked real = Ref_model.locked model
+          && Lyra.Commit_state.stable real = Ref_model.stable model
+          && Lyra.Commit_state.committed real = Ref_model.committed model)
+        ops)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (prop_matches_model 4);
+    QCheck_alcotest.to_alcotest (prop_matches_model 7);
+    QCheck_alcotest.to_alcotest (prop_matches_model 10);
+  ]

@@ -1,0 +1,165 @@
+(* The DBFT substrate: quorum arithmetic, binary-value broadcast, and
+   the binary consensus protocol itself under faults and random
+   schedules. *)
+
+let test_quorums () =
+  List.iter
+    (fun (n, f) -> Alcotest.(check int) (Printf.sprintf "f(%d)" n) f (Dbft.Quorums.max_faulty n))
+    [ (1, 0); (3, 0); (4, 1); (6, 1); (7, 2); (10, 3); (16, 5); (31, 10); (100, 33) ];
+  Alcotest.(check int) "quorum 4" 3 (Dbft.Quorums.quorum 4);
+  Alcotest.(check int) "quorum 100" 67 (Dbft.Quorums.quorum 100);
+  Alcotest.(check int) "supermajority 100" 67 (Dbft.Quorums.supermajority 100);
+  Alcotest.(check int) "supermajority 10" 7 (Dbft.Quorums.supermajority 10)
+
+let test_aux_union () =
+  let in_bin b = b = 1 in
+  (* enough senders, all inside bin_values *)
+  Alcotest.(check (option (list int))) "singleton" (Some [ 1 ])
+    (Dbft.Quorums.aux_union ~need:3 ~in_bin [ [ 1 ]; [ 1 ]; [ 1 ] ]);
+  (* AUX sets containing values outside bin_values are ignored *)
+  Alcotest.(check (option (list int))) "filtered" None
+    (Dbft.Quorums.aux_union ~need:3 ~in_bin [ [ 1 ]; [ 0 ]; [ 0; 1 ] ]);
+  let both b = b = 0 || b = 1 in
+  Alcotest.(check (option (list int))) "union" (Some [ 0; 1 ])
+    (Dbft.Quorums.aux_union ~need:3 ~in_bin:both [ [ 1 ]; [ 0 ]; [ 0; 1 ] ]);
+  Alcotest.(check (option (list int))) "too few" None
+    (Dbft.Quorums.aux_union ~need:3 ~in_bin [ [ 1 ]; [ 1 ] ])
+
+let test_bv_basics () =
+  let echoes = ref [] and delivered = ref [] in
+  let bv =
+    Dbft.Bv_broadcast.create ~n:4
+      ~echo:(fun b -> echoes := b :: !echoes)
+      ~deliver:(fun b -> delivered := b :: !delivered)
+      ()
+  in
+  Dbft.Bv_broadcast.input bv 1;
+  Alcotest.(check (list int)) "echoed own" [ 1 ] !echoes;
+  (* own echo comes back plus two peers: 3 = 2f+1 -> delivery *)
+  Dbft.Bv_broadcast.on_est bv ~src:0 1;
+  Dbft.Bv_broadcast.on_est bv ~src:1 1;
+  Alcotest.(check (list int)) "not yet" [] !delivered;
+  Dbft.Bv_broadcast.on_est bv ~src:2 1;
+  Alcotest.(check (list int)) "delivered 1" [ 1 ] !delivered;
+  Alcotest.(check bool) "flag" true (Dbft.Bv_broadcast.delivered bv 1);
+  (* duplicates ignored *)
+  Dbft.Bv_broadcast.on_est bv ~src:2 1;
+  Alcotest.(check (list int)) "no duplicate" [ 1 ] !delivered
+
+let test_bv_relay_at_f_plus_1 () =
+  let echoes = ref [] in
+  let bv =
+    Dbft.Bv_broadcast.create ~n:4 ~echo:(fun b -> echoes := b :: !echoes)
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  (* f+1 = 2 ESTs for 0 trigger the relay even without own input *)
+  Dbft.Bv_broadcast.on_est bv ~src:1 0;
+  Alcotest.(check (list int)) "quiet" [] !echoes;
+  Dbft.Bv_broadcast.on_est bv ~src:2 0;
+  Alcotest.(check (list int)) "relayed" [ 0 ] !echoes
+
+let test_bv_rejects_junk () =
+  let bv = Dbft.Bv_broadcast.create ~n:4 ~echo:ignore ~deliver:ignore () in
+  Alcotest.(check bool) "bad value" true
+    (try Dbft.Bv_broadcast.on_est bv ~src:0 2 |> fun () -> false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad src" true
+    (try Dbft.Bv_broadcast.on_est bv ~src:9 1 |> fun () -> false
+     with Invalid_argument _ -> true)
+
+(* Full-protocol runs over the simulated network. *)
+let run_consensus ?(crash = []) ~n ~inputs ~seed () =
+  let engine = Sim.Engine.create ~seed () in
+  let net =
+    Sim.Network.create engine ~n
+      ~latency:(Sim.Latency.uniform ~lo:5_000 ~hi:25_000)
+      ~cost:(fun ~dst:_ _ -> 5)
+      ~size:Dbft.Binary_consensus.msg_size ()
+  in
+  let decisions = Array.make n None in
+  let replicas =
+    Array.init n (fun id ->
+        Dbft.Binary_consensus.create net ~id ~delta_us:30_000
+          ~on_decide:(fun ~round v -> decisions.(id) <- Some (round, v))
+          ())
+  in
+  List.iter (fun i -> Sim.Network.crash net i) crash;
+  Array.iteri (fun i r -> Dbft.Binary_consensus.propose r inputs.(i)) replicas;
+  Sim.Engine.run engine ~until:10_000_000;
+  decisions
+
+let test_unanimous_one_fast () =
+  let d = run_consensus ~n:4 ~inputs:[| 1; 1; 1; 1 |] ~seed:1L () in
+  Array.iter
+    (function
+      | Some (round, v) ->
+          Alcotest.(check int) "decides 1" 1 v;
+          Alcotest.(check int) "round 1" 1 round
+      | None -> Alcotest.fail "no decision")
+    d
+
+let test_unanimous_zero () =
+  let d = run_consensus ~n:4 ~inputs:[| 0; 0; 0; 0 |] ~seed:2L () in
+  Array.iter
+    (function
+      | Some (_, v) -> Alcotest.(check int) "decides 0" 0 v
+      | None -> Alcotest.fail "no decision")
+    d
+
+let check_agreement_validity d inputs =
+  let vals = Array.to_list d |> List.filter_map (Option.map snd) in
+  (match vals with
+  | [] -> Alcotest.fail "nobody decided"
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) "agreement" v v') rest;
+      (* validity: the decision was someone's input *)
+      Alcotest.(check bool) "validity" true (Array.exists (Int.equal v) inputs));
+  ()
+
+let test_mixed_inputs_agree () =
+  for seed = 1 to 20 do
+    let inputs = [| 1; 0; 1; 0; 1; 0; 0 |] in
+    let d = run_consensus ~n:7 ~inputs ~seed:(Int64.of_int seed) () in
+    Alcotest.(check int) "all decide" 7
+      (List.length (Array.to_list d |> List.filter_map (fun x -> x)));
+    check_agreement_validity d inputs
+  done
+
+let test_with_crashes () =
+  (* f = 2 crashed replicas out of 7: the rest still terminate. *)
+  let inputs = [| 1; 1; 0; 1; 0; 1; 1 |] in
+  let d = run_consensus ~crash:[ 5; 6 ] ~n:7 ~inputs ~seed:9L () in
+  let alive = Array.sub d 0 5 in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "decided" true (x <> None))
+    alive;
+  check_agreement_validity alive inputs
+
+let prop_agreement_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"dbft agreement over random inputs/seeds" ~count:25
+       QCheck.(pair (int_bound 10_000) (int_bound 127))
+       (fun (seed, bits) ->
+         let n = 4 + (seed mod 4) in
+         let inputs = Array.init n (fun i -> (bits lsr i) land 1) in
+         let d = run_consensus ~n ~inputs ~seed:(Int64.of_int (seed + 1)) () in
+         let vals = Array.to_list d |> List.filter_map (Option.map snd) in
+         List.length vals = n
+         && (match vals with
+            | v :: rest -> List.for_all (Int.equal v) rest
+            | [] -> false)))
+
+let suite =
+  [
+    Alcotest.test_case "quorum arithmetic" `Quick test_quorums;
+    Alcotest.test_case "aux union" `Quick test_aux_union;
+    Alcotest.test_case "bv basics" `Quick test_bv_basics;
+    Alcotest.test_case "bv relay" `Quick test_bv_relay_at_f_plus_1;
+    Alcotest.test_case "bv rejects junk" `Quick test_bv_rejects_junk;
+    Alcotest.test_case "unanimous 1 fast" `Quick test_unanimous_one_fast;
+    Alcotest.test_case "unanimous 0" `Quick test_unanimous_zero;
+    Alcotest.test_case "mixed inputs agree" `Quick test_mixed_inputs_agree;
+    Alcotest.test_case "crash tolerance" `Quick test_with_crashes;
+    prop_agreement_random;
+  ]

@@ -1,0 +1,99 @@
+(* Field axioms and encoding for GF(2^61 − 1) and the safe-prime
+   scalar field. *)
+
+open Crypto
+
+let rng = Rng.create 99L
+
+let felt = QCheck.make (fun _ -> Field.random rng) ~print:(fun x -> string_of_int (Field.to_int x))
+
+let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 QCheck.(triple felt felt felt) f)
+
+let test_constants () =
+  Alcotest.(check int) "p value" 2305843009213693951 Field.p;
+  Alcotest.(check int) "order = p" Field.p Field.order;
+  Alcotest.(check bool) "g nonzero" true (not (Field.equal Field.g Field.zero))
+
+let test_of_int_negative () =
+  Alcotest.(check int) "-1 wraps" (Field.p - 1) (Field.to_int (Field.of_int (-1)))
+
+let test_inv_zero_raises () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Field.inv Field.zero))
+
+let test_pow_edges () =
+  let x = Field.random rng in
+  Alcotest.(check int) "x^0 = 1" 1 (Field.to_int (Field.pow x 0));
+  Alcotest.(check int) "x^1 = x" (Field.to_int x) (Field.to_int (Field.pow x 1));
+  (* Fermat: x^(p-1) = 1 for x ≠ 0 *)
+  let x = Field.random_nonzero rng in
+  Alcotest.(check int) "fermat" 1 (Field.to_int (Field.pow x (Field.p - 1)))
+
+let test_bytes_roundtrip () =
+  for _ = 1 to 100 do
+    let x = Field.random rng in
+    Alcotest.(check bool) "roundtrip" true
+      (Field.equal x (Field.of_bytes (Field.to_bytes x)))
+  done
+
+let test_mulmod_small () =
+  Alcotest.(check int) "7*9 mod 13" 11 (Field.mulmod 7 9 13);
+  Alcotest.(check int) "0*x" 0 (Field.mulmod 0 123456 997);
+  Alcotest.(check int) "identity" 42 (Field.mulmod 42 1 1_000_000);
+  (* cross-check against native multiplication where it fits *)
+  let r = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let a = Rng.int r 1_000_000 and b = Rng.int r 1_000_000 in
+    let m = 1 + Rng.int r 1_000_000 in
+    Alcotest.(check int) "matches native" (a * b mod m) (Field.mulmod a b m)
+  done
+
+let test_group_scalar_axioms () =
+  let module S = Group.Scalar in
+  let r = Rng.create 17L in
+  for _ = 1 to 200 do
+    let a = S.random r and b = S.random r in
+    Alcotest.(check bool) "comm add" true (S.equal (S.add a b) (S.add b a));
+    Alcotest.(check bool) "comm mul" true (S.equal (S.mul a b) (S.mul b a));
+    if not (S.equal a S.zero) then
+      Alcotest.(check bool) "inverse" true (S.equal (S.mul a (S.inv a)) S.one)
+  done
+
+let test_group_generator_order () =
+  (* h = 4 generates the order-Q subgroup: h^Q = 1 and h ≠ 1. *)
+  let hq = Group.pow Group.g (Group.Scalar.of_int 0) in
+  Alcotest.(check bool) "h^0 = 1" true (Group.equal hq Group.one);
+  let e = Field.mulmod 1 (Group.q - 1) Group.q in
+  let almost = Group.pow Group.g (Group.Scalar.of_int e) in
+  Alcotest.(check bool) "h^(q-1) <> 1" true (not (Group.equal almost Group.one));
+  Alcotest.(check bool) "h^(q-1) * h = 1" true
+    (Group.equal (Group.mul almost Group.g) Group.one)
+
+let test_group_safe_prime () =
+  Alcotest.(check int) "p = 2q+1" Group.p ((2 * Group.q) + 1)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "of_int negative" `Quick test_of_int_negative;
+    Alcotest.test_case "inv zero raises" `Quick test_inv_zero_raises;
+    Alcotest.test_case "pow edges" `Quick test_pow_edges;
+    Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+    Alcotest.test_case "mulmod" `Quick test_mulmod_small;
+    Alcotest.test_case "scalar axioms" `Quick test_group_scalar_axioms;
+    Alcotest.test_case "generator order" `Quick test_group_generator_order;
+    Alcotest.test_case "safe prime" `Quick test_group_safe_prime;
+    prop "add assoc" (fun (a, b, c) ->
+        Field.equal (Field.add a (Field.add b c)) (Field.add (Field.add a b) c));
+    prop "mul assoc" (fun (a, b, c) ->
+        Field.equal (Field.mul a (Field.mul b c)) (Field.mul (Field.mul a b) c));
+    prop "distributivity" (fun (a, b, c) ->
+        Field.equal (Field.mul a (Field.add b c))
+          (Field.add (Field.mul a b) (Field.mul a c)));
+    prop "sub inverse of add" (fun (a, b, _) ->
+        Field.equal a (Field.sub (Field.add a b) b));
+    prop "neg" (fun (a, _, _) -> Field.equal Field.zero (Field.add a (Field.neg a)));
+    prop "mul inverse" (fun (a, _, _) ->
+        Field.equal a Field.zero || Field.equal Field.one (Field.mul a (Field.inv a)));
+    prop "pow homomorphism" (fun (a, _, _) ->
+        Field.equal (Field.mul (Field.pow a 5) (Field.pow a 7)) (Field.pow a 12));
+  ]

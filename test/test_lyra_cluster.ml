@@ -1,0 +1,331 @@
+(* Integration tests of the full Lyra SMR node: agreement, prefix
+   safety, liveness, lower-bounded sequence numbers, commit-reveal,
+   Byzantine resilience, and behaviour under pre-GST asynchrony. *)
+
+type cluster = {
+  engine : Sim.Engine.t;
+  nodes : Lyra.Node.t array;
+  cfg : Lyra.Config.t;
+}
+
+let make_cluster ?(seed = 11L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
+    ?(real_crypto = false) ?adversary ?(on_output = fun _ _ -> ()) n =
+  let engine = Sim.Engine.create ~seed () in
+  let base =
+    {
+      (Lyra.Config.default ~n) with
+      batch_size = 5;
+      batch_timeout_us = 20_000;
+      real_crypto;
+    }
+  in
+  let cfg = tweak base in
+  let latency = Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n) in
+  let net =
+    Sim.Network.create engine ~n ~latency ?adversary
+      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
+      ~size:Lyra.Types.msg_size ()
+  in
+  let rng = Sim.Engine.rng engine in
+  let keypairs, dir =
+    if real_crypto then
+      let kps, dir = Crypto.Keys.setup rng n in
+      (Some kps, Some dir)
+    else (None, None)
+  in
+  let nodes =
+    Array.init n (fun id ->
+        Lyra.Node.create cfg net ~id
+          ?keys:(Option.map (fun k -> k.(id)) keypairs)
+          ?dir
+          ~clock_offset_us:(Crypto.Rng.int rng 2_000)
+          ?misbehavior:(byz id)
+          ~on_output:(on_output id) ())
+  in
+  Array.iter Lyra.Node.start nodes;
+  { engine; nodes; cfg }
+
+let submit_round c ~per_node =
+  Array.iter
+    (fun node ->
+      for _ = 1 to per_node do
+        ignore (Lyra.Node.submit node ~payload:(String.make 32 'x') : string)
+      done)
+    c.nodes
+
+let logs c =
+  Array.map
+    (fun node ->
+      List.map (fun (o : Lyra.Node.output) -> o.batch.iid) (Lyra.Node.output_log node))
+    c.nodes
+
+let is_prefix la lb =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && go (xs, ys)
+  in
+  go (la, lb)
+
+let check_prefix_safety ls =
+  Array.iteri
+    (fun i la ->
+      Array.iteri
+        (fun j lb ->
+          Alcotest.(check bool)
+            (Printf.sprintf "prefix %d/%d" i j)
+            true
+            (is_prefix la lb || is_prefix lb la))
+        ls)
+    ls
+
+let test_basic_commit_and_agreement () =
+  let c = make_cluster 4 in
+  Sim.Engine.run c.engine ~until:1_000_000;
+  submit_round c ~per_node:5;
+  Sim.Engine.run c.engine ~until:4_000_000;
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool) "outputs something" true
+        (List.length (Lyra.Node.output_log node) > 0);
+      Alcotest.(check int) "no late accepts" 0 (Lyra.Node.late_accepts node);
+      Alcotest.(check int) "no pending left" 0 (Lyra.Node.pending_count node))
+    c.nodes;
+  let l = logs c in
+  Alcotest.(check bool) "same length" true
+    (Array.for_all (fun x -> List.length x = List.length l.(0)) l);
+  check_prefix_safety l
+
+let test_warmup_learns_distances () =
+  let c = make_cluster 7 in
+  Sim.Engine.run c.engine ~until:1_200_000;
+  Array.iter
+    (fun node ->
+      Alcotest.(check int) "all distances" 7 (Lyra.Node.distances_known node))
+    c.nodes
+
+let test_good_case_one_round () =
+  let c = make_cluster 7 in
+  Sim.Engine.run c.engine ~until:1_200_000;
+  (* after warm-up every client instance decides in round 1 *)
+  submit_round c ~per_node:3;
+  Sim.Engine.run c.engine ~until:4_000_000;
+  Array.iter
+    (fun node ->
+      Alcotest.(check int) "all own accepted post warm-up" 0
+        (max 0 (Lyra.Node.own_rejected node - 2 (* warm-up rejections *))))
+    c.nodes
+
+let test_seq_numbers_lower_bounded () =
+  (* BOC-Validity (Def. 6): decided seqs are within λ + offsets of
+     perceived times; concretely each output's seq must be close to the
+     batch's creation time plus a network distance, never far in the
+     past. *)
+  let outputs = ref [] in
+  let c =
+    make_cluster ~on_output:(fun _ o -> outputs := o :: !outputs) 4
+  in
+  Sim.Engine.run c.engine ~until:1_000_000;
+  submit_round c ~per_node:5;
+  Sim.Engine.run c.engine ~until:4_000_000;
+  List.iter
+    (fun (o : Lyra.Node.output) ->
+      let age = o.seq - o.batch.created_at in
+      Alcotest.(check bool) "seq >= creation - lambda" true
+        (age >= -c.cfg.lambda_us);
+      Alcotest.(check bool) "seq within acceptance window" true
+        (age <= Lyra.Config.l_us c.cfg))
+    !outputs;
+  Alcotest.(check bool) "saw outputs" true (!outputs <> [])
+
+let test_output_order_matches_seq () =
+  let c = make_cluster 4 in
+  Sim.Engine.run c.engine ~until:1_000_000;
+  submit_round c ~per_node:8;
+  Sim.Engine.run c.engine ~until:5_000_000;
+  let seqs =
+    List.map (fun (o : Lyra.Node.output) -> o.seq) (Lyra.Node.output_log c.nodes.(0))
+  in
+  let sorted = List.sort Int.compare seqs in
+  Alcotest.(check (list int)) "ascending" sorted seqs
+
+let test_prefix_safety_across_seeds () =
+  for seed = 1 to 8 do
+    let c = make_cluster ~seed:(Int64.of_int seed) 7 in
+    Sim.Engine.run c.engine ~until:1_200_000;
+    submit_round c ~per_node:4;
+    submit_round c ~per_node:4;
+    Sim.Engine.run c.engine ~until:5_000_000;
+    check_prefix_safety (logs c);
+    Array.iter
+      (fun node -> Alcotest.(check int) "no late" 0 (Lyra.Node.late_accepts node))
+      c.nodes
+  done
+
+let test_real_crypto_cluster () =
+  let c = make_cluster ~real_crypto:true 4 in
+  Sim.Engine.run c.engine ~until:1_000_000;
+  submit_round c ~per_node:3;
+  Sim.Engine.run c.engine ~until:4_000_000;
+  Alcotest.(check bool) "commits with real crypto" true
+    (List.length (Lyra.Node.output_log c.nodes.(0)) > 0);
+  check_prefix_safety (logs c)
+
+let byz_test misbehavior () =
+  let n = 7 in
+  let f = Dbft.Quorums.max_faulty n in
+  let c = make_cluster ~byz:(fun i -> if i < f then Some misbehavior else None) n in
+  Sim.Engine.run c.engine ~until:1_500_000;
+  (* only honest nodes get client load *)
+  Array.iteri
+    (fun i node ->
+      if i >= f then
+        for _ = 1 to 4 do
+          ignore (Lyra.Node.submit node ~payload:(String.make 32 'y') : string)
+        done)
+    c.nodes;
+  Sim.Engine.run c.engine ~until:8_000_000;
+  let honest = Array.sub c.nodes f (n - f) in
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool) "liveness" true (List.length (Lyra.Node.output_log node) > 0);
+      Alcotest.(check int) "no late" 0 (Lyra.Node.late_accepts node))
+    honest;
+  let honest_logs =
+    Array.map
+      (fun node ->
+        List.map (fun (o : Lyra.Node.output) -> o.batch.iid) (Lyra.Node.output_log node))
+      honest
+  in
+  check_prefix_safety honest_logs
+
+let test_equivocator_rejected () =
+  let n = 7 in
+  let c = make_cluster ~byz:(fun i -> if i = 0 then Some Lyra.Misbehavior.Equivocate else None) n in
+  Sim.Engine.run c.engine ~until:8_000_000;
+  (* VVB-Unicity: an equivocating proposal cannot gather two quorums;
+     honest nodes still agree on whatever (if anything) was accepted. *)
+  let honest = Array.sub c.nodes 1 (n - 1) in
+  let accepted = Array.map Lyra.Node.accepted_count honest in
+  Array.iter
+    (fun a -> Alcotest.(check int) "same accepted count" accepted.(0) a)
+    accepted;
+  check_prefix_safety
+    (Array.map
+       (fun node ->
+         List.map (fun (o : Lyra.Node.output) -> o.batch.iid) (Lyra.Node.output_log node))
+       honest)
+
+let test_future_seq_bounded_by_lambda () =
+  (* Byzantine proposer drifting more than λ into the future is
+     rejected (§VI-D). *)
+  let n = 4 in
+  let c =
+    make_cluster
+      ~byz:(fun i ->
+        if i = 0 then Some (Lyra.Misbehavior.Future_seq { offset_us = 50_000 })
+        else None)
+      n
+  in
+  Sim.Engine.run c.engine ~until:6_000_000;
+  (* the attacker's warm-up and flood proposals all get rejected *)
+  Alcotest.(check int) "attacker accepted nothing" 0
+    (Lyra.Node.own_accepted c.nodes.(0))
+
+let test_pre_gst_asynchrony_safe () =
+  (* Messages are adversarially delayed up to 1.5 s before GST = 2 s;
+     safety must hold throughout, liveness resumes after GST. *)
+  let adversary = Sim.Adversary.pre_gst ~gst:2_000_000 ~max_extra:1_500_000 in
+  let c = make_cluster ~adversary 4 in
+  (* SMR-Liveness presumes correct processes continuously input their
+     transactions (Lemma 8): keep submitting through and past GST. *)
+  for k = 0 to 29 do
+    ignore
+      (Sim.Engine.schedule c.engine
+         ~delay:(1_000_000 + (k * 300_000))
+         (fun () -> submit_round c ~per_node:1)
+        : Sim.Engine.timer)
+  done;
+  Sim.Engine.run c.engine ~until:2_500_000;
+  check_prefix_safety (logs c);
+  Sim.Engine.run c.engine ~until:14_000_000;
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool) "liveness after GST" true
+        (List.length (Lyra.Node.output_log node) > 0);
+      Alcotest.(check int) "no late accepts" 0 (Lyra.Node.late_accepts node))
+    c.nodes;
+  check_prefix_safety (logs c)
+
+let test_reveal_quorum_required () =
+  (* With real VSS, decryption requires 2f+1 shares: a single node's
+     share is not enough (checked at the crypto layer, here we check
+     the cluster still outputs = reveal machinery works). *)
+  let outputs = ref 0 in
+  let c =
+    make_cluster ~real_crypto:true
+      ~tweak:(fun cfg -> { cfg with vss_scheme = Crypto.Vss.Feldman })
+      ~on_output:(fun _ _ -> incr outputs)
+      4
+  in
+  Sim.Engine.run c.engine ~until:1_000_000;
+  submit_round c ~per_node:2;
+  Sim.Engine.run c.engine ~until:4_000_000;
+  Alcotest.(check bool) "revealed outputs" true (!outputs > 0)
+
+let prop_prefix_safety_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"prefix safety over random seeds and mixes" ~count:6
+       QCheck.(int_bound 10_000)
+       (fun seed ->
+         let n = 4 + (seed mod 4) in
+         let f = Dbft.Quorums.max_faulty n in
+         let mis =
+           match seed mod 3 with
+           | 0 -> None
+           | 1 -> Some Lyra.Misbehavior.Silent
+           | _ -> Some Lyra.Misbehavior.Low_status
+         in
+         let c =
+           make_cluster
+             ~seed:(Int64.of_int (seed + 1))
+             ~byz:(fun i -> if i < f then mis else None)
+             n
+         in
+         Sim.Engine.run c.engine ~until:1_500_000;
+         Array.iteri
+           (fun i node ->
+             if i >= f || mis = None then
+               for _ = 1 to 3 do
+                 ignore (Lyra.Node.submit node ~payload:"payload-xxxxxxxx" : string)
+               done)
+           c.nodes;
+         Sim.Engine.run c.engine ~until:7_000_000;
+         let ls = logs c in
+         let honest = if mis = None then ls else Array.sub ls f (n - f) in
+         Array.for_all
+           (fun la ->
+             Array.for_all (fun lb -> is_prefix la lb || is_prefix lb la) honest)
+           honest))
+
+let suite =
+  [
+    Alcotest.test_case "commit + agreement" `Quick test_basic_commit_and_agreement;
+    Alcotest.test_case "warmup distances" `Quick test_warmup_learns_distances;
+    Alcotest.test_case "good case decides" `Quick test_good_case_one_round;
+    Alcotest.test_case "seqs lower bounded" `Quick test_seq_numbers_lower_bounded;
+    Alcotest.test_case "output order = seq order" `Quick test_output_order_matches_seq;
+    Alcotest.test_case "prefix safety seeds" `Slow test_prefix_safety_across_seeds;
+    Alcotest.test_case "real crypto cluster" `Quick test_real_crypto_cluster;
+    Alcotest.test_case "byz silent" `Quick (byz_test Lyra.Misbehavior.Silent);
+    Alcotest.test_case "byz low-status" `Quick (byz_test Lyra.Misbehavior.Low_status);
+    Alcotest.test_case "byz flood" `Slow
+      (byz_test (Lyra.Misbehavior.Flood { batches_per_sec = 4 }));
+    Alcotest.test_case "byz stale votes" `Slow
+      (byz_test (Lyra.Misbehavior.Stale_votes { delay_us = 500_000 }));
+    Alcotest.test_case "equivocator" `Quick test_equivocator_rejected;
+    Alcotest.test_case "future-seq bounded" `Quick test_future_seq_bounded_by_lambda;
+    Alcotest.test_case "pre-GST asynchrony" `Slow test_pre_gst_asynchrony_safe;
+    Alcotest.test_case "reveal quorum" `Quick test_reveal_quorum_required;
+    prop_prefix_safety_random;
+  ]

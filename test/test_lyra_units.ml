@@ -1,0 +1,232 @@
+(* Unit tests of Lyra's building blocks: ordering clock, predictor,
+   requested sequence numbers, commit-state prefix math, types. *)
+
+let test_clock_monotone () =
+  let e = Sim.Engine.create () in
+  let clock = Lyra.Ordering_clock.create e ~offset_us:500 in
+  Alcotest.(check int) "offset applied" 500 (Lyra.Ordering_clock.peek clock);
+  let a = Lyra.Ordering_clock.read clock in
+  let b = Lyra.Ordering_clock.read clock in
+  Alcotest.(check bool) "strictly increasing" true (b > a);
+  Sim.Engine.run e ~until:1_000;
+  Alcotest.(check bool) "tracks time" true (Lyra.Ordering_clock.read clock >= 1_500)
+
+let test_predictor_learns () =
+  let p = Lyra.Predictor.create ~n:4 ~alpha:0.5 ~self:0 in
+  Alcotest.(check int) "self known" 1 (Lyra.Predictor.known_count p);
+  Alcotest.(check (option int)) "self zero" (Some 0) (Lyra.Predictor.distance p ~peer:0);
+  Alcotest.(check (option int)) "unknown" None (Lyra.Predictor.distance p ~peer:2);
+  Lyra.Predictor.observe p ~peer:2 ~s_ref:1_000 ~seq_obs:1_100;
+  Alcotest.(check (option int)) "first sample" (Some 100) (Lyra.Predictor.distance p ~peer:2);
+  (* The estimate is a window median: an isolated queueing spike does
+     not move it. *)
+  Lyra.Predictor.observe p ~peer:2 ~s_ref:1_000 ~seq_obs:1_105;
+  Lyra.Predictor.observe p ~peer:2 ~s_ref:1_000 ~seq_obs:250_000;
+  Alcotest.(check (option int)) "median ignores spike" (Some 105)
+    (Lyra.Predictor.distance p ~peer:2);
+  (* but a consistent regime change wins within window/2 samples *)
+  Lyra.Predictor.observe p ~peer:2 ~s_ref:1_000 ~seq_obs:1_500;
+  Lyra.Predictor.observe p ~peer:2 ~s_ref:1_000 ~seq_obs:1_500;
+  Lyra.Predictor.observe p ~peer:2 ~s_ref:1_000 ~seq_obs:1_500;
+  Alcotest.(check (option int)) "regime change" (Some 500)
+    (Lyra.Predictor.distance p ~peer:2)
+
+let test_predictor_clamps_lies () =
+  let p = Lyra.Predictor.create ~n:3 ~alpha:1.0 ~self:0 in
+  Lyra.Predictor.observe p ~peer:1 ~s_ref:1_000 ~seq_obs:0;
+  (* wildly negative measurement clamps at 0 *)
+  Alcotest.(check (option int)) "clamped" (Some 0) (Lyra.Predictor.distance p ~peer:1)
+
+let test_predictor_predict_blanks () =
+  let p = Lyra.Predictor.create ~n:3 ~alpha:0.5 ~self:0 in
+  Lyra.Predictor.observe p ~peer:1 ~s_ref:0 ~seq_obs:50;
+  let st = Lyra.Predictor.predict p ~s_ref:1_000 in
+  Alcotest.(check (array (option int))) "blanks preserved"
+    [| Some 1_000; Some 1_050; None |] st
+
+let test_requested_seq () =
+  (* n = 4, f = 1: the requested seq is the 3rd smallest. *)
+  let st = [| Some 10; Some 30; Some 20; Some 40 |] in
+  Alcotest.(check (option int)) "3rd smallest" (Some 30)
+    (Lyra.Types.requested_seq ~n:4 ~f:1 st);
+  (* blanks sort last *)
+  let st = [| Some 10; None; Some 20; Some 40 |] in
+  Alcotest.(check (option int)) "blank last" (Some 40)
+    (Lyra.Types.requested_seq ~n:4 ~f:1 st);
+  (* too many blanks: no quorum of predictions *)
+  let st = [| Some 10; None; None; Some 40 |] in
+  Alcotest.(check (option int)) "insufficient" None
+    (Lyra.Types.requested_seq ~n:4 ~f:1 st);
+  (* wrong arity *)
+  Alcotest.(check (option int)) "arity" None
+    (Lyra.Types.requested_seq ~n:4 ~f:1 [| Some 1 |])
+
+let test_requested_seq_lemma2_bound () =
+  (* Lemma 2: at most f entries exceed the requested value. *)
+  let rng = Crypto.Rng.create 77L in
+  for _ = 1 to 200 do
+    let n = 4 + Crypto.Rng.int rng 20 in
+    let f = Dbft.Quorums.max_faulty n in
+    let st = Array.init n (fun _ -> Some (Crypto.Rng.int rng 100_000)) in
+    match Lyra.Types.requested_seq ~n ~f st with
+    | None -> Alcotest.fail "must exist"
+    | Some s ->
+        let above =
+          Array.fold_left
+            (fun acc -> function Some v when v > s -> acc + 1 | _ -> acc)
+            0 st
+        in
+        Alcotest.(check bool) "at most f above" true (above <= f)
+  done
+
+let test_observable_txs () =
+  let tx = { Lyra.Types.tx_id = "t"; payload = "p"; submitted_at = 0; origin = 0 } in
+  let batch obf =
+    { Lyra.Types.iid = { proposer = 0; index = 0 }; txs = [| tx |]; obf; created_at = 0 }
+  in
+  Alcotest.(check bool) "clear visible" true
+    (Lyra.Types.observable_txs (batch Lyra.Types.Clear) <> None);
+  Alcotest.(check bool) "structural hidden" true
+    (Lyra.Types.observable_txs (batch Lyra.Types.Structural) = None)
+
+let test_digest_distinguishes () =
+  let tx id = { Lyra.Types.tx_id = id; payload = "p"; submitted_at = 0; origin = 0 } in
+  let proposal id st =
+    {
+      Lyra.Types.batch =
+        {
+          iid = { proposer = 0; index = 0 };
+          txs = [| tx id |];
+          obf = Lyra.Types.Structural;
+          created_at = 5;
+        };
+      st;
+    }
+  in
+  let a = Lyra.Types.proposal_digest (proposal "a" [| Some 1 |]) in
+  let b = Lyra.Types.proposal_digest (proposal "b" [| Some 1 |]) in
+  let c = Lyra.Types.proposal_digest (proposal "a" [| Some 2 |]) in
+  Alcotest.(check bool) "txs matter" true (not (String.equal a b));
+  Alcotest.(check bool) "st matters" true (not (String.equal a c));
+  Alcotest.(check string) "deterministic" a
+    (Lyra.Types.proposal_digest (proposal "a" [| Some 1 |]))
+
+let test_config_derived () =
+  let cfg = Lyra.Config.default ~n:16 in
+  Alcotest.(check int) "f" 5 (Lyra.Config.f cfg);
+  Alcotest.(check int) "quorum" 11 (Lyra.Config.quorum cfg);
+  Alcotest.(check int) "supermajority" 11 (Lyra.Config.supermajority cfg);
+  Alcotest.(check int) "L = 3 delta" (3 * cfg.delta_us) (Lyra.Config.l_us cfg)
+
+(* --- Commit_state (Alg. 4 lines 79-95) --- *)
+
+let iid p i = { Lyra.Types.proposer = p; index = i }
+
+let test_commit_state_locked () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  Alcotest.(check int) "initially 0" 0 (Lyra.Commit_state.locked cs);
+  (* locked = min of the 2f+1 = 3 highest reports *)
+  Lyra.Commit_state.peer_status cs ~peer:0 ~locked:100 ~min_pending:1_000;
+  Lyra.Commit_state.peer_status cs ~peer:1 ~locked:200 ~min_pending:1_000;
+  Lyra.Commit_state.peer_status cs ~peer:2 ~locked:300 ~min_pending:1_000;
+  Lyra.Commit_state.peer_status cs ~peer:3 ~locked:400 ~min_pending:1_000;
+  Alcotest.(check int) "3rd highest" 200 (Lyra.Commit_state.locked cs)
+
+let test_commit_state_byzantine_low () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  (* one Byzantine process reporting 0 forever cannot stall the prefix *)
+  Lyra.Commit_state.peer_status cs ~peer:0 ~locked:0 ~min_pending:0;
+  Lyra.Commit_state.peer_status cs ~peer:1 ~locked:500 ~min_pending:800;
+  Lyra.Commit_state.peer_status cs ~peer:2 ~locked:600 ~min_pending:900;
+  Lyra.Commit_state.peer_status cs ~peer:3 ~locked:700 ~min_pending:950;
+  Alcotest.(check int) "locked ignores liar" 500 (Lyra.Commit_state.locked cs);
+  Alcotest.(check int) "stable ignores liar" 500 (Lyra.Commit_state.stable cs)
+
+let test_commit_state_stable_pending_bound () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  Lyra.Commit_state.peer_status cs ~peer:0 ~locked:1_000 ~min_pending:300;
+  Lyra.Commit_state.peer_status cs ~peer:1 ~locked:1_000 ~min_pending:400;
+  Lyra.Commit_state.peer_status cs ~peer:2 ~locked:1_000 ~min_pending:500;
+  Lyra.Commit_state.peer_status cs ~peer:3 ~locked:1_000 ~min_pending:600;
+  (* stable = min(locked, 3rd-highest pending) = min(1000, 400) *)
+  Alcotest.(check int) "pending bound" 400 (Lyra.Commit_state.stable cs)
+
+let test_commit_state_committed_and_take () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  for p = 0 to 3 do
+    Lyra.Commit_state.peer_status cs ~peer:p ~locked:250 ~min_pending:10_000
+  done;
+  Lyra.Commit_state.add_accepted cs (iid 0 0) ~seq:100;
+  Lyra.Commit_state.add_accepted cs (iid 1 0) ~seq:200;
+  Lyra.Commit_state.add_accepted cs (iid 2 0) ~seq:300;
+  Alcotest.(check bool) "is accepted" true (Lyra.Commit_state.is_accepted cs (iid 0 0));
+  Alcotest.(check int) "committed = 200" 200 (Lyra.Commit_state.committed cs);
+  let taken = Lyra.Commit_state.take_committable cs in
+  Alcotest.(check (list (pair (pair int int) int))) "in order"
+    [ ((0, 0), 100); ((1, 0), 200) ]
+    (List.map (fun ((i : Lyra.Types.iid), s) -> ((i.proposer, i.index), s)) taken);
+  (* second take is empty until stable advances *)
+  Alcotest.(check (list int)) "drained" []
+    (List.map snd (Lyra.Commit_state.take_committable cs));
+  Alcotest.(check int) "recent holds the rest" 1
+    (List.length (Lyra.Commit_state.accepted_recent cs))
+
+let test_commit_state_ordering_ties () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  for p = 0 to 3 do
+    Lyra.Commit_state.peer_status cs ~peer:p ~locked:1_000 ~min_pending:10_000
+  done;
+  (* equal seq: deterministic (proposer, index) tie-break *)
+  Lyra.Commit_state.add_accepted cs (iid 2 5) ~seq:100;
+  Lyra.Commit_state.add_accepted cs (iid 1 9) ~seq:100;
+  let taken = Lyra.Commit_state.take_committable cs in
+  Alcotest.(check (list int)) "tie break by proposer" [ 1; 2 ]
+    (List.map (fun ((i : Lyra.Types.iid), _) -> i.proposer) taken)
+
+let test_commit_state_idempotent_accept () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  Lyra.Commit_state.add_accepted cs (iid 0 0) ~seq:100;
+  Lyra.Commit_state.add_accepted cs (iid 0 0) ~seq:100;
+  Alcotest.(check int) "once" 1 (Lyra.Commit_state.accepted_count cs)
+
+let test_commit_state_version_bumps () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  let v0 = Lyra.Commit_state.version cs in
+  Lyra.Commit_state.add_accepted cs (iid 0 0) ~seq:100;
+  Alcotest.(check bool) "bumped" true (Lyra.Commit_state.version cs > v0)
+
+let test_commit_state_locked_monotone () =
+  let cs = Lyra.Commit_state.create ~n:4 ~f:1 in
+  for p = 0 to 3 do
+    Lyra.Commit_state.peer_status cs ~peer:p ~locked:500 ~min_pending:10_000
+  done;
+  (* a stale lower report cannot regress the lock *)
+  Lyra.Commit_state.peer_status cs ~peer:0 ~locked:100 ~min_pending:10_000;
+  Alcotest.(check int) "monotone" 500 (Lyra.Commit_state.locked cs)
+
+let test_misbehavior_labels () =
+  Alcotest.(check string) "silent" "silent" (Lyra.Misbehavior.to_string Lyra.Misbehavior.Silent);
+  Alcotest.(check string) "flood" "flood(4/s)"
+    (Lyra.Misbehavior.to_string (Lyra.Misbehavior.Flood { batches_per_sec = 4 }))
+
+let suite =
+  [
+    Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "predictor learns" `Quick test_predictor_learns;
+    Alcotest.test_case "predictor clamps" `Quick test_predictor_clamps_lies;
+    Alcotest.test_case "predictor blanks" `Quick test_predictor_predict_blanks;
+    Alcotest.test_case "requested seq" `Quick test_requested_seq;
+    Alcotest.test_case "lemma 2 bound" `Quick test_requested_seq_lemma2_bound;
+    Alcotest.test_case "observable txs" `Quick test_observable_txs;
+    Alcotest.test_case "digest distinguishes" `Quick test_digest_distinguishes;
+    Alcotest.test_case "config derived" `Quick test_config_derived;
+    Alcotest.test_case "commit locked" `Quick test_commit_state_locked;
+    Alcotest.test_case "commit byz low" `Quick test_commit_state_byzantine_low;
+    Alcotest.test_case "commit stable pending" `Quick test_commit_state_stable_pending_bound;
+    Alcotest.test_case "commit take" `Quick test_commit_state_committed_and_take;
+    Alcotest.test_case "commit tie break" `Quick test_commit_state_ordering_ties;
+    Alcotest.test_case "commit idempotent" `Quick test_commit_state_idempotent_accept;
+    Alcotest.test_case "commit version" `Quick test_commit_state_version_bumps;
+    Alcotest.test_case "commit locked monotone" `Quick test_commit_state_locked_monotone;
+    Alcotest.test_case "misbehavior labels" `Quick test_misbehavior_labels;
+  ]

@@ -1,0 +1,24 @@
+(* Aggregated test entry point: `dune runtest` runs every suite. *)
+
+let () =
+  Alcotest.run "lyra-reproduction"
+    [
+      ("rng", Test_rng.suite);
+      ("field", Test_field.suite);
+      ("hashes", Test_hashes.suite);
+      ("signatures", Test_signatures.suite);
+      ("secret-sharing", Test_secret_sharing.suite);
+      ("merkle", Test_merkle.suite);
+      ("sim", Test_sim.suite);
+      ("trace", Test_trace.suite);
+      ("dbft", Test_dbft.suite);
+      ("lyra-units", Test_lyra_units.suite);
+      ("vvb-instance", Test_vvb.suite);
+      ("commit-model", Test_commit_model.suite);
+      ("lyra-cluster", Test_lyra_cluster.suite);
+      ("hotstuff", Test_hotstuff.suite);
+      ("pompe", Test_pompe.suite);
+      ("apps", Test_apps.suite);
+      ("metrics-workload", Test_metrics_workload.suite);
+      ("attacks", Test_attacks.suite);
+    ]

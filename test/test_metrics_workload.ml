@@ -1,0 +1,118 @@
+(* Statistics helpers, recorders, table rendering, and client pools. *)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Metrics.Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Metrics.Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Metrics.Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Metrics.Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p25 interp" 2.0 (Metrics.Stats.percentile 25.0 xs);
+  let lo, hi = Metrics.Stats.min_max xs in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 5.0 hi;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Metrics.Stats.stddev xs)
+
+let test_stats_edges () =
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Metrics.Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "single stddev" 0.0 (Metrics.Stats.stddev [| 7.0 |]);
+  Alcotest.(check bool) "empty percentile raises" true
+    (try ignore (Metrics.Stats.percentile 50.0 [||]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad p raises" true
+    (try ignore (Metrics.Stats.percentile 150.0 [| 1.0 |]); false
+     with Invalid_argument _ -> true)
+
+let test_recorder_grows () =
+  let r = Metrics.Recorder.create () in
+  Alcotest.(check bool) "empty" true (Metrics.Recorder.is_empty r);
+  for i = 1 to 5_000 do
+    Metrics.Recorder.record r (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 5_000 (Metrics.Recorder.count r);
+  Alcotest.(check (float 1e-6)) "mean" 2500.5 (Metrics.Recorder.mean r);
+  Metrics.Recorder.clear r;
+  Alcotest.(check int) "cleared" 0 (Metrics.Recorder.count r)
+
+let test_table_render () =
+  let s =
+    Metrics.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has separator" true (String.contains s '-');
+  Alcotest.(check int) "4 lines" 4
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+let test_closed_pool () =
+  let e = Sim.Engine.create () in
+  let submitted = ref [] in
+  let counter = ref 0 in
+  let submit ~payload:_ =
+    incr counter;
+    let id = Printf.sprintf "tx%d" !counter in
+    submitted := id :: !submitted;
+    id
+  in
+  let pool =
+    Workload.Clients.Closed.create e ~clients:3 ~payload:(fun () -> "p") ~submit ()
+  in
+  Workload.Clients.Closed.start pool;
+  Alcotest.(check int) "3 outstanding" 3 (Workload.Clients.Closed.submitted pool);
+  (* completing one releases exactly one new submission *)
+  Workload.Clients.Closed.tx_done pool "tx1";
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "one more" 4 (Workload.Clients.Closed.submitted pool);
+  Alcotest.(check int) "completed" 1 (Workload.Clients.Closed.completed pool);
+  (* unknown ids are ignored *)
+  Workload.Clients.Closed.tx_done pool "bogus";
+  Alcotest.(check int) "unchanged" 4 (Workload.Clients.Closed.submitted pool)
+
+let test_closed_pool_think_time () =
+  let e = Sim.Engine.create () in
+  let counter = ref 0 in
+  let submit ~payload:_ = incr counter; Printf.sprintf "t%d" !counter in
+  let pool =
+    Workload.Clients.Closed.create e ~clients:1 ~think_time_us:500
+      ~payload:(fun () -> "p") ~submit ()
+  in
+  Workload.Clients.Closed.start pool;
+  Workload.Clients.Closed.tx_done pool "t1";
+  Alcotest.(check int) "waits" 1 (Workload.Clients.Closed.submitted pool);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "then submits" 2 (Workload.Clients.Closed.submitted pool)
+
+let test_open_rate () =
+  let e = Sim.Engine.create () in
+  let counter = ref 0 in
+  let submit ~payload:_ = incr counter; "x" in
+  let gen =
+    Workload.Clients.Open.create e ~rate_per_sec:1000.0 ~payload:(fun () -> "p")
+      ~submit ()
+  in
+  Workload.Clients.Open.start gen;
+  Sim.Engine.run e ~until:1_000_000;
+  Workload.Clients.Open.stop gen;
+  let n = Workload.Clients.Open.submitted gen in
+  Alcotest.(check bool) "~1000 arrivals" true (n > 800 && n < 1200);
+  let before = n in
+  Sim.Engine.run e ~until:2_000_000;
+  Alcotest.(check bool) "stopped" true (Workload.Clients.Open.submitted gen <= before + 1)
+
+let test_payload_generators () =
+  let rng = Crypto.Rng.create 9L in
+  let fixed = Workload.Clients.fixed_payload ~size:32 rng in
+  Alcotest.(check int) "fixed size" 32 (String.length (fixed ()));
+  let kv = Workload.Clients.kv_payload ~keys:10 rng in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "parses" true (App.Kvstore.parse (kv ()) <> None)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats edges" `Quick test_stats_edges;
+    Alcotest.test_case "recorder grows" `Quick test_recorder_grows;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "closed pool" `Quick test_closed_pool;
+    Alcotest.test_case "closed pool think time" `Quick test_closed_pool_think_time;
+    Alcotest.test_case "open rate" `Quick test_open_rate;
+    Alcotest.test_case "payload generators" `Quick test_payload_generators;
+  ]

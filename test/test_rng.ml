@@ -1,0 +1,108 @@
+(* Determinism and distribution sanity of the SplitMix64 generator. *)
+
+open Crypto
+
+let test_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_copy_independent () =
+  let a = Rng.create 7L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy aligned" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  (* b is now behind a and evolves on its own *)
+  ignore (Rng.next_int64 b)
+
+let test_split_decorrelates () =
+  let a = Rng.create 7L in
+  let child = Rng.split a in
+  let x = Rng.next_int64 a and y = Rng.next_int64 child in
+  Alcotest.(check bool) "different streams" true (x <> y)
+
+let test_int_bounds () =
+  let rng = Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_float_range () =
+  let rng = Rng.create 2L in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "[0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.create 3L in
+  let k = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to k do
+    sum := !sum +. Rng.gaussian rng ~mu:5.0 ~sigma:2.0
+  done;
+  let mean = !sum /. float_of_int k in
+  Alcotest.(check bool) "mean near mu" true (abs_float (mean -. 5.0) < 0.1)
+
+let test_exponential_mean () =
+  let rng = Rng.create 4L in
+  let k = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to k do
+    sum := !sum +. Rng.exponential rng ~mean:100.0
+  done;
+  let mean = !sum /. float_of_int k in
+  Alcotest.(check bool) "mean near 100" true (abs_float (mean -. 100.0) < 5.0)
+
+let test_bytes_length () =
+  let rng = Rng.create 5L in
+  Alcotest.(check int) "length" 33 (String.length (Rng.bytes rng 33))
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 6L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_pick_member () =
+  let rng = Rng.create 8L in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (List.mem (Rng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done
+
+let prop_int_uniform_ish =
+  QCheck.Test.make ~name:"rng int covers all residues" ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let seen = Array.make 8 false in
+      for _ = 1 to 200 do
+        seen.(Rng.int rng 8) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split decorrelates" `Quick test_split_decorrelates;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "bytes length" `Quick test_bytes_length;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "pick member" `Quick test_pick_member;
+    QCheck_alcotest.to_alcotest prop_int_uniform_ish;
+  ]

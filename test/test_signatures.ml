@@ -1,0 +1,97 @@
+(* Schnorr signatures and the quorum threshold scheme. *)
+
+open Crypto
+
+let rng = Rng.create 123L
+
+let test_sign_verify () =
+  let kp = Keys.generate rng ~id:0 in
+  let sg = Schnorr.sign kp "hello world" in
+  Alcotest.(check bool) "verifies" true (Schnorr.verify ~pk:kp.pk "hello world" sg)
+
+let test_wrong_message_fails () =
+  let kp = Keys.generate rng ~id:0 in
+  let sg = Schnorr.sign kp "hello" in
+  Alcotest.(check bool) "rejects" false (Schnorr.verify ~pk:kp.pk "hellO" sg)
+
+let test_wrong_key_fails () =
+  let kp = Keys.generate rng ~id:0 and other = Keys.generate rng ~id:1 in
+  let sg = Schnorr.sign kp "hello" in
+  Alcotest.(check bool) "rejects" false (Schnorr.verify ~pk:other.pk "hello" sg)
+
+let test_deterministic () =
+  let kp = Keys.generate rng ~id:0 in
+  let a = Schnorr.sign kp "m" and b = Schnorr.sign kp "m" in
+  Alcotest.(check bool) "same signature" true (Schnorr.equal a b)
+
+let test_directory_verify () =
+  let pairs, dir = Keys.setup rng 4 in
+  let sg = Schnorr.sign pairs.(2) "m" in
+  Alcotest.(check bool) "by signer 2" true (Schnorr.verify_by ~dir ~signer:2 "m" sg);
+  Alcotest.(check bool) "not signer 1" false (Schnorr.verify_by ~dir ~signer:1 "m" sg);
+  Alcotest.(check bool) "bad index" false (Schnorr.verify_by ~dir ~signer:9 "m" sg)
+
+let test_tampered_s_fails () =
+  let kp = Keys.generate rng ~id:0 in
+  let sg = Schnorr.sign kp "m" in
+  let bad = { sg with Schnorr.s = sg.Schnorr.s + 1 } in
+  Alcotest.(check bool) "rejects" false (Schnorr.verify ~pk:kp.pk "m" bad)
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"sign/verify roundtrip" ~count:50 QCheck.small_string
+       (fun msg ->
+         let kp = Keys.generate rng ~id:0 in
+         Schnorr.verify ~pk:kp.pk msg (Schnorr.sign kp msg)))
+
+let test_threshold_roundtrip () =
+  let pairs, dir = Keys.setup rng 7 in
+  let shares =
+    Array.to_list (Array.map (fun kp -> Threshold.share_sign kp "payload") pairs)
+  in
+  List.iter
+    (fun sh -> Alcotest.(check bool) "share ok" true (Threshold.share_verify ~dir "payload" sh))
+    shares;
+  match Threshold.combine ~threshold:5 shares with
+  | None -> Alcotest.fail "combine failed"
+  | Some c ->
+      Alcotest.(check bool) "combined ok" true
+        (Threshold.verify_combined ~dir ~threshold:5 "payload" c);
+      Alcotest.(check bool) "wrong msg" false
+        (Threshold.verify_combined ~dir ~threshold:5 "other" c);
+      Alcotest.(check int) "5 signers" 5 (List.length (Threshold.signers c))
+
+let test_threshold_too_few () =
+  let pairs, _ = Keys.setup rng 7 in
+  let shares =
+    List.init 4 (fun i -> Threshold.share_sign pairs.(i) "m")
+  in
+  Alcotest.(check bool) "needs 5" true (Threshold.combine ~threshold:5 shares = None)
+
+let test_threshold_duplicate_signers () =
+  let pairs, _ = Keys.setup rng 7 in
+  let sh = Threshold.share_sign pairs.(0) "m" in
+  (* 5 copies of the same signer are one distinct signer *)
+  Alcotest.(check bool) "duplicates don't count" true
+    (Threshold.combine ~threshold:5 [ sh; sh; sh; sh; sh ] = None)
+
+let test_threshold_forged_share () =
+  let pairs, dir = Keys.setup rng 4 in
+  let sh = Threshold.share_sign pairs.(0) "m" in
+  let forged = { sh with Threshold.signer = 1 } in
+  Alcotest.(check bool) "forged rejected" false (Threshold.share_verify ~dir "m" forged)
+
+let suite =
+  [
+    Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+    Alcotest.test_case "wrong message" `Quick test_wrong_message_fails;
+    Alcotest.test_case "wrong key" `Quick test_wrong_key_fails;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "directory verify" `Quick test_directory_verify;
+    Alcotest.test_case "tampered s" `Quick test_tampered_s_fails;
+    prop_roundtrip;
+    Alcotest.test_case "threshold roundtrip" `Quick test_threshold_roundtrip;
+    Alcotest.test_case "threshold too few" `Quick test_threshold_too_few;
+    Alcotest.test_case "threshold duplicates" `Quick test_threshold_duplicate_signers;
+    Alcotest.test_case "threshold forged share" `Quick test_threshold_forged_share;
+  ]

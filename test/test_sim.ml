@@ -1,0 +1,267 @@
+(* Discrete-event engine, heap, CPU model, latency models, adversary
+   and network transport. *)
+
+let test_heap_ordering () =
+  let h = Sim.Event_heap.create () in
+  List.iter (fun t -> Sim.Event_heap.push h ~time:t t) [ 5; 1; 9; 3; 7 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Sim.Event_heap.pop h))) in
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] order
+
+let test_heap_fifo_ties () =
+  let h = Sim.Event_heap.create () in
+  List.iter (fun v -> Sim.Event_heap.push h ~time:42 v) [ "a"; "b"; "c" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Sim.Event_heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] order
+
+let test_heap_grows () =
+  let h = Sim.Event_heap.create () in
+  for i = 999 downto 0 do
+    Sim.Event_heap.push h ~time:i i
+  done;
+  Alcotest.(check int) "size" 1000 (Sim.Event_heap.size h);
+  let prev = ref (-1) in
+  for _ = 1 to 1000 do
+    let t, _ = Option.get (Sim.Event_heap.pop h) in
+    Alcotest.(check bool) "monotone" true (t > !prev);
+    prev := t
+  done;
+  Alcotest.(check bool) "empty" true (Sim.Event_heap.is_empty h)
+
+let test_engine_ordering_and_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:30 (fun () -> log := 30 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log));
+  ignore
+    (Sim.Engine.schedule e ~delay:20 (fun () ->
+         log := 20 :: !log;
+         (* nested scheduling *)
+         ignore (Sim.Engine.schedule e ~delay:5 (fun () -> log := 25 :: !log))));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "order" [ 10; 20; 25; 30 ] (List.rev !log);
+  Alcotest.(check int) "time" 30 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let t = Sim.Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Sim.Engine.cancel t;
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.Engine.schedule e ~delay:(i * 10) (fun () -> incr count))
+  done;
+  Sim.Engine.run e ~until:55;
+  Alcotest.(check int) "5 fired" 5 !count;
+  Alcotest.(check int) "clock at until" 55 (Sim.Engine.now e);
+  Sim.Engine.run e ~until:200;
+  Alcotest.(check int) "all fired" 10 !count
+
+let test_engine_past_raises () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.run e ~until:100;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sim.Engine.schedule_at e ~time:50 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_livelock_guard () =
+  let e = Sim.Engine.create () in
+  let rec loop () = ignore (Sim.Engine.schedule e ~delay:1 loop) in
+  loop ();
+  Alcotest.(check bool) "guard fires" true
+    (try
+       Sim.Engine.run_until_idle ~limit:1000 e;
+       false
+     with Failure _ -> true)
+
+let test_cpu_fifo () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  let done_at = ref [] in
+  Sim.Cpu.submit cpu ~service_us:100 (fun () -> done_at := Sim.Engine.now e :: !done_at);
+  Sim.Cpu.submit cpu ~service_us:50 (fun () -> done_at := Sim.Engine.now e :: !done_at);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "serialized" [ 100; 150 ] (List.rev !done_at);
+  Alcotest.(check int) "busy" 150 (Sim.Cpu.busy_us cpu)
+
+let test_cpu_cores () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create ~cores:4 e in
+  let at = ref 0 in
+  Sim.Cpu.submit cpu ~service_us:100 (fun () -> at := Sim.Engine.now e);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "4x faster" 25 !at
+
+let test_cpu_idle_gap () =
+  let e = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create e in
+  Sim.Cpu.submit cpu ~service_us:10 (fun () -> ());
+  Sim.Engine.run_until_idle e;
+  (* CPU went idle; a later job starts from now, not from free_at *)
+  ignore (Sim.Engine.schedule e ~delay:100 (fun () ->
+      Sim.Cpu.submit cpu ~service_us:10 (fun () ->
+          Alcotest.(check int) "starts at now" 120 (Sim.Engine.now e))));
+  Sim.Engine.run_until_idle e
+
+let test_latency_models () =
+  let rng = Crypto.Rng.create 1L in
+  let c = Sim.Latency.constant 500 in
+  Alcotest.(check int) "constant" 500 (Sim.Latency.sample c rng ~src:0 ~dst:1);
+  let u = Sim.Latency.uniform ~lo:10 ~hi:20 in
+  for _ = 1 to 100 do
+    let v = Sim.Latency.sample u rng ~src:0 ~dst:1 in
+    Alcotest.(check bool) "uniform range" true (v >= 10 && v <= 20)
+  done;
+  let reg = Sim.Latency.regional ~jitter:0.05 [| Sim.Regions.Oregon; Sim.Regions.Sydney |] in
+  Alcotest.(check int) "base" 69_000 (Sim.Latency.base_us reg ~src:0 ~dst:1);
+  for _ = 1 to 100 do
+    let v = Sim.Latency.sample reg rng ~src:0 ~dst:1 in
+    Alcotest.(check bool) "near base" true (abs (v - 69_000) < 20_000)
+  done
+
+let test_regions () =
+  let open Sim.Regions in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int) "symmetric" (one_way_us a b) (one_way_us b a))
+        all)
+    all;
+  Alcotest.(check bool) "fig1 violation" true
+    (violates_triangle ~src:Tokyo ~via:Singapore ~dst:Sydney);
+  Alcotest.(check bool) "paper mesh has no violation" false
+    (violates_triangle ~src:Oregon ~via:Ireland ~dst:Sydney);
+  let placement = paper_placement 10 in
+  Alcotest.(check int) "ten nodes" 10 (Array.length placement);
+  Alcotest.(check bool) "three regions" true
+    (Array.exists (equal Oregon) placement
+    && Array.exists (equal Ireland) placement
+    && Array.exists (equal Sydney) placement)
+
+let test_adversary_pre_gst () =
+  let rng = Crypto.Rng.create 4L in
+  let adv = Sim.Adversary.pre_gst ~gst:1_000 ~max_extra:500 in
+  Alcotest.(check int) "gst" 1_000 (Sim.Adversary.gst adv);
+  for _ = 1 to 100 do
+    let d = Sim.Adversary.extra_delay adv rng ~now:100 ~src:0 ~dst:1 in
+    Alcotest.(check bool) "bounded" true (d >= 0 && d <= 500)
+  done;
+  Alcotest.(check int) "post-gst silent" 0
+    (Sim.Adversary.extra_delay adv rng ~now:2_000 ~src:0 ~dst:1)
+
+let test_adversary_targeted () =
+  let rng = Crypto.Rng.create 4L in
+  let adv = Sim.Adversary.targeted ~gst:1_000 ~max_extra:500 ~victims:[ 2 ] in
+  Alcotest.(check int) "non-victim" 0
+    (Sim.Adversary.extra_delay adv rng ~now:0 ~src:0 ~dst:1);
+  let hit = ref false in
+  for _ = 1 to 50 do
+    if Sim.Adversary.extra_delay adv rng ~now:0 ~src:0 ~dst:2 > 0 then hit := true
+  done;
+  Alcotest.(check bool) "victim delayed" true !hit
+
+type msg = Ping of int
+
+let make_net ?(latency = Sim.Latency.constant 1_000) ?(cost = 10) e n =
+  Sim.Network.create e ~n ~latency
+    ~cost:(fun ~dst:_ _ -> cost)
+    ~size:(fun (Ping _) -> 100)
+    ()
+
+let test_network_delivery () =
+  let e = Sim.Engine.create () in
+  let net = make_net e 3 in
+  let got = ref [] in
+  Sim.Network.register net ~id:1 (fun ~src (Ping k) -> got := (src, k) :: !got);
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 7);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list (pair int int))) "delivered" [ (0, 7) ] !got;
+  (* latency 1000 + size 100B*8ns = 0 -> wire; + cost 10 on 8 cores -> 2 *)
+  Alcotest.(check bool) "timing sane" true (Sim.Engine.now e >= 1_000);
+  Alcotest.(check int) "sent" 1 (Sim.Network.messages_sent net);
+  Alcotest.(check int) "delivered count" 1 (Sim.Network.messages_delivered net)
+
+let test_network_broadcast_includes_self () =
+  let e = Sim.Engine.create () in
+  let net = make_net e 3 in
+  let counts = Array.make 3 0 in
+  for i = 0 to 2 do
+    Sim.Network.register net ~id:i (fun ~src:_ (Ping _) -> counts.(i) <- counts.(i) + 1)
+  done;
+  Sim.Network.broadcast net ~src:0 (Ping 1);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (array int)) "all got one" [| 1; 1; 1 |] counts
+
+let test_network_crash () =
+  let e = Sim.Engine.create () in
+  let net = make_net e 2 in
+  let got = ref 0 in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping _) -> incr got);
+  Sim.Network.crash net 1;
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "crashed silent" 0 !got;
+  Alcotest.(check bool) "flag" true (Sim.Network.is_crashed net 1);
+  (* crashed nodes do not send either *)
+  Sim.Network.send net ~src:1 ~dst:0 (Ping 1);
+  Alcotest.(check int) "no send" 1 (Sim.Network.messages_sent net)
+
+let test_network_nic_serializes () =
+  (* With 8 ns/byte, a 100-byte message takes 800ns = 0 (rounded to µs
+     at 0.8) ... use a big ns_per_byte to observe serialization. *)
+  let e = Sim.Engine.create () in
+  let net =
+    Sim.Network.create e ~n:3 ~latency:(Sim.Latency.constant 0) ~ns_per_byte:100_000
+      ~cost:(fun ~dst:_ _ -> 0)
+      ~size:(fun (Ping _) -> 100)
+      ()
+  in
+  let times = ref [] in
+  for i = 1 to 2 do
+    Sim.Network.register net ~id:i (fun ~src:_ (Ping _) -> times := Sim.Engine.now e :: !times)
+  done;
+  (* Two 10ms transmissions from node 0 must serialize on its NIC. *)
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+  Sim.Network.send net ~src:0 ~dst:2 (Ping 2);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "serialized egress" [ 10_000; 20_000 ] (List.rev !times)
+
+let test_network_bad_endpoint () =
+  let e = Sim.Engine.create () in
+  let net = make_net e 2 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Sim.Network.send net ~src:0 ~dst:5 (Ping 1);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap grows" `Quick test_heap_grows;
+    Alcotest.test_case "engine ordering" `Quick test_engine_ordering_and_time;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine run until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine past raises" `Quick test_engine_past_raises;
+    Alcotest.test_case "engine livelock guard" `Quick test_engine_livelock_guard;
+    Alcotest.test_case "cpu fifo" `Quick test_cpu_fifo;
+    Alcotest.test_case "cpu cores" `Quick test_cpu_cores;
+    Alcotest.test_case "cpu idle gap" `Quick test_cpu_idle_gap;
+    Alcotest.test_case "latency models" `Quick test_latency_models;
+    Alcotest.test_case "regions" `Quick test_regions;
+    Alcotest.test_case "adversary pre-gst" `Quick test_adversary_pre_gst;
+    Alcotest.test_case "adversary targeted" `Quick test_adversary_targeted;
+    Alcotest.test_case "network delivery" `Quick test_network_delivery;
+    Alcotest.test_case "network broadcast" `Quick test_network_broadcast_includes_self;
+    Alcotest.test_case "network crash" `Quick test_network_crash;
+    Alcotest.test_case "network nic serializes" `Quick test_network_nic_serializes;
+    Alcotest.test_case "network bad endpoint" `Quick test_network_bad_endpoint;
+  ]

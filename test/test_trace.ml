@@ -1,0 +1,57 @@
+(* The simulation trace facility. *)
+
+let test_record_and_filter () =
+  let e = Sim.Engine.create () in
+  let tr = Sim.Trace.create e in
+  Sim.Trace.record tr ~node:0 ~category:"init" "a";
+  ignore (Sim.Engine.schedule e ~delay:100 (fun () ->
+      Sim.Trace.record tr ~node:1 ~category:"vote" "b"));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "count" 2 (Sim.Trace.count tr);
+  (match Sim.Trace.events ~category:"vote" tr with
+  | [ ev ] ->
+      Alcotest.(check int) "timestamped" 100 ev.Sim.Trace.at_us;
+      Alcotest.(check int) "node" 1 ev.Sim.Trace.node
+  | _ -> Alcotest.fail "filter by category");
+  Alcotest.(check int) "filter by node" 1
+    (List.length (Sim.Trace.events ~node:0 tr));
+  Alcotest.(check int) "since" 1
+    (List.length (Sim.Trace.events ~since_us:50 tr))
+
+let test_category_subscription () =
+  let e = Sim.Engine.create () in
+  let tr = Sim.Trace.create ~categories:[ "decide" ] e in
+  Alcotest.(check bool) "enabled" true (Sim.Trace.enabled tr "decide");
+  Alcotest.(check bool) "disabled" false (Sim.Trace.enabled tr "vote");
+  Sim.Trace.record tr ~node:0 ~category:"vote" "dropped";
+  Sim.Trace.record tr ~node:0 ~category:"decide" "kept";
+  Alcotest.(check int) "only subscribed" 1 (Sim.Trace.count tr)
+
+let test_capacity_bound () =
+  let e = Sim.Engine.create () in
+  let tr = Sim.Trace.create ~capacity:10 e in
+  for i = 1 to 25 do
+    Sim.Trace.record tr ~node:0 ~category:"c" (string_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 10 (Sim.Trace.count tr);
+  Alcotest.(check int) "dropped" 15 (Sim.Trace.dropped tr);
+  (* oldest dropped: survivors are 16..25 *)
+  match Sim.Trace.events tr with
+  | first :: _ -> Alcotest.(check string) "oldest kept" "16" first.Sim.Trace.detail
+  | [] -> Alcotest.fail "empty"
+
+let test_dump () =
+  let e = Sim.Engine.create () in
+  let tr = Sim.Trace.create e in
+  Sim.Trace.record tr ~node:2 ~category:"commit" "batch 0/1";
+  let s = Sim.Trace.dump tr in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0);
+  Alcotest.(check bool) "one line" true (String.contains s '\n')
+
+let suite =
+  [
+    Alcotest.test_case "record and filter" `Quick test_record_and_filter;
+    Alcotest.test_case "category subscription" `Quick test_category_subscription;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "dump" `Quick test_dump;
+  ]
