@@ -1,0 +1,65 @@
+(* lyra_lint: determinism & protocol-safety static analysis over the
+   repo's own sources. See docs/LINT.md for the rule catalog.
+
+   Exit codes: 0 no findings, 1 findings, 2 usage / IO / parse error. *)
+
+let usage =
+  "lyra_lint [--root DIR] [--rules R1,R2] [--format human|json] [--allow FILE]\n\
+   Lints the OCaml sources under DIR (default .) for determinism and\n\
+   protocol-safety violations. Rules: "
+  ^ String.concat ", " (List.map Lint.Rules.to_string Lint.Rules.all)
+
+let die msg =
+  prerr_endline ("lyra_lint: " ^ msg);
+  exit 2
+
+let parse_rules spec =
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         let s = String.trim s in
+         match Lint.Rules.of_string s with
+         | Some r -> r
+         | None -> die ("unknown rule id " ^ s))
+
+let () =
+  let root = ref "." in
+  let rules = ref "" in
+  let format = ref "human" in
+  let allow = ref "" in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
+      ("--rules", Arg.Set_string rules, "LIST comma-separated rule ids (default: all)");
+      ("--format", Arg.Set_string format, "FMT human or json (default human)");
+      ("--allow", Arg.Set_string allow, "FILE allowlist (default ROOT/lint.allow if present)");
+    ]
+  in
+  Arg.parse spec (fun a -> die ("unexpected argument " ^ a ^ "\n" ^ usage)) usage;
+  if not (Sys.file_exists !root && Sys.is_directory !root) then
+    die ("root directory not found: " ^ !root);
+  let rules = if !rules = "" then Lint.Rules.all else parse_rules !rules in
+  let format =
+    match Lint.Reporter.format_of_string !format with
+    | Some f -> f
+    | None -> die ("unknown format " ^ !format)
+  in
+  let allow_file =
+    if !allow <> "" then Some !allow
+    else
+      let default = Filename.concat !root "lint.allow" in
+      if Sys.file_exists default then Some default else None
+  in
+  let allowlist =
+    match allow_file with
+    | None -> []
+    | Some f -> ( match Lint.Config.load f with Ok a -> a | Error e -> die e)
+  in
+  match Lint.Scanner.scan_root ~rules ~allowlist ~root:!root with
+  | exception Lint.Scanner.Error msg -> die msg
+  | [] ->
+      Lint.Reporter.print format stdout [];
+      exit 0
+  | findings ->
+      Lint.Reporter.print format stdout findings;
+      exit 1

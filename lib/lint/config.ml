@@ -1,0 +1,125 @@
+(* Scope policy and the two allowlisting mechanisms (lint.allow file,
+   inline "lint: allow RULE" comments). Paths are always repo-relative
+   with '/' separators, e.g. "lib/lyra/node.ml". *)
+
+let scanned_dirs = [ "bench"; "bin"; "examples"; "lib"; "test" ]
+
+let deterministic_dirs =
+  [ "lib/dbft"; "lib/harness"; "lib/hotstuff"; "lib/lyra"; "lib/pompe"; "lib/sim" ]
+
+let under dir path = String.length path > String.length dir && String.starts_with ~prefix:(dir ^ "/") path
+
+let is_deterministic path = List.exists (fun d -> under d path) deterministic_dirs
+
+let in_lib path = under "lib" path
+
+(* The seeded generator itself is the one module allowed to *define*
+   randomness; everything else must thread a Crypto.Rng.t through. *)
+let is_rng_module path = path = "lib/crypto/rng.ml" || path = "lib/crypto/rng.mli"
+
+(* ------------------------------------------------------------------ *)
+(* lint.allow file: one entry per line, "RULE path[:line]", '#' starts
+   a comment. An entry without :line allows the rule anywhere in the
+   file.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { rule : string; path : string; line : int option }
+
+type allowlist = entry list
+
+let parse content =
+  let err lnum msg = Error (Printf.sprintf "lint.allow:%d: %s" lnum msg) in
+  let parse_line lnum acc line =
+    match acc with
+    | Error _ -> acc
+    | Ok entries -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
+        | [] -> Ok entries
+        | [ rule; target ] -> (
+            if Rules.of_string rule = None then err lnum ("unknown rule id " ^ rule)
+            else
+              match String.index_opt target ':' with
+              | None -> Ok ({ rule; path = target; line = None } :: entries)
+              | Some i -> (
+                  let path = String.sub target 0 i in
+                  let ln = String.sub target (i + 1) (String.length target - i - 1) in
+                  match int_of_string_opt ln with
+                  | Some n when n > 0 -> Ok ({ rule; path; line = Some n } :: entries)
+                  | _ -> err lnum ("bad line number " ^ ln)))
+        | _ -> err lnum "expected \"RULE path[:line]\"")
+  in
+  let lines = String.split_on_char '\n' content in
+  match List.fold_left (fun (lnum, acc) l -> (lnum + 1, parse_line lnum acc l)) (1, Ok []) lines with
+  | _, Ok entries -> Ok (List.rev entries)
+  | _, (Error _ as e) -> e
+
+let load file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | content -> parse content
+  | exception Sys_error msg -> Error msg
+
+let allows entries ~rule ~path ~line =
+  List.exists
+    (fun e ->
+      e.rule = Rules.to_string rule && e.path = path
+      && match e.line with None -> true | Some n -> n = line)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Inline allows: a comment containing "lint: allow R1 R2 ..." exempts
+   findings on the directive's own line and the line directly below,
+   so both trailing comments and a comment line above the offending
+   expression work.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let directive = "lint: allow"
+
+let rule_ids_after line i =
+  let n = String.length line in
+  let is_id_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') in
+  let rec tokens i acc =
+    if i >= n then acc
+    else if line.[i] = ' ' then tokens (i + 1) acc
+    else
+      let j = ref i in
+      while !j < n && is_id_char line.[!j] do incr j done;
+      if !j = i then acc
+      else
+        let tok = String.sub line i (!j - i) in
+        match Rules.of_string tok with
+        | Some _ -> tokens !j (tok :: acc)
+        | None -> acc
+  in
+  List.rev (tokens i [])
+
+let substring_index hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let inline_allows source =
+  let lines = String.split_on_char '\n' source in
+  List.concat
+    (List.mapi
+       (fun idx line ->
+         match substring_index line directive with
+         | None -> []
+         | Some i -> (
+             match rule_ids_after line (i + String.length directive) with
+             | [] -> []
+             | rules -> [ (idx + 1, rules) ]))
+       lines)
+
+let inline_allowed allows_by_line ~rule ~line =
+  List.exists
+    (fun (l, rules) -> (line = l || line = l + 1) && List.mem (Rules.to_string rule) rules)
+    allows_by_line

@@ -1,0 +1,47 @@
+(** Scope policy and allowlisting for {!Scanner}.
+
+    Paths handled here are always repo-relative with ['/'] separators
+    (e.g. ["lib/lyra/node.ml"]). *)
+
+(** Top-level directories the linter walks, in scan order. *)
+val scanned_dirs : string list
+
+(** Directories whose code must be bit-for-bit deterministic; {!Rules.D001}
+    only applies here. *)
+val deterministic_dirs : string list
+
+val is_deterministic : string -> bool
+
+val in_lib : string -> bool
+
+(** [lib/crypto/rng] is the sanctioned source of (seeded) randomness and
+    exempt from the [Random] bans of {!Rules.D002}. *)
+val is_rng_module : string -> bool
+
+(** {1 The [lint.allow] file}
+
+    One entry per line: ["RULE path[:line]"]. ['#'] starts a comment.
+    An entry without [:line] allows the rule anywhere in that file. *)
+
+type entry = { rule : string; path : string; line : int option }
+
+type allowlist = entry list
+
+val parse : string -> (allowlist, string) result
+
+(** [load file] reads and parses [file]. *)
+val load : string -> (allowlist, string) result
+
+val allows : allowlist -> rule:Rules.id -> path:string -> line:int -> bool
+
+(** {1 Inline allows}
+
+    A source comment containing ["lint: allow R1 R2 ..."] exempts
+    findings on the directive's own line and on the line directly
+    below it. *)
+
+(** [inline_allows source] returns [(line, rule ids)] for every
+    directive in [source]; lines are 1-based. *)
+val inline_allows : string -> (int * string list) list
+
+val inline_allowed : (int * string list) list -> rule:Rules.id -> line:int -> bool

@@ -1,0 +1,41 @@
+type format = Human | Json
+
+let format_of_string = function
+  | "human" -> Some Human
+  | "json" -> Some Json
+  | _ -> None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_human out (findings : Scanner.finding list) =
+  List.iter
+    (fun (f : Scanner.finding) ->
+      Printf.fprintf out "%s:%d: [%s] %s\n" f.file f.line (Rules.to_string f.rule) f.message)
+    findings;
+  match List.length findings with
+  | 0 -> Printf.fprintf out "lyra_lint: no findings\n"
+  | n -> Printf.fprintf out "lyra_lint: %d finding%s\n" n (if n = 1 then "" else "s")
+
+let print_json out (findings : Scanner.finding list) =
+  let item (f : Scanner.finding) =
+    Printf.sprintf "  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"message\": \"%s\"}"
+      (Rules.to_string f.rule) (json_escape f.file) f.line (json_escape f.message)
+  in
+  match findings with
+  | [] -> Printf.fprintf out "[]\n"
+  | _ -> Printf.fprintf out "[\n%s\n]\n" (String.concat ",\n" (List.map item findings))
+
+let print format out findings =
+  match format with Human -> print_human out findings | Json -> print_json out findings

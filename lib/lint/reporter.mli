@@ -1,0 +1,11 @@
+(** Diagnostic output for {!Scanner} findings. *)
+
+type format = Human | Json
+
+val format_of_string : string -> format option
+
+(** [print format out findings] writes the report to [out]. Human
+    format is one ["file:line: [RULE] message"] per finding plus a
+    summary line; JSON is an array of
+    [{"rule", "file", "line", "message"}] objects. *)
+val print : format -> out_channel -> Scanner.finding list -> unit

@@ -1,0 +1,56 @@
+type id = D001 | D002 | D003 | S001 | S002 | S003
+
+let all = [ D001; D002; D003; S001; S002; S003 ]
+
+let to_string = function
+  | D001 -> "D001"
+  | D002 -> "D002"
+  | D003 -> "D003"
+  | S001 -> "S001"
+  | S002 -> "S002"
+  | S003 -> "S003"
+
+let of_string = function
+  | "D001" -> Some D001
+  | "D002" -> Some D002
+  | "D003" -> Some D003
+  | "S001" -> Some S001
+  | "S002" -> Some S002
+  | "S003" -> Some S003
+  | _ -> None
+
+let summary = function
+  | D001 -> "unordered hash-table traversal in deterministic code"
+  | D002 -> "wall clock or ambient entropy"
+  | D003 -> "polymorphic structural comparison or hashing"
+  | S001 -> "unsafe Obj primitives"
+  | S002 -> "library module without an interface"
+  | S003 -> "warning suppression in lib/"
+
+let rationale = function
+  | D001 ->
+      "Hashtbl.iter/fold/to_seq visit bindings in an unspecified order \
+       that can change across runs and compiler versions; in protocol or \
+       simulator code this silently changes decided sequence numbers, \
+       committed prefixes and metrics. Use Sim.Det.sorted_bindings (or \
+       collect, sort by key, then fold)."
+  | D002 ->
+      "Unix.gettimeofday, Sys.time and the ambient Random.* generator \
+       read host state, so two runs from the same seed diverge. Use \
+       Sim.Engine.now for simulated time and Crypto.Rng for seeded \
+       randomness."
+  | D003 ->
+      "Polymorphic compare / Hashtbl.hash inspect runtime representation: \
+       they raise on closures, and their verdict silently changes when a \
+       type gains a mutable, abstract or functional field. Use the \
+       type-specific comparison (Int.compare, Float.compare, \
+       Types.iid_compare, ...)."
+  | S001 ->
+      "Obj.magic and friends defeat the type system; a representation \
+       change turns them into memory corruption."
+  | S002 ->
+      "Every lib/ module must ship a .mli so invariants are enforced at \
+       the module boundary and the public surface is deliberate."
+  | S003 ->
+      "[@warning \"-...\"] hides exactly the diagnostics (unused cases, \
+       partial matches) that catch protocol bugs; fix the code instead."

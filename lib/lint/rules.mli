@@ -1,0 +1,28 @@
+(** The `lyra_lint` rule catalog.
+
+    D-rules protect simulator determinism (the bit-for-bit
+    reproducibility DESIGN.md promises for Lyra-vs-Pompē comparisons);
+    S-rules protect protocol safety and interface hygiene. See
+    docs/LINT.md for the full write-up of each rule. *)
+
+type id =
+  | D001  (** unordered [Hashtbl] traversal in deterministic code *)
+  | D002  (** wall clock / ambient entropy outside sanctioned modules *)
+  | D003  (** polymorphic structural compare / hash *)
+  | S001  (** [Obj.magic] / [Obj.repr] / [Obj.obj] *)
+  | S002  (** lib/ module without a [.mli] *)
+  | S003  (** [@warning "-..."] suppression in lib/ *)
+
+(** Every rule, in catalog order. *)
+val all : id list
+
+val to_string : id -> string
+
+val of_string : string -> id option
+
+(** One-line description used in diagnostics. *)
+val summary : id -> string
+
+(** Why the pattern is banned; printed by [lyra_lint --rules help] and
+    quoted in docs/LINT.md. *)
+val rationale : id -> string

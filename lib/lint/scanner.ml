@@ -1,0 +1,185 @@
+(* The analysis pass proper: parse each .ml with compiler-libs, walk
+   the Parsetree with Ast_iterator, and match banned identifiers and
+   attributes against the scope policy in Config. *)
+
+type finding = { rule : Rules.id; file : string; line : int; message : string }
+
+exception Error of string
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare (Rules.to_string a.rule) (Rules.to_string b.rule)
+      | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Banned identifier tables.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Hashtbl entry points whose visit order is unspecified. *)
+let d001_traversals = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+(* Host time sources. *)
+let d002_clocks = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Unix", "times"); ("Sys", "time") ]
+
+(* Ambient-state generator functions; Random.State.* (explicitly seeded)
+   stays legal, Crypto.Rng is the house generator. *)
+let d002_random =
+  [ "self_init"; "int"; "full_int"; "bits"; "bits32"; "bits64"; "int32"; "int64"; "nativeint"; "float"; "bool" ]
+
+(* Structural ops that inspect runtime representation. *)
+let d003_stdlib = [ "compare"; "="; "<>" ]
+
+let s001_obj = [ "magic"; "repr"; "obj" ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-file pass.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_implementation ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> ast
+  | exception _ ->
+      let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+      raise (Error (Printf.sprintf "%s:%d: syntax error while parsing for lint" path line))
+
+(* A module that defines its own [compare] (e.g. Crypto.Field) may use
+   the name unqualified; D003 targets the Stdlib fallback. *)
+let defines_compare structure =
+  let binds_compare vb =
+    match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt = "compare"; _ } -> true
+    | _ -> false
+  in
+  List.exists
+    (fun item ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) -> List.exists binds_compare vbs
+      | Parsetree.Pstr_primitive vd -> vd.Parsetree.pval_name.Asttypes.txt = "compare"
+      | _ -> false)
+    structure
+
+let scan_source ~rules ~path source =
+  let structure = parse_implementation ~path source in
+  let inline = Config.inline_allows source in
+  let deterministic = Config.is_deterministic path in
+  let in_lib = Config.in_lib path in
+  let local_compare = defines_compare structure in
+  let findings = ref [] in
+  let emit rule loc message =
+    if List.mem rule rules then begin
+      let line = loc.Location.loc_start.Lexing.pos_lnum in
+      if not (Config.inline_allowed inline ~rule ~line) then
+        findings := { rule; file = path; line; message } :: !findings
+    end
+  in
+  let check_ident lid loc =
+    match lid with
+    | Longident.Ldot (Longident.Lident "Hashtbl", f) when deterministic && List.mem f d001_traversals ->
+        emit Rules.D001 loc
+          (Printf.sprintf
+             "Hashtbl.%s visits bindings in unspecified order; use Sim.Det.sorted_bindings (or collect, sort by key, then fold)"
+             f)
+    | Longident.Ldot (Longident.Lident m, f) when List.mem (m, f) d002_clocks ->
+        emit Rules.D002 loc
+          (Printf.sprintf "%s.%s reads the host wall clock; simulated time is Sim.Engine.now" m f)
+    | Longident.Ldot (Longident.Lident "Random", f) when List.mem f d002_random && not (Config.is_rng_module path) ->
+        emit Rules.D002 loc
+          (Printf.sprintf "Random.%s draws from the ambient global generator; thread a seeded Crypto.Rng.t instead" f)
+    | Longident.Ldot (Longident.Lident "Hashtbl", ("hash" | "hash_param")) when in_lib ->
+        emit Rules.D003 loc "Hashtbl.hash is representation-dependent; hash a canonical key instead"
+    | Longident.Ldot (Longident.Lident "Stdlib", f) when in_lib && List.mem f d003_stdlib ->
+        emit Rules.D003 loc
+          (Printf.sprintf "Stdlib.(%s) is polymorphic; use the type-specific comparison" f)
+    | Longident.Lident "compare" when in_lib && not local_compare ->
+        emit Rules.D003 loc
+          "unqualified polymorphic compare; use Int.compare / Float.compare / String.compare or the type's own compare"
+    | Longident.Ldot (Longident.Lident "Obj", f) when List.mem f s001_obj ->
+        emit Rules.S001 loc (Printf.sprintf "Obj.%s defeats the type system" f)
+    | _ -> ()
+  in
+  let check_attribute (attr : Parsetree.attribute) =
+    match attr.Parsetree.attr_name.Asttypes.txt with
+    | ("warning" | "ocaml.warning") when in_lib ->
+        emit Rules.S003 attr.Parsetree.attr_name.Asttypes.loc
+          "warning suppression hides diagnostics that catch protocol bugs; fix the code instead"
+    | _ -> ()
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } -> check_ident txt loc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      attribute =
+        (fun it a ->
+          check_attribute a;
+          Ast_iterator.default_iterator.attribute it a);
+    }
+  in
+  iterator.structure iterator structure;
+  List.sort compare_findings !findings
+
+(* ------------------------------------------------------------------ *)
+(* Directory walk.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns repo-relative paths of every .ml under [Config.scanned_dirs],
+   sorted so the report (and any failure) is itself deterministic. *)
+let source_files root =
+  let rec walk rel acc =
+    let abs = Filename.concat root rel in
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if name = "" || name.[0] = '.' || name = "_build" then acc
+        else
+          let rel = rel ^ "/" ^ name in
+          if Sys.is_directory (Filename.concat root rel) then walk rel acc
+          else if Filename.check_suffix name ".ml" then rel :: acc
+          else acc)
+      acc entries
+  in
+  let present dir =
+    let abs = Filename.concat root dir in
+    Sys.file_exists abs && Sys.is_directory abs
+  in
+  List.fold_left (fun acc dir -> if present dir then walk dir acc else acc) [] Config.scanned_dirs
+  |> List.sort String.compare
+
+let read_file path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error msg -> raise (Error msg)
+
+let missing_mli ~root path =
+  Config.in_lib path
+  && not (Sys.file_exists (Filename.concat root (Filename.chop_suffix path ".ml" ^ ".mli")))
+
+let scan_root ~rules ~allowlist ~root =
+  let files = source_files root in
+  let per_file path =
+    let findings = scan_source ~rules ~path (read_file (Filename.concat root path)) in
+    let findings =
+      if List.mem Rules.S002 rules && missing_mli ~root path then
+        {
+          rule = Rules.S002;
+          file = path;
+          line = 1;
+          message = "lib/ module has no .mli; declare its public surface";
+        }
+        :: findings
+      else findings
+    in
+    List.filter
+      (fun f -> not (Config.allows allowlist ~rule:f.rule ~path:f.file ~line:f.line))
+      findings
+  in
+  List.concat_map per_file files |> List.sort compare_findings

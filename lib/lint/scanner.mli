@@ -1,0 +1,33 @@
+(** The static-analysis pass: parses [.ml] sources with
+    [compiler-libs.common] and walks the Parsetree for violations of
+    the {!Rules} catalog. *)
+
+type finding = {
+  rule : Rules.id;
+  file : string;  (** repo-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  message : string;
+}
+
+(** Raised on unreadable or syntactically invalid input. *)
+exception Error of string
+
+(** Stable ordering: by file, then line, then rule id. *)
+val compare_findings : finding -> finding -> int
+
+(** [scan_source ~rules ~path source] lints one compilation unit given
+    as a string. [path] determines scoping (see {!Config}) and is
+    echoed in findings; inline ["lint: allow"] directives in [source]
+    are honoured. File-level checks (S002) are not applied here. *)
+val scan_source : rules:Rules.id list -> path:string -> string -> finding list
+
+(** All [.ml] files the linter would examine under [root]
+    (repo-relative, sorted). *)
+val source_files : string -> string list
+
+(** [scan_root ~rules ~allowlist ~root] walks {!Config.scanned_dirs}
+    under [root], lints every [.ml], applies the S002 interface check
+    and filters through [allowlist]. The result is sorted with
+    {!compare_findings}. *)
+val scan_root :
+  rules:Rules.id list -> allowlist:Config.allowlist -> root:string -> finding list

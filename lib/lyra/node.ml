@@ -100,9 +100,10 @@ let min_pending_value t =
   if t.min_pending_dirty then begin
     t.min_pending_dirty <- false;
     t.min_pending_cache <-
-      Hashtbl.fold
-        (fun _ e acc -> if e.kind = Validated then min acc e.p_seq else acc)
-        t.pending Types.no_pending
+      List.fold_left
+        (fun acc (_, e) -> if e.kind = Validated then min acc e.p_seq else acc)
+        Types.no_pending
+        (Sim.Det.sorted_bindings ~cmp:Types.iid_compare t.pending)
   end;
   t.min_pending_cache
 
@@ -257,8 +258,8 @@ let pending_blocks_commit t boundary =
   let expiry = 2 * Config.l_us t.config in
   let blocking = ref false in
   let expired = ref [] in
-  Hashtbl.iter
-    (fun iid e ->
+  List.iter
+    (fun (iid, e) ->
       if e.p_seq <= boundary then
         match e.kind with
         | Validated -> blocking := true
@@ -269,7 +270,7 @@ let pending_blocks_commit t boundary =
                Byzantine gossiper) are dropped after 2L. *)
             if now - e.added_at > expiry then expired := iid :: !expired
             else blocking := true)
-    t.pending;
+    (Sim.Det.sorted_bindings ~cmp:Types.iid_compare t.pending);
   if !expired <> [] then t.min_pending_dirty <- true;
   List.iter (Hashtbl.remove t.pending) !expired;
   !blocking
@@ -800,12 +801,11 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
   t
 
 let undecided t =
-  Hashtbl.fold
-    (fun iid inst acc ->
-      if Instance.decided inst = None then
-        (iid, Instance.decision_round inst) :: acc
-      else acc)
-    t.instances []
+  Sim.Det.sorted_bindings ~cmp:Types.iid_compare t.instances
+  |> List.filter_map (fun (iid, inst) ->
+         if Instance.decided inst = None then
+           Some (iid, Instance.decision_round inst)
+         else None)
 
 let commit_diagnostics t =
   ( Commit_state.locked t.commit,
@@ -815,18 +815,18 @@ let commit_diagnostics t =
     min_pending_value t )
 
 let pending_entries t =
-  Hashtbl.fold
-    (fun iid e acc ->
-      let decided, round =
-        match Hashtbl.find_opt t.instances iid with
-        | Some inst ->
-            ( Instance.decided inst,
-              (match Instance.decision_round inst with Some r -> r | None -> -1)
-            )
-        | None -> (None, -99)
-      in
-      (iid, e.p_seq, e.kind = Validated, decided, round) :: acc)
-    t.pending []
+  Sim.Det.sorted_bindings ~cmp:Types.iid_compare t.pending
+  |> List.map (fun (iid, e) ->
+         let decided, round =
+           match Hashtbl.find_opt t.instances iid with
+           | Some inst ->
+               ( Instance.decided inst,
+                 (match Instance.decision_round inst with
+                 | Some r -> r
+                 | None -> -1) )
+           | None -> (None, -99)
+         in
+         (iid, e.p_seq, e.kind = Validated, decided, round))
 
 let instance_debug t iid =
   Option.map Instance.debug_state (Hashtbl.find_opt t.instances iid)

@@ -15,7 +15,7 @@ let percentile p xs =
   if n = 0 then invalid_arg "Stats.percentile: empty input";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
   if lo = hi then sorted.(lo)

@@ -1,0 +1,235 @@
+(* Tests for the lyra_lint static-analysis pass: each rule has at
+   least one firing and one non-firing fixture, the allowlisting
+   mechanisms work, and the allowlist shipped in the repo parses. *)
+
+let render (f : Lint.Scanner.finding) =
+  Printf.sprintf "%s:%d:%s" f.file f.line (Lint.Rules.to_string f.rule)
+
+(* [check msg expected path src] lints [src] as if it lived at [path]
+   and compares the findings (as "file:line:RULE") against [expected]. *)
+let check ?(rules = Lint.Rules.all) msg expected path src =
+  let got = List.map render (Lint.Scanner.scan_source ~rules ~path src) in
+  Alcotest.(check (list string)) msg expected got
+
+(* ------------------------------------------------------------------ *)
+(* D001: unordered Hashtbl traversal in deterministic code.            *)
+(* ------------------------------------------------------------------ *)
+
+let d001_bad = "let f tbl =\n  Hashtbl.iter (fun _ _ -> ()) tbl\n"
+
+let test_d001_fires () =
+  check "iter in lib/lyra" [ "lib/lyra/fix.ml:2:D001" ] "lib/lyra/fix.ml" d001_bad;
+  check "fold in lib/sim"
+    [ "lib/sim/fix.ml:1:D001" ]
+    "lib/sim/fix.ml" "let n tbl = Hashtbl.fold (fun _ _ a -> a + 1) tbl 0\n";
+  check "to_seq in lib/dbft"
+    [ "lib/dbft/fix.ml:1:D001" ]
+    "lib/dbft/fix.ml" "let s tbl = Hashtbl.to_seq tbl\n"
+
+let test_d001_scoped () =
+  (* same pattern outside the deterministic dirs is legal *)
+  check "iter in lib/metrics" [] "lib/metrics/fix.ml" d001_bad;
+  check "iter in test/" [] "test/fix.ml" d001_bad;
+  (* point lookups and mutation are always fine *)
+  check "replace/find in lib/lyra" [] "lib/lyra/fix.ml"
+    "let f tbl = Hashtbl.replace tbl 1 2; Hashtbl.find_opt tbl 1\n"
+
+let test_d001_inline_allow () =
+  check "allow on previous line" [] "lib/lyra/fix.ml"
+    "let f tbl =\n  (* lint: allow D001 *)\n  Hashtbl.iter (fun _ _ -> ()) tbl\n";
+  check "allow trailing on same line" [] "lib/lyra/fix.ml"
+    "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl (* lint: allow D001 *)\n";
+  check "allow two lines above does not reach"
+    [ "lib/lyra/fix.ml:4:D001" ]
+    "lib/lyra/fix.ml"
+    "let f tbl =\n  (* lint: allow D001 *)\n  ignore tbl;\n  Hashtbl.iter (fun _ _ -> ()) tbl\n";
+  check "allow for a different rule does not apply"
+    [ "lib/lyra/fix.ml:2:D001" ]
+    "lib/lyra/fix.ml"
+    "let f tbl =\n  Hashtbl.iter (fun _ _ -> ()) tbl (* lint: allow D002 *)\n"
+
+(* ------------------------------------------------------------------ *)
+(* D002: wall clock / ambient entropy.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_d002_fires () =
+  check "gettimeofday in bench" [ "bench/fix.ml:1:D002" ] "bench/fix.ml"
+    "let t = Unix.gettimeofday ()\n";
+  check "Sys.time in examples" [ "examples/fix.ml:1:D002" ] "examples/fix.ml"
+    "let t = Sys.time ()\n";
+  check "self_init in test" [ "test/fix.ml:1:D002" ] "test/fix.ml"
+    "let () = Random.self_init ()\n";
+  check "Random.int in lib" [ "lib/workload/fix.ml:1:D002" ] "lib/workload/fix.ml"
+    "let r = Random.int 10\n"
+
+let test_d002_exemptions () =
+  (* the house generator may use Random internally *)
+  check "Random.int inside lib/crypto/rng.ml" [] "lib/crypto/rng.ml"
+    "let r = Random.int 10\n";
+  (* explicitly seeded state is deterministic, hence legal *)
+  check "Random.State is legal" [] "lib/lyra/fix.ml"
+    "let r st = Random.State.int st 10\n";
+  (* unrelated Unix/Sys calls are not time sources *)
+  check "Sys.file_exists is legal" [] "lib/lyra/fix.ml"
+    "let e = Sys.file_exists \"x\"\n"
+
+(* ------------------------------------------------------------------ *)
+(* D003: polymorphic structural compare / hash.                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_d003_fires () =
+  check "bare compare in lib"
+    [ "lib/metrics/fix.ml:1:D003" ]
+    "lib/metrics/fix.ml" "let sort xs = List.sort compare xs\n";
+  check "Stdlib.compare in lib"
+    [ "lib/lyra/fix.ml:1:D003" ]
+    "lib/lyra/fix.ml" "let c a b = Stdlib.compare a b\n";
+  check "Stdlib.(=) in lib"
+    [ "lib/lyra/fix.ml:1:D003" ]
+    "lib/lyra/fix.ml" "let eq a b = Stdlib.( = ) a b\n";
+  check "Hashtbl.hash in lib"
+    [ "lib/sim/fix.ml:1:D003" ]
+    "lib/sim/fix.ml" "let h x = Hashtbl.hash x\n"
+
+let test_d003_silent () =
+  check "qualified Int.compare" [] "lib/lyra/fix.ml"
+    "let sort xs = List.sort Int.compare xs\n";
+  (* a module defining its own compare may use the name unqualified *)
+  check "locally defined compare" [] "lib/crypto/fix.ml"
+    "let compare = Int.compare\nlet sort xs = List.sort compare xs\n";
+  (* outside lib/ the polymorphic fallback is tolerated *)
+  check "bare compare in bench" [] "bench/fix.ml"
+    "let sort xs = List.sort compare xs\n";
+  (* ordinary = on scalars is out of scope by design *)
+  check "bare = is legal" [] "lib/lyra/fix.ml" "let f x = x = 3\n"
+
+(* ------------------------------------------------------------------ *)
+(* S001: Obj escape hatches.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_s001 () =
+  check "Obj.magic fires anywhere"
+    [ "test/fix.ml:1:S001" ]
+    "test/fix.ml" "let f x = Obj.magic x\n";
+  check "Obj.repr fires in lib"
+    [ "lib/app/fix.ml:1:S001" ]
+    "lib/app/fix.ml" "let f x = Obj.repr x\n";
+  check "plain code is silent" [] "lib/app/fix.ml" "let f x = x\n"
+
+(* ------------------------------------------------------------------ *)
+(* S003: warning suppressions in lib/.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_s003 () =
+  check "floating attribute in lib"
+    [ "lib/lyra/fix.ml:1:S003" ]
+    "lib/lyra/fix.ml" "[@@@warning \"-32\"]\nlet unused = 1\n";
+  check "item attribute in lib"
+    [ "lib/lyra/fix.ml:1:S003" ]
+    "lib/lyra/fix.ml" "let f x = x [@@warning \"-27\"]\n";
+  check "suppression outside lib is tolerated" [] "bin/fix.ml"
+    "[@@@warning \"-32\"]\nlet unused = 1\n"
+
+(* ------------------------------------------------------------------ *)
+(* Rule selection.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_filter () =
+  check ~rules:[ Lint.Rules.D002 ] "disabled rule stays quiet" [] "lib/lyra/fix.ml" d001_bad;
+  check
+    ~rules:[ Lint.Rules.D001 ]
+    "enabled rule still fires"
+    [ "lib/lyra/fix.ml:2:D001" ]
+    "lib/lyra/fix.ml" d001_bad
+
+(* ------------------------------------------------------------------ *)
+(* S002 + allowlist filtering, over a real directory tree.             *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path content =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
+
+let test_s002_and_allowlist () =
+  let root = Filename.temp_file "lyra_lint_root" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  Sys.mkdir (Filename.concat root "lib/lyra") 0o755;
+  write_file (Filename.concat root "lib/lyra/bare.ml") "let x = 1\n";
+  write_file (Filename.concat root "lib/lyra/sealed.ml") "let y = 2\n";
+  write_file (Filename.concat root "lib/lyra/sealed.mli") "val y : int\n";
+  let scan allowlist =
+    List.map render
+      (Lint.Scanner.scan_root ~rules:Lint.Rules.all ~allowlist ~root)
+  in
+  Alcotest.(check (list string))
+    "module without mli fires, sealed one does not"
+    [ "lib/lyra/bare.ml:1:S002" ] (scan []);
+  let allowlist =
+    match Lint.Config.parse "S002 lib/lyra/bare.ml\n" with
+    | Ok a -> a
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list string)) "allowlist entry suppresses it" [] (scan allowlist);
+  List.iter
+    (fun f -> Sys.remove (Filename.concat root f))
+    [ "lib/lyra/bare.ml"; "lib/lyra/sealed.ml"; "lib/lyra/sealed.mli" ];
+  List.iter (fun d -> Sys.rmdir (Filename.concat root d)) [ "lib/lyra"; "lib" ];
+  Sys.rmdir root
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist parsing.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_allow_parsing () =
+  let parsed =
+    Lint.Config.parse
+      "# comment\n\nD001 lib/sim/det.ml   # trailing comment\nS002 lib/crypto/field_intf.ml\nD002 bench/main.ml:461\n"
+  in
+  (match parsed with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      Alcotest.(check int) "three entries" 3 (List.length entries);
+      Alcotest.(check bool) "file-wide entry matches any line" true
+        (Lint.Config.allows entries ~rule:Lint.Rules.D001 ~path:"lib/sim/det.ml" ~line:99);
+      Alcotest.(check bool) "line entry matches its line" true
+        (Lint.Config.allows entries ~rule:Lint.Rules.D002 ~path:"bench/main.ml" ~line:461);
+      Alcotest.(check bool) "line entry rejects other lines" false
+        (Lint.Config.allows entries ~rule:Lint.Rules.D002 ~path:"bench/main.ml" ~line:462);
+      Alcotest.(check bool) "other path rejected" false
+        (Lint.Config.allows entries ~rule:Lint.Rules.D001 ~path:"lib/sim/engine.ml" ~line:99));
+  (match Lint.Config.parse "D9XY lib/sim/det.ml\n" with
+  | Ok _ -> Alcotest.fail "unknown rule id must be rejected"
+  | Error _ -> ());
+  match Lint.Config.parse "D001 lib/sim/det.ml:zero\n" with
+  | Ok _ -> Alcotest.fail "bad line number must be rejected"
+  | Error _ -> ()
+
+let shipped_allow_candidates =
+  [ "lint.allow"; "../lint.allow"; "../../lint.allow"; "../../../lint.allow" ]
+
+let test_shipped_allowlist_parses () =
+  match List.find_opt Sys.file_exists shipped_allow_candidates with
+  | None -> Alcotest.fail "could not locate the repo's lint.allow from the test cwd"
+  | Some path -> (
+      match Lint.Config.load path with
+      | Error e -> Alcotest.fail e
+      | Ok entries ->
+          Alcotest.(check bool) "shipped allowlist is non-empty" true (entries <> []))
+
+let suite =
+  [
+    Alcotest.test_case "D001 fires" `Quick test_d001_fires;
+    Alcotest.test_case "D001 scoped" `Quick test_d001_scoped;
+    Alcotest.test_case "D001 inline allow" `Quick test_d001_inline_allow;
+    Alcotest.test_case "D002 fires" `Quick test_d002_fires;
+    Alcotest.test_case "D002 exemptions" `Quick test_d002_exemptions;
+    Alcotest.test_case "D003 fires" `Quick test_d003_fires;
+    Alcotest.test_case "D003 silent" `Quick test_d003_silent;
+    Alcotest.test_case "S001 Obj" `Quick test_s001;
+    Alcotest.test_case "S003 warnings" `Quick test_s003;
+    Alcotest.test_case "rule filter" `Quick test_rule_filter;
+    Alcotest.test_case "S002 + allowlist" `Quick test_s002_and_allowlist;
+    Alcotest.test_case "allowlist parsing" `Quick test_allow_parsing;
+    Alcotest.test_case "shipped allowlist parses" `Quick test_shipped_allowlist_parses;
+  ]

@@ -308,9 +308,40 @@ let prop_prefix_safety_random =
              Array.for_all (fun lb -> is_prefix la lb || is_prefix lb la) honest)
            honest))
 
+let test_deterministic_rerun () =
+  (* Lock in iteration-order independence (lint rule D001, fixed in
+     node.ml): two runs from the same seed must agree bit-for-bit on
+     commit prefixes *and* metrics, not just up to reordering. *)
+  let run () =
+    let c = make_cluster ~seed:42L 4 in
+    Sim.Engine.run c.engine ~until:1_000_000;
+    submit_round c ~per_node:6;
+    Sim.Engine.run c.engine ~until:4_000_000;
+    let per_node =
+      Array.map
+        (fun node ->
+          ( Lyra.Node.committed_seq node,
+            Lyra.Node.accepted_count node,
+            Lyra.Node.own_accepted node,
+            Lyra.Node.own_rejected node,
+            Lyra.Node.late_accepts node,
+            Metrics.Recorder.to_array (Lyra.Node.decide_rounds node),
+            Metrics.Recorder.to_array (Lyra.Node.boc_latency node) ))
+        c.nodes
+    in
+    (logs c, per_node)
+  in
+  let logs1, metrics1 = run () in
+  let logs2, metrics2 = run () in
+  Alcotest.(check bool) "second run commits something" true
+    (Array.exists (fun l -> l <> []) logs2);
+  Alcotest.(check bool) "identical commit logs" true (logs1 = logs2);
+  Alcotest.(check bool) "identical per-node metrics" true (metrics1 = metrics2)
+
 let suite =
   [
     Alcotest.test_case "commit + agreement" `Quick test_basic_commit_and_agreement;
+    Alcotest.test_case "deterministic rerun" `Quick test_deterministic_rerun;
     Alcotest.test_case "warmup distances" `Quick test_warmup_learns_distances;
     Alcotest.test_case "good case decides" `Quick test_good_case_one_round;
     Alcotest.test_case "seqs lower bounded" `Quick test_seq_numbers_lower_bounded;

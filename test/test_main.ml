@@ -21,4 +21,5 @@ let () =
       ("apps", Test_apps.suite);
       ("metrics-workload", Test_metrics_workload.suite);
       ("attacks", Test_attacks.suite);
+      ("lint", Test_lint.suite);
     ]
