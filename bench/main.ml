@@ -1,26 +1,49 @@
 (* Regenerates every table and figure of the paper's evaluation (§VI)
    plus the supporting microbenchmarks. Run all experiments with
    `dune exec bench/main.exe`, or one with e.g.
-   `dune exec bench/main.exe -- fig2`. See DESIGN.md §3 for the
-   experiment index and EXPERIMENTS.md for paper-vs-measured. *)
+   `dune exec bench/main.exe -- fig2`. `--smoke` runs everything at
+   tiny n/duration so `dune runtest` exercises the whole harness.
+   See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+   paper-vs-measured.
 
-let fig_ns = [ 5; 10; 16; 31; 61; 100 ]
+   Every experiment is protocol-generic: it iterates a list of
+   (name, adapter) pairs — Protocol.Registry.all or a locally tweaked
+   variant — so a new baseline shows up in every table by registering
+   an adapter, with no per-experiment code. *)
+
+let smoke = ref false
+
+let fig_ns () = if !smoke then [ 4 ] else [ 5; 10; 16; 31; 61; 100 ]
+
+let scale_dur d = if !smoke then 600_000 else d
+
+let scale_trials k = if !smoke then 1 else k
+
+(* In smoke mode take only the first two points of a sweep. *)
+let sweep xs = if !smoke then List.filteri (fun i _ -> i < 2) xs else xs
+
+let small_n n = if !smoke then 4 else n
 
 let pct p r =
   if Metrics.Recorder.is_empty r then Float.nan
   else Metrics.Recorder.percentile p r
+
+let check_safety label (r : Harness.Scenario.result) =
+  if not (r.prefix_safe && r.late_accepts = 0) then
+    failwith
+      (Printf.sprintf "%s %s n=%d: prefix %b late=%d" label r.protocol r.n
+         r.prefix_safe r.late_accepts)
 
 (* ------------------------------------------------------------------ *)
 (* FIG1 — triangle-inequality front-running (Fig. 1 + §V-E).           *)
 (* ------------------------------------------------------------------ *)
 
 let fig1 () =
-  let trials = 10 in
-  let p = Attacks.Frontrun.run_pompe ~trials () in
-  let l = Attacks.Frontrun.run_lyra ~trials () in
-  let row name (o : Attacks.Frontrun.outcome) =
+  let trials = scale_trials 10 in
+  let row protocol =
+    let o = Attacks.Frontrun.run ~trials ~protocol () in
     [
-      name;
+      protocol;
       string_of_int o.trials;
       string_of_int o.observed;
       string_of_int o.launched;
@@ -34,99 +57,127 @@ let fig1 () =
        Singapore attacker, Sydney quorum)"
     ~header:
       [ "protocol"; "trials"; "observed"; "launched"; "front-run ok"; "seq gap ms" ]
-    [ row "pompe" p; row "lyra" l ]
+    (List.map row Attacks.Frontrun.protocols)
 
 (* ------------------------------------------------------------------ *)
 (* FIG2 — commit latency vs n (closed-loop clients, light load).       *)
 (* ------------------------------------------------------------------ *)
 
 let fig2 () =
+  (* Leader-based pipelines have a ~2.7 s closed-loop turnaround: give
+     them a window that fits at least one full turn at every n. *)
+  let extra = function "lyra" -> 0 | _ -> 3_000_000 in
   let rows =
-    List.map
+    List.concat_map
       (fun n ->
-        let dur = if n >= 61 then 1_500_000 else 3_000_000 in
-        let l =
-          Harness.Scenario.run_lyra ~n ~load:(Harness.Scenario.Closed 2)
-            ~duration_us:dur ()
+        let dur = scale_dur (if n >= 61 then 1_500_000 else 3_000_000) in
+        let results =
+          List.map
+            (fun (name, p) ->
+              let r =
+                Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 2)
+                  ~duration_us:(dur + extra name) ()
+              in
+              check_safety "fig2" r;
+              r)
+            (Protocol.Registry.all ())
         in
-        (* Pompē's closed-loop turnaround is ~2.7 s: give it a window
-           that fits at least one full turn at every n. *)
-        let p =
-          Harness.Scenario.run_pompe ~n ~load:(Harness.Scenario.Closed 2)
-            ~duration_us:(dur + 3_000_000) ()
+        let lyra_mean =
+          match results with
+          | r :: _ -> Metrics.Recorder.mean r.latency_ms
+          | [] -> Float.nan
         in
-        if not (l.prefix_safe && p.prefix_safe && l.late_accepts = 0) then
-          failwith
-            (Printf.sprintf "fig2 n=%d: prefix %b/%b late=%d" n l.prefix_safe
-               p.prefix_safe l.late_accepts);
-        [
-          string_of_int n;
-          Printf.sprintf "%.0f" (Metrics.Recorder.mean l.latency_ms);
-          Printf.sprintf "%.0f" (pct 50.0 l.latency_ms);
-          Printf.sprintf "%.0f" (Metrics.Recorder.mean p.latency_ms);
-          Printf.sprintf "%.0f" (pct 50.0 p.latency_ms);
-          Printf.sprintf "%.2f"
-            (Metrics.Recorder.mean p.latency_ms
-            /. Metrics.Recorder.mean l.latency_ms);
-        ])
-      fig_ns
+        List.map
+          (fun (r : Harness.Scenario.result) ->
+            [
+              string_of_int n;
+              r.protocol;
+              Printf.sprintf "%.0f" (Metrics.Recorder.mean r.latency_ms);
+              Printf.sprintf "%.0f" (pct 50.0 r.latency_ms);
+              Printf.sprintf "%.2f"
+                (Metrics.Recorder.mean r.latency_ms /. lyra_mean);
+            ])
+          results)
+      (fig_ns ())
   in
   Metrics.Table.print
     ~title:
       "FIG2  commit latency vs n (ms; paper: Lyra < 1 s, ~2x lower than \
        Pompe at n > 60)"
-    ~header:
-      [ "n"; "lyra mean"; "lyra p50"; "pompe mean"; "pompe p50"; "pompe/lyra" ]
+    ~header:[ "n"; "protocol"; "mean ms"; "p50 ms"; "vs lyra" ]
     rows
 
 (* ------------------------------------------------------------------ *)
 (* FIG3 — throughput vs n.                                             *)
 (*                                                                     *)
 (* Lyra is driven like the paper drives it: a fixed client population  *)
-(* per node (offered load grows with n). Pompe is driven at its own    *)
-(* benchmark's saturation offered load, so the curve shows its         *)
-(* capacity ceiling (leader bandwidth + O(n) verifications per batch), *)
-(* which falls as n grows.                                             *)
+(* per node (offered load grows with n). The leader-based baselines    *)
+(* are driven at their own benchmarks' saturation offered load, so the *)
+(* curves show their capacity ceiling (leader bandwidth + O(n)         *)
+(* verifications per batch for Pompe), which falls as n grows.         *)
 (* ------------------------------------------------------------------ *)
 
 let fig3 () =
-  let lyra_rate_per_node = 2_400.0 in
-  let pompe_total_rate = 120_000.0 in
+  let lyra_rate_per_node = if !smoke then 600.0 else 2_400.0 in
+  let leader_total_rate = if !smoke then 4_000.0 else 120_000.0 in
+  let specs =
+    [
+      ( "lyra",
+        Protocol.Lyra_adapter.make
+          ~tweak:(fun c ->
+            { c with Lyra.Config.batch_timeout_us = 350_000; max_inflight = 16 })
+          (),
+        (fun _n -> lyra_rate_per_node),
+        0 );
+      ( "pompe",
+        Protocol.Pompe_adapter.make
+          ~tweak:(fun c -> { c with Pompe.Config.block_capacity = 64 })
+          (),
+        (fun n -> leader_total_rate /. float_of_int n),
+        2_000_000 );
+      ( "hotstuff",
+        Protocol.Hotstuff_adapter.make
+          ~tweak:(fun c -> { c with Hotstuff.Smr.block_capacity = 64 })
+          (),
+        (fun n -> leader_total_rate /. float_of_int n),
+        2_000_000 );
+    ]
+  in
   let rows =
-    List.map
+    List.concat_map
       (fun n ->
-        let dur = if n >= 61 then 1_500_000 else 3_000_000 in
-        let l =
-          Harness.Scenario.run_lyra ~n
-            ~tweak:(fun c ->
-              { c with batch_timeout_us = 350_000; max_inflight = 16 })
-            ~load:(Harness.Scenario.Open_rate lyra_rate_per_node)
-            ~duration_us:dur ()
+        let dur = scale_dur (if n >= 61 then 1_500_000 else 3_000_000) in
+        let results =
+          List.map
+            (fun (_, p, rate, extra) ->
+              let r =
+                Harness.Scenario.run p ~n
+                  ~load:(Harness.Scenario.Open_rate (rate n))
+                  ~duration_us:(dur + extra) ()
+              in
+              check_safety "fig3" r;
+              r)
+            specs
         in
-        let p =
-          Harness.Scenario.run_pompe ~n
-            ~tweak:(fun c -> { c with block_capacity = 64 })
-            ~load:
-              (Harness.Scenario.Open_rate (pompe_total_rate /. float_of_int n))
-            ~duration_us:(dur + 2_000_000) ()
+        let lyra_tps =
+          match results with r :: _ -> r.throughput_tps | [] -> Float.nan
         in
-        if not (l.prefix_safe && p.prefix_safe && l.late_accepts = 0) then
-          failwith
-            (Printf.sprintf "fig3 n=%d: prefix %b/%b late=%d" n l.prefix_safe
-               p.prefix_safe l.late_accepts);
-        [
-          string_of_int n;
-          Printf.sprintf "%.0f" l.throughput_tps;
-          Printf.sprintf "%.0f" p.throughput_tps;
-          Printf.sprintf "%.2f" (l.throughput_tps /. p.throughput_tps);
-        ])
-      fig_ns
+        List.map
+          (fun (r : Harness.Scenario.result) ->
+            [
+              string_of_int n;
+              r.protocol;
+              Printf.sprintf "%.0f" r.throughput_tps;
+              Printf.sprintf "%.2f" (lyra_tps /. r.throughput_tps);
+            ])
+          results)
+      (fig_ns ())
   in
   Metrics.Table.print
     ~title:
       "FIG3  throughput vs n (tx/s; paper: Pompe ahead below ~20-30 nodes, \
        Lyra scales to ~240k at n=100, ~7x Pompe)"
-    ~header:[ "n"; "lyra tx/s"; "pompe tx/s"; "lyra/pompe" ]
+    ~header:[ "n"; "protocol"; "tx/s"; "lyra/this" ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -134,14 +185,13 @@ let fig3 () =
 (* ------------------------------------------------------------------ *)
 
 let rounds () =
-  let n = 16 in
-  let l =
-    Harness.Scenario.run_lyra ~n ~load:(Harness.Scenario.Closed 1)
-      ~duration_us:4_000_000 ()
-  in
-  let p =
-    Harness.Scenario.run_pompe ~n ~load:(Harness.Scenario.Closed 1)
-      ~duration_us:4_000_000 ()
+  let n = small_n 16 in
+  let results =
+    List.map
+      (fun (_, p) ->
+        Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 1)
+          ~duration_us:(scale_dur 4_000_000) ())
+      (Protocol.Registry.all ())
   in
   let regions = Sim.Regions.paper_placement n in
   let total = ref 0 and cnt = ref 0 in
@@ -154,24 +204,22 @@ let rounds () =
         regions)
     regions;
   let delta_ms = float_of_int !total /. float_of_int !cnt /. 1000. in
+  let metric name f = name :: List.map f results in
   Metrics.Table.print
     ~title:
       "LAT3R  good-case round complexity (BOC decides in round 1 = 3 message \
        delays, Thm 3)"
-    ~header:[ "metric"; "lyra"; "pompe" ]
+    ~header:("metric" :: List.map (fun (r : Harness.Scenario.result) -> r.protocol) results)
     [
-      [ "mean decide round"; Printf.sprintf "%.3f" l.decide_rounds; "-" ];
-      [
-        "commit latency ms (mean)";
-        Printf.sprintf "%.0f" (Metrics.Recorder.mean l.latency_ms);
-        Printf.sprintf "%.0f" (Metrics.Recorder.mean p.latency_ms);
-      ];
-      [ "mean one-way delay ms"; Printf.sprintf "%.1f" delta_ms; "same" ];
-      [
-        "end-to-end latency in delays";
-        Printf.sprintf "%.1f" (Metrics.Recorder.mean l.latency_ms /. delta_ms);
-        Printf.sprintf "%.1f" (Metrics.Recorder.mean p.latency_ms /. delta_ms);
-      ];
+      metric "mean decide round" (fun r ->
+          if String.equal r.protocol "lyra" then
+            Printf.sprintf "%.3f" r.decide_rounds
+          else "-");
+      metric "commit latency ms (mean)" (fun r ->
+          Printf.sprintf "%.0f" (Metrics.Recorder.mean r.latency_ms));
+      metric "mean one-way delay ms" (fun _ -> Printf.sprintf "%.1f" delta_ms);
+      metric "end-to-end latency in delays" (fun r ->
+          Printf.sprintf "%.1f" (Metrics.Recorder.mean r.latency_ms /. delta_ms));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -179,14 +227,17 @@ let rounds () =
 (* ------------------------------------------------------------------ *)
 
 let lambda () =
-  let n = 16 in
+  let n = small_n 16 in
   let rows =
     List.map
       (fun lambda_ms ->
         let r =
-          Harness.Scenario.run_lyra ~n
-            ~tweak:(fun c -> { c with lambda_us = lambda_ms * 1000 })
-            ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
+          Harness.Scenario.run
+            (Protocol.Lyra_adapter.make
+               ~tweak:(fun c -> { c with Lyra.Config.lambda_us = lambda_ms * 1000 })
+               ())
+            ~n ~load:(Harness.Scenario.Closed 2)
+            ~duration_us:(scale_dur 3_000_000) ()
         in
         [
           string_of_int lambda_ms;
@@ -194,7 +245,7 @@ let lambda () =
           Printf.sprintf "%.0f" r.throughput_tps;
           Printf.sprintf "%.0f" (Metrics.Recorder.mean r.latency_ms);
         ])
-      [ 1; 2; 5; 10; 20; 50 ]
+      (sweep [ 1; 2; 5; 10; 20; 50 ])
   in
   Metrics.Table.print
     ~title:
@@ -208,20 +259,24 @@ let lambda () =
 (* ------------------------------------------------------------------ *)
 
 let batch () =
-  let n = 16 in
+  let n = small_n 16 in
   let rows =
     List.map
       (fun bs ->
         let r =
-          Harness.Scenario.run_lyra ~n
-            ~tweak:(fun c ->
-              {
-                c with
-                batch_size = bs;
-                batch_timeout_us = 250_000;
-                max_inflight = 16;
-              })
-            ~load:(Harness.Scenario.Open_rate 4_000.0) ~duration_us:3_000_000 ()
+          Harness.Scenario.run
+            (Protocol.Lyra_adapter.make
+               ~tweak:(fun c ->
+                 {
+                   c with
+                   Lyra.Config.batch_size = bs;
+                   batch_timeout_us = 250_000;
+                   max_inflight = 16;
+                 })
+               ())
+            ~n
+            ~load:(Harness.Scenario.Open_rate (if !smoke then 800.0 else 4_000.0))
+            ~duration_us:(scale_dur 3_000_000) ()
         in
         [
           string_of_int bs;
@@ -229,7 +284,7 @@ let batch () =
           Printf.sprintf "%.0f" (Metrics.Recorder.mean r.latency_ms);
           Printf.sprintf "%.0f" (pct 95.0 r.latency_ms);
         ])
-      [ 100; 200; 400; 800; 1600; 3200 ]
+      (sweep [ 100; 200; 400; 800; 1600; 3200 ])
   in
   Metrics.Table.print
     ~title:"BATCH  batch-size sweep at n=16, 4k tx/s per node offered"
@@ -241,13 +296,16 @@ let batch () =
 (* ------------------------------------------------------------------ *)
 
 let byz () =
-  let n = 16 in
+  let n = small_n 16 in
   let fmax = Dbft.Quorums.max_faulty n in
   let run name mis =
     let r =
-      Harness.Scenario.run_lyra ~n
-        ~byz:(fun i -> if i < fmax then mis else None)
-        ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
+      Harness.Scenario.run
+        (Protocol.Lyra_adapter.make
+           ~byz:(fun i -> if i < fmax then mis else None)
+           ())
+        ~n ~load:(Harness.Scenario.Closed 2)
+        ~duration_us:(scale_dur 3_000_000) ()
     in
     [
       name;
@@ -264,31 +322,33 @@ let byz () =
           liveness degrades gracefully)"
          fmax n)
     ~header:[ "behaviour"; "tx/s"; "latency ms"; "accept rate"; "prefix safe" ]
-    [
-      run "none" None;
-      run "silent" (Some Lyra.Misbehavior.Silent);
-      run "flood 4/s" (Some (Lyra.Misbehavior.Flood { batches_per_sec = 4 }));
-      run "future-seq +3ms"
-        (Some (Lyra.Misbehavior.Future_seq { offset_us = 3_000 }));
-      run "future-seq +40ms"
-        (Some (Lyra.Misbehavior.Future_seq { offset_us = 40_000 }));
-      run "low-status" (Some Lyra.Misbehavior.Low_status);
-      run "equivocate" (Some Lyra.Misbehavior.Equivocate);
-      run "stale-votes 1s"
-        (Some (Lyra.Misbehavior.Stale_votes { delay_us = 1_000_000 }));
-    ]
+    (List.map
+       (fun (name, mis) -> run name mis)
+       (sweep
+          [
+            ("none", None);
+            ("silent", Some Lyra.Misbehavior.Silent);
+            ("flood 4/s", Some (Lyra.Misbehavior.Flood { batches_per_sec = 4 }));
+            ( "future-seq +3ms",
+              Some (Lyra.Misbehavior.Future_seq { offset_us = 3_000 }) );
+            ( "future-seq +40ms",
+              Some (Lyra.Misbehavior.Future_seq { offset_us = 40_000 }) );
+            ("low-status", Some Lyra.Misbehavior.Low_status);
+            ("equivocate", Some Lyra.Misbehavior.Equivocate);
+            ( "stale-votes 1s",
+              Some (Lyra.Misbehavior.Stale_votes { delay_us = 1_000_000 }) );
+          ]))
 
 (* ------------------------------------------------------------------ *)
 (* MEV — sandwich extraction on the AMM (§V-E).                        *)
 (* ------------------------------------------------------------------ *)
 
 let mev () =
-  let trials = 5 in
-  let p = Attacks.Sandwich.run_pompe ~trials () in
-  let l = Attacks.Sandwich.run_lyra ~trials () in
-  let row name (o : Attacks.Sandwich.outcome) =
+  let trials = scale_trials 5 in
+  let row protocol =
+    let o = Attacks.Sandwich.run ~trials ~protocol () in
     [
-      name;
+      protocol;
       string_of_int o.launched;
       Printf.sprintf "%.0f" o.attacker_profit_x;
       Printf.sprintf "%.0f" o.victim_out_mean;
@@ -310,67 +370,83 @@ let mev () =
         "baseline Y";
         "victim loss";
       ]
-    [ row "pompe" p; row "lyra" l ]
+    (List.map row Attacks.Sandwich.protocols)
 
 (* ------------------------------------------------------------------ *)
 (* CENSOR — Byzantine-leader censorship (§V-E).                        *)
 (* ------------------------------------------------------------------ *)
 
 let censor () =
-  let o = Attacks.Censorship.run ~n:7 () in
-  let row label (m : Attacks.Censorship.measurement) =
-    [
-      label;
-      Printf.sprintf "%.0f" m.mean_ms;
-      Printf.sprintf "%.0f" m.worst_ms;
-      string_of_int m.reordered;
-    ]
-  in
+  let n = small_n 7 in
+  let o = Attacks.Censorship.run ~n () in
   Metrics.Table.print
-    ~title:"CENSOR  victim-tx latency and reordering under censorship (n=7)"
+    ~title:
+      (Printf.sprintf
+         "CENSOR  victim-tx latency and reordering under censorship (n=%d)" n)
     ~header:[ "setting"; "mean ms"; "worst ms"; "reordered" ]
-    (List.map (fun (l, m) -> row ("pompe " ^ l) m) o.pompe_rows
-    @ List.map (fun (l, m) -> row ("lyra " ^ l) m) o.lyra_rows)
+    (List.map
+       (fun (protocol, label, (m : Attacks.Censorship.measurement)) ->
+         [
+           protocol ^ " " ^ label;
+           Printf.sprintf "%.0f" m.mean_ms;
+           Printf.sprintf "%.0f" m.worst_ms;
+           string_of_int m.reordered;
+         ])
+       o.rows)
 
 (* ------------------------------------------------------------------ *)
 (* ABLATE — sensitivity of the Fig. 3 story to the testbed model.     *)
 (*                                                                     *)
 (* The paper attributes Pompe's decline to the leader bottleneck and   *)
-(* quadratic verification work. If that attribution is right, Pompe's  *)
-(* delivered throughput must track the per-node line rate while Lyra   *)
-(* (leaderless, O(1) verifications per message) barely moves. The      *)
-(* sweep varies the modelled WAN bandwidth at n = 31 under the same    *)
-(* saturating load.                                                    *)
+(* quadratic verification work. If that attribution is right, the      *)
+(* leader-based baselines' delivered throughput must track the         *)
+(* per-node line rate while Lyra (leaderless, O(1) verifications per   *)
+(* message) barely moves. The sweep varies the modelled WAN bandwidth  *)
+(* at n = 31 under the same saturating load.                           *)
 (* ------------------------------------------------------------------ *)
 
 let ablate () =
-  let n = 31 in
+  let n = small_n 31 in
+  let leader_total_rate = if !smoke then 4_000.0 else 120_000.0 in
+  let specs =
+    [
+      ( Protocol.Lyra_adapter.make
+          ~tweak:(fun c ->
+            { c with Lyra.Config.batch_timeout_us = 350_000; max_inflight = 16 })
+          (),
+        (if !smoke then 600.0 else 2_400.0),
+        scale_dur 3_000_000 );
+      ( Protocol.Pompe_adapter.make
+          ~tweak:(fun c -> { c with Pompe.Config.block_capacity = 64 })
+          (),
+        leader_total_rate /. float_of_int n,
+        scale_dur 5_000_000 );
+      ( Protocol.Hotstuff_adapter.make
+          ~tweak:(fun c -> { c with Hotstuff.Smr.block_capacity = 64 })
+          (),
+        leader_total_rate /. float_of_int n,
+        scale_dur 5_000_000 );
+    ]
+  in
   let rows =
     List.map
       (fun (label, ns_per_byte) ->
-        let l =
-          Harness.Scenario.run_lyra ~n ~ns_per_byte
-            ~tweak:(fun c ->
-              { c with batch_timeout_us = 350_000; max_inflight = 16 })
-            ~load:(Harness.Scenario.Open_rate 2_400.0) ~duration_us:3_000_000 ()
-        in
-        let p =
-          Harness.Scenario.run_pompe ~n ~ns_per_byte
-            ~tweak:(fun c -> { c with block_capacity = 64 })
-            ~load:(Harness.Scenario.Open_rate (120_000.0 /. float_of_int n))
-            ~duration_us:5_000_000 ()
-        in
-        [
-          label;
-          Printf.sprintf "%.0f" l.throughput_tps;
-          Printf.sprintf "%.0f" p.throughput_tps;
-        ])
-      [ ("1 Gb/s", 8); ("200 Mb/s", 40); ("50 Mb/s", 160) ]
+        label
+        :: List.map
+             (fun (p, rate, dur) ->
+               let r =
+                 Harness.Scenario.run p ~n ~ns_per_byte
+                   ~load:(Harness.Scenario.Open_rate rate) ~duration_us:dur ()
+               in
+               Printf.sprintf "%.0f" r.throughput_tps)
+             specs)
+      (sweep [ ("1 Gb/s", 8); ("200 Mb/s", 40); ("50 Mb/s", 160) ])
   in
   Metrics.Table.print
     ~title:
-      "ABLATE  per-node bandwidth sweep at n=31 (Pompe tracks the leader's        line rate; Lyra does not)"
-    ~header:[ "line rate"; "lyra tx/s"; "pompe tx/s" ]
+      "ABLATE  per-node bandwidth sweep at n=31 (the leader-based baselines \
+       track the leader's line rate; Lyra does not)"
+    ~header:[ "line rate"; "lyra tx/s"; "pompe tx/s"; "hotstuff tx/s" ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -411,11 +487,12 @@ let micro () =
         (Staged.stage (fun () -> Crypto.Merkle.root_of_leaves leaves));
     ]
   in
+  let quota = if !smoke then 0.05 else 0.3 in
   Printf.printf
     "\n== MICRO  crypto substrate (ns/op; informs Sim.Costs calibration) ==\n%!";
   List.iter
     (fun test ->
-      let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ~kde:None () in
+      let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:None () in
       let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
       let ols =
         Analyze.all
@@ -456,11 +533,17 @@ let all =
 let now_wall () = Unix.gettimeofday ()
 
 let () =
-  let targets =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
   in
+  let targets = match args with [] -> List.map fst all | names -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

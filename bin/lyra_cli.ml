@@ -1,5 +1,6 @@
-(* Command-line driver for the Lyra reproduction: run a cluster, replay
-   the paper's experiments, or demo the attacks. `lyra_cli --help`. *)
+(* Command-line driver for the Lyra reproduction: run a cluster of any
+   registered protocol, replay the paper's experiments, or demo the
+   attacks. `lyra_cli --help`. *)
 
 open Cmdliner
 
@@ -23,10 +24,22 @@ let rate_t =
   let doc = "Open-loop offered load per node (tx/s); overrides --clients." in
   Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"TPS" ~doc)
 
+(* Protocol choice comes from the baseline registry, so a newly
+   registered adapter is selectable here with no CLI change. *)
 let protocol_t =
-  let doc = "Protocol to run: lyra or pompe." in
-  Arg.(value & opt (enum [ ("lyra", `Lyra); ("pompe", `Pompe) ]) `Lyra
-       & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+  let doc =
+    Printf.sprintf "Protocol to run: %s."
+      (String.concat ", " Protocol.Registry.names)
+  in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Protocol.Registry.names)) "lyra"
+    & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+
+let adapter name =
+  match Protocol.Registry.get name with
+  | Some p -> p
+  | None -> failwith ("unknown protocol " ^ name)
 
 let print_result (r : Harness.Scenario.result) =
   Format.printf "%a@." Harness.Scenario.pp_result r;
@@ -46,42 +59,37 @@ let run_cmd =
       | None -> Harness.Scenario.Closed clients
     in
     let duration_us = int_of_float (duration *. 1e6) in
-    let r =
-      match protocol with
-      | `Lyra -> Harness.Scenario.run_lyra ~seed ~n ~load ~duration_us ()
-      | `Pompe -> Harness.Scenario.run_pompe ~seed ~n ~load ~duration_us ()
-    in
-    print_result r
+    print_result
+      (Harness.Scenario.run ~seed (adapter protocol) ~n ~load ~duration_us ())
   in
   let doc = "Run a geo-distributed cluster and report latency/throughput." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ seed_t $ n_t 16 $ duration_t $ clients_t $ rate_t $ protocol_t)
 
+let trials_arg default =
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"K" ~doc:"Attack trials.")
+
 let frontrun_cmd =
   let run trials =
-    let p = Attacks.Frontrun.run_pompe ~trials () in
-    Format.printf "pompe: %a@." Attacks.Frontrun.pp_outcome p;
-    let l = Attacks.Frontrun.run_lyra ~trials () in
-    Format.printf "lyra : %a@." Attacks.Frontrun.pp_outcome l
-  in
-  let trials_t =
-    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"K" ~doc:"Attack trials.")
+    List.iter
+      (fun protocol ->
+        let o = Attacks.Frontrun.run ~trials ~protocol () in
+        Format.printf "%-8s: %a@." protocol Attacks.Frontrun.pp_outcome o)
+      Attacks.Frontrun.protocols
   in
   let doc = "Replay the Fig. 1 triangle-inequality front-running attack." in
-  Cmd.v (Cmd.info "frontrun" ~doc) Term.(const run $ trials_t)
+  Cmd.v (Cmd.info "frontrun" ~doc) Term.(const run $ trials_arg 10)
 
 let sandwich_cmd =
   let run trials =
-    let p = Attacks.Sandwich.run_pompe ~trials () in
-    Format.printf "pompe: %a@." Attacks.Sandwich.pp_outcome p;
-    let l = Attacks.Sandwich.run_lyra ~trials () in
-    Format.printf "lyra : %a@." Attacks.Sandwich.pp_outcome l
-  in
-  let trials_t =
-    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"K" ~doc:"Attack trials.")
+    List.iter
+      (fun protocol ->
+        let o = Attacks.Sandwich.run ~trials ~protocol () in
+        Format.printf "%-8s: %a@." protocol Attacks.Sandwich.pp_outcome o)
+      Attacks.Sandwich.protocols
   in
   let doc = "Replay the AMM sandwich (MEV) attack." in
-  Cmd.v (Cmd.info "sandwich" ~doc) Term.(const run $ trials_t)
+  Cmd.v (Cmd.info "sandwich" ~doc) Term.(const run $ trials_arg 5)
 
 let censor_cmd =
   let run n =
@@ -105,12 +113,12 @@ let byz_cmd =
       | other -> failwith ("unknown behaviour " ^ other)
     in
     let f = Dbft.Quorums.max_faulty n in
-    let r =
-      Harness.Scenario.run_lyra ~seed ~n
-        ~byz:(fun i -> if i < f then mis else None)
-        ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
-    in
-    print_result r
+    print_result
+      (Harness.Scenario.run ~seed
+         (Protocol.Lyra_adapter.make
+            ~byz:(fun i -> if i < f then mis else None)
+            ())
+         ~n ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ())
   in
   let behaviour_t =
     Arg.(value & pos 0 string "none"
@@ -125,9 +133,11 @@ let lambda_cmd =
     List.iter
       (fun lambda_ms ->
         let r =
-          Harness.Scenario.run_lyra ~n
-            ~tweak:(fun c -> { c with Lyra.Config.lambda_us = lambda_ms * 1000 })
-            ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
+          Harness.Scenario.run
+            (Protocol.Lyra_adapter.make
+               ~tweak:(fun c -> { c with Lyra.Config.lambda_us = lambda_ms * 1000 })
+               ())
+            ~n ~load:(Harness.Scenario.Closed 2) ~duration_us:3_000_000 ()
         in
         Format.printf "lambda=%2dms accept=%.3f tx/s=%.0f latency=%.0fms@."
           lambda_ms r.accept_rate r.throughput_tps
@@ -142,15 +152,17 @@ let batch_cmd =
     List.iter
       (fun bs ->
         let r =
-          Harness.Scenario.run_lyra ~n
-            ~tweak:(fun c ->
-              {
-                c with
-                Lyra.Config.batch_size = bs;
-                batch_timeout_us = 250_000;
-                max_inflight = 16;
-              })
-            ~load:(Harness.Scenario.Open_rate 4_000.0) ~duration_us:3_000_000 ()
+          Harness.Scenario.run
+            (Protocol.Lyra_adapter.make
+               ~tweak:(fun c ->
+                 {
+                   c with
+                   Lyra.Config.batch_size = bs;
+                   batch_timeout_us = 250_000;
+                   max_inflight = 16;
+                 })
+               ())
+            ~n ~load:(Harness.Scenario.Open_rate 4_000.0) ~duration_us:3_000_000 ()
         in
         Format.printf "batch=%4d tx/s=%.0f latency=%.0fms p95=%.0fms@." bs
           r.throughput_tps

@@ -13,7 +13,7 @@ let () =
      Attacker: Singapore node, front-buys 250,000 X and sells right after\n\n";
 
   Printf.printf "--- Pompē ---\n%!";
-  let p = Attacks.Sandwich.run_pompe ~trials:3 () in
+  let p = Attacks.Sandwich.run ~trials:3 ~protocol:"pompe" () in
   Format.printf "  %a@." Attacks.Sandwich.pp_outcome p;
   Printf.printf
     "  The sandwich fires: the victim receives %.0f Y instead of %.0f\n\
@@ -25,7 +25,7 @@ let () =
     p.attacker_profit_x;
 
   Printf.printf "--- Lyra ---\n%!";
-  let l = Attacks.Sandwich.run_lyra ~trials:3 () in
+  let l = Attacks.Sandwich.run ~trials:3 ~protocol:"lyra" () in
   Format.printf "  %a@." Attacks.Sandwich.pp_outcome l;
   Printf.printf
     "  The payload is obfuscated until the order is immutable: no\n\

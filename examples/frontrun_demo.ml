@@ -23,7 +23,7 @@ let () =
      Singapore) watches the mempool; the 2f+1 quorum majority is in Sydney.\n\n";
 
   Printf.printf "--- Pompē (cleartext ordering phase) ---\n%!";
-  let p = Attacks.Frontrun.run_pompe ~trials:5 () in
+  let p = Attacks.Frontrun.run ~trials:5 ~protocol:"pompe" () in
   Format.printf "  %a@." Attacks.Frontrun.pp_outcome p;
   Printf.printf
     "  Mallory read Alice's payload %d/%d times; her transaction was\n\
@@ -32,7 +32,7 @@ let () =
     p.observed p.trials p.succeeded p.trials p.victim_first_gap_ms;
 
   Printf.printf "--- Lyra (commit-reveal obfuscation) ---\n%!";
-  let l = Attacks.Frontrun.run_lyra ~trials:5 () in
+  let l = Attacks.Frontrun.run ~trials:5 ~protocol:"lyra" () in
   Format.printf "  %a@." Attacks.Frontrun.pp_outcome l;
   Printf.printf
     "  Mallory observed a payload %d/%d times: the VSS cipher reveals\n\

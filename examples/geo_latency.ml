@@ -15,8 +15,9 @@ let () =
       List.iter
         (fun clients ->
           let r =
-            Harness.Scenario.run_lyra ~n
-              ~load:(Harness.Scenario.Closed clients) ~duration_us:3_000_000 ()
+            Harness.Scenario.run
+              (Protocol.Lyra_adapter.make ())
+              ~n ~load:(Harness.Scenario.Closed clients) ~duration_us:3_000_000 ()
           in
           assert (r.prefix_safe && r.late_accepts = 0);
           rows :=

@@ -1,10 +1,12 @@
 type measurement = { mean_ms : float; worst_ms : float; reordered : int }
 
+(* One row per (protocol, coalition setting): leader-based protocols
+   sweep censoring-coalition sizes 0 / f / n−1; Lyra sweeps 0 / f
+   Byzantine (vote-withholding) nodes — it has no leader to censor. *)
 type outcome = {
   n : int;
   byzantine : int;
-  pompe_rows : (string * measurement) list;
-  lyra_rows : (string * measurement) list;
+  rows : (string * string * measurement) list;
 }
 
 let pp_m fmt m =
@@ -13,11 +15,9 @@ let pp_m fmt m =
 let pp_outcome fmt o =
   Format.fprintf fmt "n=%d f=%d |" o.n o.byzantine;
   List.iter
-    (fun (label, m) -> Format.fprintf fmt " pompe/%s [%a]" label pp_m m)
-    o.pompe_rows;
-  List.iter
-    (fun (label, m) -> Format.fprintf fmt " lyra/%s [%a]" label pp_m m)
-    o.lyra_rows
+    (fun (protocol, label, m) ->
+      Format.fprintf fmt " %s/%s [%a]" protocol label pp_m m)
+    o.rows
 
 let victim_count = 24
 
@@ -52,110 +52,75 @@ let count_inversions outputs =
     outputs;
   !inversions
 
-let pompe_latency ~censors ~n seed =
+let victim_origin = 0
+
+let censor_predicate censors id iid =
+  List.mem id censors && iid.Lyra.Types.proposer = victim_origin
+
+(* Per-protocol cluster configuration. The tighter Pompē stable window
+   makes inclusion delay visible as actual reordering rather than being
+   absorbed by the execution margin. *)
+let adapter ~censors ~byz = function
+  | "pompe" ->
+      Protocol.Pompe_adapter.make
+        ~tweak:(fun c ->
+          {
+            c with
+            Pompe.Config.batch_timeout_us = 10_000;
+            batch_size = 8;
+            exec_window_us = 150_000;
+          })
+        ~censor:(censor_predicate censors) ~clock_offsets:false ()
+  | "lyra" ->
+      Protocol.Lyra_adapter.make
+        ~tweak:(fun c ->
+          { c with Lyra.Config.batch_timeout_us = 10_000; batch_size = 8 })
+        ~byz:(fun id ->
+          if List.mem id byz then
+            Some (Lyra.Misbehavior.Stale_votes { delay_us = 2_000_000 })
+          else None)
+        ~clock_offsets:false ()
+  | "hotstuff" ->
+      Protocol.Hotstuff_adapter.make
+        ~tweak:(fun c ->
+          { c with Hotstuff.Smr.batch_timeout_us = 10_000; batch_size = 8 })
+        ~censor:(censor_predicate censors) ()
+  | other -> invalid_arg ("Censorship: unknown protocol " ^ other)
+
+let latency_run (module P : Protocol.NODE) ~n seed =
   let engine = Sim.Engine.create ~seed () in
-  (* A tighter stable window makes inclusion delay visible as actual
-     reordering rather than being absorbed by the execution margin. *)
-  let cfg =
-    {
-      (Pompe.Config.default ~n) with
-      batch_timeout_us = 10_000;
-      batch_size = 8;
-      exec_window_us = 150_000;
-    }
-  in
-  let latency = Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n) in
-  let net =
-    Sim.Network.create engine ~n ~latency
-      ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost Sim.Costs.default ~n b)
-      ~size:Pompe.Types.msg_size ()
-  in
+  let net = P.make_net engine ~n ~jitter:0.01 () in
   let lat = Metrics.Recorder.create () in
-  let on_output (o : Pompe.Node.output) =
+  let on_output (c : Protocol.committed) =
     Array.iter
       (fun (tx : Lyra.Types.tx) ->
         if is_victim tx then
           Metrics.Recorder.record lat
-            (float_of_int (o.output_at - tx.submitted_at) /. 1000.))
-      o.batch.txs
+            (float_of_int (c.output_at - tx.submitted_at) /. 1000.))
+      c.txs
   in
-  let victim_origin = 0 in
   let nodes =
     Array.init n (fun id ->
-        Pompe.Node.create cfg net ~id
+        P.create net ~id
           ~on_output:(if id = victim_origin then on_output else fun _ -> ())
-          ~censor:(fun iid ->
-            List.mem id censors && iid.Lyra.Types.proposer = victim_origin)
           ())
   in
-  Array.iter Pompe.Node.start nodes;
+  Array.iter P.start nodes;
+  let first_victim_at = max 1_000_000 P.default_warmup_us in
   for k = 0 to victim_count - 1 do
     ignore
       (Sim.Engine.schedule engine
-         ~delay:(1_000_000 + (k * victim_spacing_us))
+         ~delay:(first_victim_at + (k * victim_spacing_us))
          (fun () ->
            ignore
-             (Pompe.Node.submit nodes.(victim_origin)
-                ~payload:(victim_payload k)
+             (P.submit nodes.(victim_origin) ~payload:(victim_payload k)
                : string);
-           (* Background traffic from the other nodes, so displacement
-              is observable. *)
+           (* Background traffic from the other (honest, participating)
+              nodes, so displacement is observable. *)
            for j = 1 to n - 1 do
-             ignore
-               (Pompe.Node.submit nodes.(j)
-                  ~payload:(Printf.sprintf "put bg%d-%d 0" j k)
-                 : string)
-           done)
-        : Sim.Engine.timer)
-  done;
-  Sim.Engine.run engine ~until:30_000_000;
-  let outputs =
-    List.map
-      (fun (o : Pompe.Node.output) -> (o.batch.Lyra.Types.txs, o.seq))
-      (Pompe.Node.output_log nodes.(victim_origin))
-  in
-  (lat, count_inversions outputs)
-
-let lyra_latency ~byz ~n seed =
-  let engine = Sim.Engine.create ~seed () in
-  let cfg =
-    { (Lyra.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
-  in
-  let latency = Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n) in
-  let net =
-    Sim.Network.create engine ~n ~latency
-      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
-      ~size:Lyra.Types.msg_size ()
-  in
-  let lat = Metrics.Recorder.create () in
-  let on_output (o : Lyra.Node.output) =
-    Array.iter
-      (fun (tx : Lyra.Types.tx) ->
-        if is_victim tx then
-          Metrics.Recorder.record lat
-            (float_of_int (o.output_at - tx.submitted_at) /. 1000.))
-      o.batch.txs
-  in
-  let nodes =
-    Array.init n (fun id ->
-        Lyra.Node.create cfg net ~id
-          ?misbehavior:(if List.mem id byz then
-                          Some (Lyra.Misbehavior.Stale_votes { delay_us = 2_000_000 })
-                        else None)
-          ~on_output:(if id = 0 then on_output else fun _ -> ())
-          ())
-  in
-  Array.iter Lyra.Node.start nodes;
-  for k = 0 to victim_count - 1 do
-    ignore
-      (Sim.Engine.schedule engine
-         ~delay:(1_500_000 + (k * victim_spacing_us))
-         (fun () ->
-           ignore (Lyra.Node.submit nodes.(0) ~payload:(victim_payload k) : string);
-           for j = 1 to n - 1 do
-             if not (List.mem j byz) then
+             if P.honest nodes.(j) then
                ignore
-                 (Lyra.Node.submit nodes.(j)
+                 (P.submit nodes.(j)
                     ~payload:(Printf.sprintf "put bg%d-%d 0" j k)
                    : string)
            done)
@@ -164,29 +129,47 @@ let lyra_latency ~byz ~n seed =
   Sim.Engine.run engine ~until:30_000_000;
   let outputs =
     List.map
-      (fun (o : Lyra.Node.output) -> (o.batch.Lyra.Types.txs, o.seq))
-      (Lyra.Node.output_log nodes.(0))
+      (fun (c : Protocol.committed) -> (c.txs, c.seq))
+      (P.output_log nodes.(victim_origin))
   in
   (lat, count_inversions outputs)
 
+let coalition_rows ~n ~f protocol seed =
+  let some k = List.init k (fun i -> i + 1) in
+  let leader_based sizes =
+    List.map
+      (fun (label, k) ->
+        ( protocol,
+          label,
+          summarize
+            (latency_run (adapter ~censors:(some k) ~byz:[] protocol) ~n seed)
+        ))
+      sizes
+  in
+  match protocol with
+  | "lyra" ->
+      List.map
+        (fun (label, k) ->
+          ( protocol,
+            label,
+            summarize
+              (latency_run (adapter ~censors:[] ~byz:(some k) protocol) ~n seed)
+          ))
+        [ ("0-byz", 0); (Printf.sprintf "%d-byz" f, f) ]
+  | _ ->
+      leader_based
+        [
+          ("0-censors", 0);
+          (Printf.sprintf "%d-censors" f, f);
+          (Printf.sprintf "%d-censors" (n - 1), n - 1);
+        ]
+
+let protocols = Protocol.Registry.names
+
 let run ?(seed = 900L) ~n () =
   let f = Dbft.Quorums.max_faulty n in
-  let some k = List.init k (fun i -> i + 1) in
   {
     n;
     byzantine = f;
-    pompe_rows =
-      [
-        ("0-censors", summarize (pompe_latency ~censors:[] ~n seed));
-        (Printf.sprintf "%d-censors" f,
-         summarize (pompe_latency ~censors:(some f) ~n seed));
-        (Printf.sprintf "%d-censors" (n - 1),
-         summarize (pompe_latency ~censors:(some (n - 1)) ~n seed));
-      ];
-    lyra_rows =
-      [
-        ("0-byz", summarize (lyra_latency ~byz:[] ~n seed));
-        (Printf.sprintf "%d-byz" f,
-         summarize (lyra_latency ~byz:(some f) ~n seed));
-      ];
+    rows = List.concat_map (fun p -> coalition_rows ~n ~f p seed) protocols;
   }

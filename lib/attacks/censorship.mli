@@ -10,7 +10,8 @@
     vote 0, which a 2f+1 quorum absorbs.
 
     The experiment measures a victim transaction's commit latency under
-    Pompē with f censoring replicas versus Lyra with f Byzantine
+    each leader-based baseline (Pompē, plain HotStuff) with a sweep of
+    censoring-coalition sizes, versus Lyra with f Byzantine
     (vote-withholding) replicas. *)
 
 (** Victim-transaction latency and how many victim transactions were
@@ -21,16 +22,18 @@ type measurement = { mean_ms : float; worst_ms : float; reordered : int }
 type outcome = {
   n : int;
   byzantine : int;
-  pompe_rows : (string * measurement) list;
-      (** censoring-coalition sweep: 0, f, and n−1 censoring leaders.
-          Round-robin rotation bounds the damage of a small coalition
-          (the victim waits at most for the next honest leader), but
-          the delay grows with the coalition and is unbounded for a
-          fixed Byzantine leader — the §I observation about
-          leader-based protocols. *)
-  lyra_rows : (string * measurement) list;  (** 0 and f Byzantine nodes *)
+  rows : (string * string * measurement) list;
+      (** (protocol, setting, measurement). Leader-based protocols
+          sweep 0, f, and n−1 censoring leaders: round-robin rotation
+          bounds the damage of a small coalition (the victim waits at
+          most for the next honest leader), but the delay grows with
+          the coalition — the §I observation about leader-based
+          protocols. Lyra sweeps 0 and f Byzantine nodes. *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Protocols covered by {!run} ({!Protocol.Registry.names}). *)
+val protocols : string list
 
 val run : ?seed:int64 -> n:int -> unit -> outcome

@@ -50,19 +50,41 @@ let exec_positions outputs =
     outputs;
   (!vic, !att)
 
-let run_pompe_trial seed =
+(* The attacker's node configuration per protocol: same batching knobs
+   everywhere; Pompē additionally lets Mallory withhold her timestamp
+   for the victim's batch so the victim's 2f+1 quorum is dominated by
+   the distant Sydney clocks. *)
+let adapter = function
+  | "pompe" ->
+      Protocol.Pompe_adapter.make
+        ~tweak:(fun c ->
+          { c with Pompe.Config.batch_timeout_us = 10_000; batch_size = 8 })
+        ~respond_ts:(fun id ->
+          if id = 1 then
+            Some
+              (fun batch ~honest ->
+                if batch_has_victim batch then None else Some honest)
+          else None)
+        ~regions ~clock_offsets:false ()
+  | "lyra" ->
+      Protocol.Lyra_adapter.make
+        ~tweak:(fun c ->
+          { c with Lyra.Config.batch_timeout_us = 10_000; batch_size = 8 })
+        ~regions ~clock_offsets:false ()
+  | "hotstuff" ->
+      Protocol.Hotstuff_adapter.make
+        ~tweak:(fun c ->
+          { c with Hotstuff.Smr.batch_timeout_us = 10_000; batch_size = 8 })
+        ~regions ()
+  | other -> invalid_arg ("Frontrun: unknown protocol " ^ other)
+
+let protocols = Protocol.Registry.names
+
+let run_trial (module P : Protocol.NODE) seed =
   let engine = Sim.Engine.create ~seed () in
-  let cfg =
-    { (Pompe.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
-  in
-  let latency = Sim.Latency.regional ~jitter:0.01 regions in
-  let net =
-    Sim.Network.create engine ~n ~latency
-      ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost Sim.Costs.default ~n b)
-      ~size:Pompe.Types.msg_size ()
-  in
+  let net = P.make_net engine ~n ~jitter:0.01 () in
   let observed = ref false and launched = ref false in
-  let mallory : Pompe.Node.t option ref = ref None in
+  let mallory = ref None in
   let attack batch =
     if batch_has_victim batch && not !observed then begin
       observed := true;
@@ -70,38 +92,27 @@ let run_pompe_trial seed =
       match !mallory with
       | Some node ->
           launched := true;
-          ignore (Pompe.Node.submit node ~payload:attack_payload : string)
+          ignore (P.submit node ~payload:attack_payload : string)
       | None -> ()
     end
   in
   let nodes =
     Array.init n (fun id ->
         if id = 1 then
-          Pompe.Node.create cfg net ~id ~on_observe:attack
-            ~respond_ts:(fun batch ~honest ->
-              (* (ii) withhold the timestamp for the victim's batch so
-                 its quorum is dominated by the distant Sydney clocks. *)
-              if batch_has_victim batch then None else Some honest)
-            ()
-        else Pompe.Node.create cfg net ~id ())
+          P.create net ~id ~on_observe:attack ~on_output:(fun _ -> ()) ()
+        else P.create net ~id ~on_output:(fun _ -> ()) ())
   in
   mallory := Some nodes.(1);
-  Array.iter Pompe.Node.start nodes;
+  Array.iter P.start nodes;
   ignore
-    (Sim.Engine.schedule engine ~delay:1_000_000 (fun () ->
-         ignore (Pompe.Node.submit nodes.(0) ~payload:victim_payload : string))
+    (Sim.Engine.schedule engine
+       ~delay:(max 1_000_000 P.default_warmup_us)
+       (fun () -> ignore (P.submit nodes.(0) ~payload:victim_payload : string))
       : Sim.Engine.timer);
   Sim.Engine.run engine ~until:15_000_000;
-  let outputs =
-    List.map
-      (fun (o : Pompe.Node.output) -> o.batch.txs)
-      (Pompe.Node.output_log nodes.(2))
-  in
-  let seqs =
-    List.map
-      (fun (o : Pompe.Node.output) -> (o.batch.txs, o.seq))
-      (Pompe.Node.output_log nodes.(2))
-  in
+  let log = P.output_log nodes.(2) in
+  let outputs = List.map (fun (c : Protocol.committed) -> c.txs) log in
+  let seqs = List.map (fun (c : Protocol.committed) -> (c.txs, c.seq)) log in
   let seq_of pred =
     List.find_map
       (fun (txs, seq) -> if Array.exists pred txs then Some seq else None)
@@ -118,54 +129,6 @@ let run_pompe_trial seed =
     match (vic, att) with Some v, Some a -> a < v | _ -> false
   in
   (!observed, !launched, success, gap)
-
-let run_lyra_trial seed =
-  let engine = Sim.Engine.create ~seed () in
-  let cfg =
-    { (Lyra.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
-  in
-  let latency = Sim.Latency.regional ~jitter:0.01 regions in
-  let net =
-    Sim.Network.create engine ~n ~latency
-      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
-      ~size:Lyra.Types.msg_size ()
-  in
-  let observed = ref false and launched = ref false in
-  let mallory : Lyra.Node.t option ref = ref None in
-  let attack batch =
-    (* Same attacker logic — but observable_txs yields nothing under
-       commit-reveal, so the trigger never fires. *)
-    if batch_has_victim batch && not !observed then begin
-      observed := true;
-      match !mallory with
-      | Some node ->
-          launched := true;
-          ignore (Lyra.Node.submit node ~payload:attack_payload : string)
-      | None -> ()
-    end
-  in
-  let nodes =
-    Array.init n (fun id ->
-        if id = 1 then Lyra.Node.create cfg net ~id ~on_observe:attack ()
-        else Lyra.Node.create cfg net ~id ())
-  in
-  mallory := Some nodes.(1);
-  Array.iter Lyra.Node.start nodes;
-  ignore
-    (Sim.Engine.schedule engine ~delay:1_500_000 (fun () ->
-         ignore (Lyra.Node.submit nodes.(0) ~payload:victim_payload : string))
-      : Sim.Engine.timer);
-  Sim.Engine.run engine ~until:15_000_000;
-  let outputs =
-    List.map
-      (fun (o : Lyra.Node.output) -> o.batch.txs)
-      (Lyra.Node.output_log nodes.(2))
-  in
-  let vic, att = exec_positions outputs in
-  let success =
-    match (vic, att) with Some v, Some a -> a < v | _ -> false
-  in
-  (!observed, !launched, success, 0.0)
 
 let aggregate ~trials run seed0 =
   let observed = ref 0
@@ -187,6 +150,5 @@ let aggregate ~trials run seed0 =
     victim_first_gap_ms = (if trials = 0 then 0.0 else !gaps /. float_of_int trials);
   }
 
-let run_pompe ?(seed = 100L) ~trials () = aggregate ~trials run_pompe_trial seed
-
-let run_lyra ?(seed = 100L) ~trials () = aggregate ~trials run_lyra_trial seed
+let run ?(seed = 100L) ~trials ~protocol () =
+  aggregate ~trials (run_trial (adapter protocol)) seed

@@ -15,10 +15,18 @@
     median. The attack succeeds when her transaction is sequenced (and
     executed) before the victim's.
 
+    Against plain HotStuff SMR the payload is equally readable in
+    flight — and there is not even an ordering phase to subvert: the
+    leader orders whatever arrives first.
+
     Against Lyra, step (i) is already impossible: the payload is
     obfuscated until committed, so she never learns there is anything
     worth front-running; and the prediction/validation mechanism
-    rejects manipulated sequence numbers. *)
+    rejects manipulated sequence numbers.
+
+    The scenario itself is protocol-generic: the same attacker logic
+    runs against any {!Protocol.NODE}; {!run} selects the baseline by
+    registry name. *)
 
 (** Node placement of the scenario (index 0 = Tokyo victim, 1 =
     Singapore attacker, 2–4 = Sydney quorum); shared with
@@ -35,10 +43,9 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** [run_pompe ~trials ()] replays the attack against Pompē with
-    varying seeds. *)
-val run_pompe : ?seed:int64 -> trials:int -> unit -> outcome
+(** Protocols this attack can target ({!Protocol.Registry.names}). *)
+val protocols : string list
 
-(** [run_lyra ~trials ()] — same topology, same attacker logic, against
-    Lyra (payloads obfuscated with the commit-reveal scheme). *)
-val run_lyra : ?seed:int64 -> trials:int -> unit -> outcome
+(** [run ~trials ~protocol ()] replays the attack against [protocol]
+    with varying seeds. *)
+val run : ?seed:int64 -> trials:int -> protocol:string -> unit -> outcome

@@ -62,122 +62,84 @@ let attacker_profit pool =
   +. (float_of_int py *. (float_of_int (App.Amm.reserve_x pool)
                           /. float_of_int (App.Amm.reserve_y pool)))
 
-let run_pompe_trial ~attack_enabled seed =
+(* Per-protocol attacker configuration, as in {!Frontrun.adapter}; the
+   timestamp withholding only engages when the attack is on so the
+   baseline run measures the undisturbed protocol. *)
+let adapter ~attack_enabled = function
+  | "pompe" ->
+      Protocol.Pompe_adapter.make
+        ~tweak:(fun c ->
+          { c with Pompe.Config.batch_timeout_us = 10_000; batch_size = 8 })
+        ~respond_ts:(fun id ->
+          if id = 1 then
+            Some
+              (fun batch ~honest ->
+                if attack_enabled && batch_has_victim batch then None
+                else Some honest)
+          else None)
+        ~regions ~clock_offsets:false ()
+  | "lyra" ->
+      Protocol.Lyra_adapter.make
+        ~tweak:(fun c ->
+          { c with Lyra.Config.batch_timeout_us = 10_000; batch_size = 8 })
+        ~regions ~clock_offsets:false ()
+  | "hotstuff" ->
+      Protocol.Hotstuff_adapter.make
+        ~tweak:(fun c ->
+          { c with Hotstuff.Smr.batch_timeout_us = 10_000; batch_size = 8 })
+        ~regions ()
+  | other -> invalid_arg ("Sandwich: unknown protocol " ^ other)
+
+let protocols = Protocol.Registry.names
+
+let run_trial ~protocol ~attack_enabled seed =
+  let (module P : Protocol.NODE) = adapter ~attack_enabled protocol in
   let engine = Sim.Engine.create ~seed () in
-  let cfg =
-    { (Pompe.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
-  in
-  let latency = Sim.Latency.regional ~jitter:0.01 regions in
-  let net =
-    Sim.Network.create engine ~n ~latency
-      ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost Sim.Costs.default ~n b)
-      ~size:Pompe.Types.msg_size ()
-  in
+  let net = P.make_net engine ~n ~jitter:0.01 () in
   let pool = make_pool () in
   let shadow = make_pool () in
   let launched = ref false in
-  let mallory : Pompe.Node.t option ref = ref None in
+  let mallory = ref None in
   let attack batch =
     if attack_enabled && batch_has_victim batch && not !launched then begin
       launched := true;
       let front, back = plan_sandwich shadow in
       match !mallory with
       | Some node ->
-          ignore (Pompe.Node.submit node ~payload:front : string);
+          ignore (P.submit node ~payload:front : string);
           (* The back-run goes out a moment later so its (lower-bounded)
              sequence number lands behind the victim's. *)
           ignore
             (Sim.Engine.schedule engine ~delay:120_000 (fun () ->
-                 ignore (Pompe.Node.submit node ~payload:back : string))
+                 ignore (P.submit node ~payload:back : string))
               : Sim.Engine.timer)
       | None -> ()
     end
   in
-  let on_output id (o : Pompe.Node.output) =
+  let on_output id (c : Protocol.committed) =
     if id = 2 then
       Array.iter
         (fun (tx : Lyra.Types.tx) ->
           ignore (App.Amm.apply_payload pool tx.payload : int option))
-        o.batch.txs
+        c.txs
     else if id = 1 then
       Array.iter
         (fun (tx : Lyra.Types.tx) ->
           ignore (App.Amm.apply_payload shadow tx.payload : int option))
-        o.batch.txs
+        c.txs
   in
   let nodes =
     Array.init n (fun id ->
         if id = 1 then
-          Pompe.Node.create cfg net ~id ~on_observe:attack
-            ~on_output:(on_output 1)
-            ~respond_ts:(fun batch ~honest ->
-              if attack_enabled && batch_has_victim batch then None
-              else Some honest)
-            ()
-        else Pompe.Node.create cfg net ~id ~on_output:(on_output id) ())
+          P.create net ~id ~on_observe:attack ~on_output:(on_output 1) ()
+        else P.create net ~id ~on_output:(on_output id) ())
   in
   mallory := Some nodes.(1);
-  Array.iter Pompe.Node.start nodes;
+  Array.iter P.start nodes;
   ignore
-    (Sim.Engine.schedule engine ~delay:1_000_000 (fun () ->
-         ignore (Pompe.Node.submit nodes.(0) ~payload:victim_payload : string))
-      : Sim.Engine.timer);
-  Sim.Engine.run engine ~until:15_000_000;
-  (!launched, attacker_profit pool, victim_output pool)
-
-let run_lyra_trial ~attack_enabled seed =
-  let engine = Sim.Engine.create ~seed () in
-  let cfg =
-    { (Lyra.Config.default ~n) with batch_timeout_us = 10_000; batch_size = 8 }
-  in
-  let latency = Sim.Latency.regional ~jitter:0.01 regions in
-  let net =
-    Sim.Network.create engine ~n ~latency
-      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
-      ~size:Lyra.Types.msg_size ()
-  in
-  let pool = make_pool () in
-  let shadow = make_pool () in
-  let launched = ref false in
-  let mallory : Lyra.Node.t option ref = ref None in
-  let attack batch =
-    if attack_enabled && batch_has_victim batch && not !launched then begin
-      launched := true;
-      let front, back = plan_sandwich shadow in
-      match !mallory with
-      | Some node ->
-          ignore (Lyra.Node.submit node ~payload:front : string);
-          ignore
-            (Sim.Engine.schedule engine ~delay:120_000 (fun () ->
-                 ignore (Lyra.Node.submit node ~payload:back : string))
-              : Sim.Engine.timer)
-      | None -> ()
-    end
-  in
-  let on_output id (o : Lyra.Node.output) =
-    if id = 2 then
-      Array.iter
-        (fun (tx : Lyra.Types.tx) ->
-          ignore (App.Amm.apply_payload pool tx.payload : int option))
-        o.batch.txs
-    else if id = 1 then
-      Array.iter
-        (fun (tx : Lyra.Types.tx) ->
-          ignore (App.Amm.apply_payload shadow tx.payload : int option))
-        o.batch.txs
-  in
-  let nodes =
-    Array.init n (fun id ->
-        if id = 1 then
-          Lyra.Node.create cfg net ~id ~on_observe:attack
-            ~on_output:(on_output 1) ()
-        else Lyra.Node.create cfg net ~id ~on_output:(on_output id) ())
-  in
-  mallory := Some nodes.(1);
-  Array.iter Lyra.Node.start nodes;
-  ignore
-    (Sim.Engine.schedule engine ~delay:1_500_000 (fun () ->
-         ignore (Lyra.Node.submit nodes.(0) ~payload:victim_payload : string))
+    (Sim.Engine.schedule engine
+       ~delay:(max 1_000_000 P.default_warmup_us)
+       (fun () -> ignore (P.submit nodes.(0) ~payload:victim_payload : string))
       : Sim.Engine.timer);
   Sim.Engine.run engine ~until:15_000_000;
   (!launched, attacker_profit pool, victim_output pool)
@@ -203,6 +165,7 @@ let aggregate ~trials run seed0 =
     victim_out_baseline = baseline;
   }
 
-let run_pompe ?(seed = 500L) ~trials () = aggregate ~trials run_pompe_trial seed
-
-let run_lyra ?(seed = 500L) ~trials () = aggregate ~trials run_lyra_trial seed
+let run ?(seed = 500L) ~trials ~protocol () =
+  aggregate ~trials
+    (fun ~attack_enabled s -> run_trial ~protocol ~attack_enabled s)
+    seed

@@ -8,7 +8,11 @@
     attacker to order a transaction *before* one it has already seen —
     exactly the harmful reordering Lyra eliminates: under commit-reveal
     the payload is unreadable until the order is fixed, so the measured
-    extraction is zero. *)
+    extraction is zero. Cleartext baselines (Pompē, plain HotStuff)
+    expose the payload in flight.
+
+    The scenario is protocol-generic; {!run} selects the baseline by
+    registry name. *)
 
 type outcome = {
   trials : int;
@@ -20,6 +24,7 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val run_pompe : ?seed:int64 -> trials:int -> unit -> outcome
+(** Protocols this attack can target ({!Protocol.Registry.names}). *)
+val protocols : string list
 
-val run_lyra : ?seed:int64 -> trials:int -> unit -> outcome
+val run : ?seed:int64 -> trials:int -> protocol:string -> unit -> outcome

@@ -65,7 +65,7 @@ let coordinator t r = r mod t.n
    delivers (Alg. 3 lines 37–39). *)
 let maybe_coordinate t r rs =
   if
-    t.id = coordinator t r && (not rs.coord_sent)
+    Int.equal t.id (coordinator t r) && (not rs.coord_sent)
     && Bv_broadcast.values rs.bv <> []
   then begin
     rs.coord_sent <- true;
@@ -75,7 +75,7 @@ let maybe_coordinate t r rs =
   end
 
 let rec try_advance t r =
-  if (not t.halted) && r = t.current then begin
+  if (not t.halted) && Int.equal r t.current then begin
     let rs = round_state t r in
     maybe_coordinate t r rs;
     let bin = Bv_broadcast.values rs.bv in
@@ -104,7 +104,7 @@ let rec try_advance t r =
         (match union with
         | [ v ] ->
             t.est <- v;
-            if v = r mod 2 && t.decision = None then begin
+            if Int.equal v (r mod 2) && t.decision = None then begin
               t.decision <- Some v;
               t.decision_round <- Some r;
               t.on_decide ~round:r v
@@ -138,7 +138,7 @@ let on_message t ~src msg =
         Bv_broadcast.on_est rs.bv ~src value;
         try_advance t round
     | Coord { round; value } ->
-        if src = coordinator t round && (value = 0 || value = 1) then begin
+        if Int.equal src (coordinator t round) && (value = 0 || value = 1) then begin
           let rs = round_state t round in
           if rs.coord_value = None then rs.coord_value <- Some value;
           try_advance t round

@@ -31,61 +31,62 @@ let is_prefix la lb =
   let rec go = function
     | [], _ -> true
     | _, [] -> false
-    | x :: xs, y :: ys -> x = y && go (xs, ys)
+    | x :: xs, y :: ys -> String.equal x y && go (xs, ys)
   in
   go (la, lb)
 
+(* All-pairs mutual-prefix is equivalent to "every log is a prefix of
+   the longest log": prefixes of a common list are totally ordered by
+   the prefix relation, so checking against a single maximal log is
+   O(n·len) instead of O(n²·len²). *)
 let prefix_safe logs =
-  Array.for_all
-    (fun la -> Array.for_all (fun lb -> is_prefix la lb || is_prefix lb la) logs)
-    logs
+  if Array.length logs = 0 then true
+  else
+    let longest =
+      Array.fold_left
+        (fun best l -> if List.length l > List.length best then l else best)
+        logs.(0) logs
+    in
+    Array.for_all (fun l -> is_prefix l longest) logs
 
 (* Shared measurement plumbing: per-node closed pools get released on
    output; latency recorded at the transaction's origin node within the
    measurement window. *)
 let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
-let run_lyra ?(seed = 1L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
-    ?(warmup_us = 1_500_000) ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
-    ~n ~load ~duration_us () =
-  let engine = Sim.Engine.create ~seed () in
-  let cfg = tweak (Lyra.Config.default ~n) in
-  let regions = Sim.Regions.paper_placement n in
-  let latency = Sim.Latency.regional ~jitter regions in
-  let costs = Sim.Costs.default in
-  let net =
-    Sim.Network.create engine ~n ~latency ~ns_per_byte
-      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost costs m)
-      ~size:Lyra.Types.msg_size ()
+let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
+    (module P : Protocol.NODE) ~n ~load ~duration_us () =
+  let warmup_us =
+    match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
+  let engine = Sim.Engine.create ~seed () in
+  let net = P.make_net engine ~n ~jitter ~ns_per_byte () in
   let rng = Sim.Engine.rng engine in
   let latency_rec, _, committed = make_recorders ~n in
   let pools : Workload.Clients.Closed.t option array = Array.make n None in
   let measure_start = ref max_int in
-  let on_output id (o : Lyra.Node.output) =
+  let on_output id (c : Protocol.committed) =
     Array.iter
       (fun (tx : Lyra.Types.tx) ->
         (match pools.(id) with
-        | Some pool when tx.origin = id ->
+        | Some pool when Int.equal tx.origin id ->
             Workload.Clients.Closed.tx_done pool tx.tx_id
         | _ -> ());
-        if tx.origin = id && tx.submitted_at >= !measure_start then begin
+        if Int.equal tx.origin id && tx.submitted_at >= !measure_start then begin
           incr committed;
           Metrics.Recorder.record latency_rec
             (float_of_int (Sim.Engine.now engine - tx.submitted_at) /. 1000.)
         end)
-      o.batch.txs
+      c.txs
   in
   let nodes =
-    Array.init n (fun id ->
-        Lyra.Node.create cfg net ~id
-          ~clock_offset_us:(Crypto.Rng.int rng (1 + cfg.clock_offset_max_us))
-          ?misbehavior:(byz id)
-          ~on_output:(on_output id) ())
+    Array.init n (fun id -> P.create net ~id ~on_output:(on_output id) ())
   in
-  Array.iter Lyra.Node.start nodes;
-  (* Warm-up instances (distance measurement) are excluded from the
-     decision statistics and accept rate. *)
+  Array.iter P.start nodes;
+  (* Work done before the measurement window opens (Lyra's warm-up
+     instances, pipeline fill) is excluded from the decision statistics
+     and accept rate by snapshotting every node's counters at the
+     window boundary. *)
   let rounds_skip = Array.make n 0 in
   let acc_skip = Array.make n 0 and rej_skip = Array.make n 0 in
   ignore
@@ -93,10 +94,10 @@ let run_lyra ?(seed = 1L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
          measure_start := Sim.Engine.now engine;
          Array.iteri
            (fun i node ->
-             rounds_skip.(i) <-
-               Metrics.Recorder.count (Lyra.Node.decide_rounds node);
-             acc_skip.(i) <- Lyra.Node.own_accepted node;
-             rej_skip.(i) <- Lyra.Node.own_rejected node)
+             let s = P.stats node in
+             rounds_skip.(i) <- Array.length s.Protocol.decide_rounds;
+             acc_skip.(i) <- s.Protocol.accepted;
+             rej_skip.(i) <- s.Protocol.rejected)
            nodes)
       : Sim.Engine.timer);
   (* Clients start before the measurement window so the pipeline is in
@@ -108,10 +109,10 @@ let run_lyra ?(seed = 1L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
        (fun () ->
          Array.iteri
            (fun id node ->
-             if byz id = None then
-               let submit ~payload = Lyra.Node.submit node ~payload in
+             if P.honest node then
+               let submit ~payload = P.submit node ~payload in
                let payload =
-                 Workload.Clients.fixed_payload ~size:cfg.tx_size
+                 Workload.Clients.fixed_payload ~size:(P.tx_size net)
                    (Crypto.Rng.split rng)
                in
                (* Stagger starts: real client populations do not begin
@@ -136,35 +137,36 @@ let run_lyra ?(seed = 1L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
            nodes)
       : Sim.Engine.timer);
   Sim.Engine.run engine ~until:(warmup_us + duration_us);
-  let honest = Array.of_list
-      (List.filter (fun i -> byz i = None) (List.init n (fun i -> i)))
+  let honest =
+    Array.of_list
+      (List.filter (fun i -> P.honest nodes.(i)) (List.init n (fun i -> i)))
   in
   let logs =
     Array.map
       (fun i ->
-        List.map
-          (fun (o : Lyra.Node.output) -> o.batch.iid)
-          (Lyra.Node.output_log nodes.(i)))
+        List.map (fun (c : Protocol.committed) -> c.key)
+          (P.output_log nodes.(i)))
       honest
   in
+  let final = Array.map (fun node -> P.stats node) nodes in
   let rounds_all = Metrics.Recorder.create () in
   Array.iter
     (fun i ->
-      let arr = Metrics.Recorder.to_array (Lyra.Node.decide_rounds nodes.(i)) in
       Array.iteri
-        (fun k v -> if k >= rounds_skip.(i) then Metrics.Recorder.record rounds_all v)
-        arr)
+        (fun k v ->
+          if k >= rounds_skip.(i) then Metrics.Recorder.record rounds_all v)
+        final.(i).Protocol.decide_rounds)
     honest;
   let own_acc, own_rej =
     Array.fold_left
       (fun (a, r) i ->
-        ( a + Lyra.Node.own_accepted nodes.(i) - acc_skip.(i),
-          r + Lyra.Node.own_rejected nodes.(i) - rej_skip.(i) ))
+        ( a + final.(i).Protocol.accepted - acc_skip.(i),
+          r + final.(i).Protocol.rejected - rej_skip.(i) ))
       (0, 0) honest
   in
   {
     n;
-    protocol = "lyra";
+    protocol = P.name;
     window_us = duration_us;
     committed_txs = !committed;
     throughput_tps = float_of_int !committed *. 1e6 /. float_of_int duration_us;
@@ -173,106 +175,11 @@ let run_lyra ?(seed = 1L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
     accept_rate =
       (if own_acc + own_rej = 0 then 0.0
        else float_of_int own_acc /. float_of_int (own_acc + own_rej));
-    messages = Sim.Network.messages_sent net;
-    bytes = Sim.Network.bytes_sent net;
+    messages = P.net_messages net;
+    bytes = P.net_bytes net;
     prefix_safe = prefix_safe logs;
     late_accepts =
-      Array.fold_left (fun acc i -> acc + Lyra.Node.late_accepts nodes.(i)) 0 honest;
-  }
-
-let run_pompe ?(seed = 1L) ?(tweak = fun c -> c) ?(warmup_us = 500_000)
-    ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte) ?(censors = []) ~n ~load
-    ~duration_us () =
-  let engine = Sim.Engine.create ~seed () in
-  let cfg = tweak (Pompe.Config.default ~n) in
-  let regions = Sim.Regions.paper_placement n in
-  let latency = Sim.Latency.regional ~jitter regions in
-  let costs = Sim.Costs.default in
-  let net =
-    Sim.Network.create engine ~n ~latency ~ns_per_byte
-      ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost costs ~n b)
-      ~size:Pompe.Types.msg_size ()
-  in
-  let rng = Sim.Engine.rng engine in
-  let latency_rec, _, committed = make_recorders ~n in
-  let pools : Workload.Clients.Closed.t option array = Array.make n None in
-  let measure_start = ref max_int in
-  let on_output id (o : Pompe.Node.output) =
-    Array.iter
-      (fun (tx : Lyra.Types.tx) ->
-        (match pools.(id) with
-        | Some pool when tx.origin = id ->
-            Workload.Clients.Closed.tx_done pool tx.tx_id
-        | _ -> ());
-        if tx.origin = id && tx.submitted_at >= !measure_start then begin
-          incr committed;
-          Metrics.Recorder.record latency_rec
-            (float_of_int (Sim.Engine.now engine - tx.submitted_at) /. 1000.)
-        end)
-      o.batch.txs
-  in
-  let nodes =
-    Array.init n (fun id ->
-        Pompe.Node.create cfg net ~id
-          ~clock_offset_us:(Crypto.Rng.int rng (1 + cfg.clock_offset_max_us))
-          ~on_output:(on_output id)
-          ~censor:(fun _ -> List.mem id censors)
-          ())
-  in
-  Array.iter Pompe.Node.start nodes;
-  ignore
-    (Sim.Engine.schedule engine ~delay:warmup_us (fun () ->
-         measure_start := Sim.Engine.now engine)
-      : Sim.Engine.timer);
-  ignore
-    (Sim.Engine.schedule engine
-       ~delay:(max 200_000 (warmup_us - 400_000))
-       (fun () ->
-         Array.iteri
-           (fun id node ->
-             let submit ~payload = Pompe.Node.submit node ~payload in
-             let payload =
-               Workload.Clients.fixed_payload ~size:cfg.tx_size
-                 (Crypto.Rng.split rng)
-             in
-             let stagger = Crypto.Rng.int rng 300_000 in
-             ignore
-               (Sim.Engine.schedule engine ~delay:stagger (fun () ->
-                    match load with
-                    | Closed c ->
-                        let pool =
-                          Workload.Clients.Closed.create engine ~clients:c
-                            ~payload ~submit ()
-                        in
-                        pools.(id) <- Some pool;
-                        Workload.Clients.Closed.start pool
-                    | Open_rate r ->
-                        Workload.Clients.Open.start
-                          (Workload.Clients.Open.create engine ~rate_per_sec:r
-                             ~payload ~submit ()))
-                 : Sim.Engine.timer))
-           nodes)
-      : Sim.Engine.timer);
-  Sim.Engine.run engine ~until:(warmup_us + duration_us);
-  let logs =
-    Array.map
-      (fun node ->
-        List.map
-          (fun (o : Pompe.Node.output) -> o.batch.iid)
-          (Pompe.Node.output_log node))
-      nodes
-  in
-  {
-    n;
-    protocol = "pompe";
-    window_us = duration_us;
-    committed_txs = !committed;
-    throughput_tps = float_of_int !committed *. 1e6 /. float_of_int duration_us;
-    latency_ms = latency_rec;
-    decide_rounds = 0.0;
-    accept_rate = 1.0;
-    messages = Sim.Network.messages_sent net;
-    bytes = Sim.Network.bytes_sent net;
-    prefix_safe = prefix_safe logs;
-    late_accepts = 0;
+      Array.fold_left
+        (fun acc i -> acc + final.(i).Protocol.late_accepts)
+        0 honest;
   }

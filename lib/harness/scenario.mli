@@ -1,6 +1,7 @@
-(** Experiment scenario builders: wire a cluster of Lyra or Pompē nodes
-    onto the simulated WAN, attach client load, run for a simulated
-    duration and report the measurements the paper's figures plot.
+(** The experiment scenario driver: wire a cluster of SMR nodes of any
+    {!Protocol.NODE} onto the simulated WAN, attach client load, run
+    for a simulated duration and report the measurements the paper's
+    figures plot.
 
     Placement follows §VI-A: nodes spread evenly across Oregon,
     Ireland and Sydney. Measurement excludes the warm-up window.
@@ -17,40 +18,27 @@ type result = {
   committed_txs : int;  (** transactions output within the window *)
   throughput_tps : float;
   latency_ms : Metrics.Recorder.t;  (** per-tx submit → output, origin node *)
-  decide_rounds : float;  (** mean BOC decision round (Lyra; 0 for Pompē) *)
-  accept_rate : float;  (** accepted / decided own proposals (Lyra; 1.0 Pompē) *)
+  decide_rounds : float;  (** mean decision round (0 when not applicable) *)
+  accept_rate : float;  (** accepted / decided own proposals in-window *)
   messages : int;
   bytes : int;
   prefix_safe : bool;  (** output logs are prefixes of each other *)
-  late_accepts : int;  (** Lyra safety counter; must be 0 *)
+  late_accepts : int;  (** safety counter; must be 0 *)
 }
 
 val pp_result : Format.formatter -> result -> unit
 
-(** [run_lyra ~n ~load ~duration_us ()] — [tweak] edits the default
-    config; [byz i] optionally makes node [i] Byzantine; [warmup_us]
-    (default 1.5 s) precedes the measurement window; [jitter] is the
-    relative link jitter (default 0.01). *)
-val run_lyra :
+(** [run (module P) ~n ~load ~duration_us ()] — the one generic driver:
+    protocol choice is the adapter module (see {!Protocol.Registry} and
+    the [?tweak]/[?byz]/[?censor] knobs on the adapter constructors).
+    [warmup_us] defaults to the protocol's [default_warmup_us];
+    [jitter] is the relative link jitter (default 0.01). *)
+val run :
   ?seed:int64 ->
-  ?tweak:(Lyra.Config.t -> Lyra.Config.t) ->
-  ?byz:(int -> Lyra.Misbehavior.t option) ->
   ?warmup_us:int ->
   ?jitter:float ->
   ?ns_per_byte:int ->
-  n:int ->
-  load:load ->
-  duration_us:int ->
-  unit ->
-  result
-
-val run_pompe :
-  ?seed:int64 ->
-  ?tweak:(Pompe.Config.t -> Pompe.Config.t) ->
-  ?warmup_us:int ->
-  ?jitter:float ->
-  ?ns_per_byte:int ->
-  ?censors:int list ->
+  (module Protocol.NODE) ->
   n:int ->
   load:load ->
   duration_us:int ->

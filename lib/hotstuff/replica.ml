@@ -159,7 +159,7 @@ let rec enter_view t v =
 
 and arm_view_timer t v =
   t.tr.tr_schedule ~delay_us:(4 * t.delta_us) (fun () ->
-      if t.view_no = v then begin
+      if Int.equal t.view_no v then begin
         (* View failed: tell the next leader and move on. *)
         send t ~dst:(leader t (v + 1)) (New_view { view = v; qc = t.high_qc });
         enter_view t (v + 1)
@@ -167,13 +167,13 @@ and arm_view_timer t v =
 
 and maybe_propose t =
   let v = t.view_no in
-  if t.started && t.id = leader t v && t.proposed_in < v then begin
+  if t.started && Int.equal t.id (leader t v) && t.proposed_in < v then begin
     let quorum_newviews =
       match Hashtbl.find_opt t.new_views v with
       | Some ((_, count), _) -> !count >= t.n - t.f
       | None -> false
     in
-    if t.high_qc.q_height = v - 1 || quorum_newviews then begin
+    if Int.equal t.high_qc.q_height (v - 1) || quorum_newviews then begin
       t.proposed_in <- v;
       t.blocks_proposed <- t.blocks_proposed + 1;
       let cmds, rest =
@@ -197,7 +197,7 @@ and maybe_propose t =
   end
 
 let on_proposal t b =
-  if b.height > 0 && leader t b.height = b.proposer && not (Hashtbl.mem t.blocks b.b_id)
+  if b.height > 0 && Int.equal (leader t b.height) b.proposer && not (Hashtbl.mem t.blocks b.b_id)
   then begin
     Hashtbl.replace t.blocks b.b_id b;
     update_high_qc t b.justify;
@@ -218,7 +218,7 @@ let on_proposal t b =
 
 let on_vote t ~src ~block_id ~height =
   (* Collect votes if we lead the next view. *)
-  if leader t (height + 1) = t.id then begin
+  if Int.equal (leader t (height + 1)) t.id then begin
     let voters, count =
       match Hashtbl.find_opt t.votes block_id with
       | Some vc -> vc
@@ -230,7 +230,7 @@ let on_vote t ~src ~block_id ~height =
     if not voters.(src) then begin
       voters.(src) <- true;
       incr count;
-      if !count = t.n - t.f then begin
+      if Int.equal !count (t.n - t.f) then begin
         let voters_list =
           Array.to_list voters
           |> List.mapi (fun i b -> (i, b))
@@ -246,7 +246,7 @@ let on_vote t ~src ~block_id ~height =
 
 let on_new_view t ~src ~view_v qc =
   update_high_qc t qc;
-  if leader t (view_v + 1) = t.id then begin
+  if Int.equal (leader t (view_v + 1)) t.id then begin
     let (senders, count), best =
       match Hashtbl.find_opt t.new_views (view_v + 1) with
       | Some e -> e

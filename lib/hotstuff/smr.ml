@@ -1,0 +1,227 @@
+type config = {
+  n : int;
+  delta_us : int;
+  batch_size : int;
+  batch_timeout_us : int;
+  block_capacity : int;
+  tx_size : int;
+}
+
+let default_config ~n =
+  {
+    n;
+    delta_us = 160_000;
+    batch_size = 800;
+    batch_timeout_us = 50_000;
+    block_capacity = 8;
+    tx_size = 32;
+  }
+
+type output = { batch : Lyra.Types.batch; seq : int; output_at : int }
+
+let cmd_id (b : Lyra.Types.batch) =
+  Printf.sprintf "%d.%d" b.iid.Lyra.Types.proposer b.iid.Lyra.Types.index
+
+let cmd_wire_size (b : Lyra.Types.batch) = 64 + (32 * Array.length b.Lyra.Types.txs)
+
+type msg =
+  | Gossip of { batch : Lyra.Types.batch }
+  | Hs of Lyra.Types.batch Replica.msg
+
+let msg_size = function
+  | Gossip { batch } -> 96 + (32 * Array.length batch.Lyra.Types.txs)
+  | Hs m -> Replica.msg_size ~cmd_size:cmd_wire_size m
+
+let msg_cost (c : Sim.Costs.t) body =
+  let base =
+    match body with
+    | Gossip { batch } ->
+        (* Admit the batch to the local mempool: hash the payload. *)
+        let kb = 1 + (32 * Array.length batch.Lyra.Types.txs / 1024) in
+        c.hash_per_kb * kb
+    | Hs (Replica.Proposal b) ->
+        (* Verify the QC, then hash every command carried in the block
+           — but no per-command quorum of timestamp signatures: this is
+           the "ordering phase removed" reference point. *)
+        let bytes =
+          List.fold_left (fun acc cmd -> acc + cmd_wire_size cmd) 0
+            b.Replica.cmds
+        in
+        c.combined_verify + (c.hash_per_kb * (1 + (bytes / 1024)))
+    | Hs (Replica.Vote _) -> c.sig_verify (* leader checks votes *)
+    | Hs (Replica.New_view _) -> c.combined_verify
+  in
+  c.msg_overhead + base
+
+type t = {
+  config : config;
+  id : int;
+  net : msg Sim.Network.t;
+  engine : Sim.Engine.t;
+  on_observe : Lyra.Types.batch -> unit;
+  on_output : output -> unit;
+  censor : Lyra.Types.iid -> bool;
+  mutable replica : Lyra.Types.batch Replica.t option;
+  mutable outputs_rev : output list;
+  mutable next_seq : int;
+  mutable own_committed : int;
+  mutable mempool : Lyra.Types.tx list;
+  mutable mempool_count : int;
+  mutable batch_timer_armed : bool;
+  mutable next_index : int;
+  mutable tx_counter : int;
+  mutable started : bool;
+}
+
+let id t = t.id
+
+let output_log t = List.rev t.outputs_rev
+
+let committed_height t =
+  match t.replica with Some r -> Replica.committed_height r | None -> 0
+
+let own_committed t = t.own_committed
+
+let mempool_size t = t.mempool_count
+
+let broadcast t body = Sim.Network.broadcast t.net ~src:t.id body
+
+let on_commit t ~height:_ cmds =
+  List.iter
+    (fun (batch : Lyra.Types.batch) ->
+      let out =
+        { batch; seq = t.next_seq; output_at = Sim.Engine.now t.engine }
+      in
+      t.next_seq <- t.next_seq + 1;
+      if Int.equal batch.iid.Lyra.Types.proposer t.id then
+        t.own_committed <- t.own_committed + 1;
+      t.outputs_rev <- out :: t.outputs_rev;
+      t.on_output out)
+    cmds
+
+let on_gossip t batch =
+  t.on_observe batch;
+  if not (t.censor batch.Lyra.Types.iid) then
+    match t.replica with
+    | Some r -> Replica.submit r batch
+    | None -> ()
+
+let on_message t ~src body =
+  match body with
+  | Gossip { batch } ->
+      if Int.equal batch.Lyra.Types.iid.Lyra.Types.proposer src then
+        on_gossip t batch
+  | Hs m -> (
+      match t.replica with
+      | Some r -> Replica.handle r ~src m
+      | None -> ())
+
+let propose_batch t txs =
+  let index = t.next_index in
+  t.next_index <- index + 1;
+  let batch =
+    {
+      Lyra.Types.iid = { Lyra.Types.proposer = t.id; index };
+      txs = Array.of_list txs;
+      obf = Lyra.Types.Clear;
+      created_at = Sim.Engine.now t.engine;
+    }
+  in
+  broadcast t (Gossip { batch })
+
+let rec maybe_propose t =
+  if t.started then
+    if t.mempool_count >= t.config.batch_size then begin
+      let txs = List.rev t.mempool in
+      let rec split k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (k - 1) (x :: acc) tl
+      in
+      let batch_txs, rest = split t.config.batch_size [] txs in
+      t.mempool <- List.rev rest;
+      t.mempool_count <- t.mempool_count - List.length batch_txs;
+      propose_batch t batch_txs;
+      maybe_propose t
+    end
+    else if t.mempool_count > 0 && not t.batch_timer_armed then begin
+      t.batch_timer_armed <- true;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:t.config.batch_timeout_us
+           (fun () ->
+             t.batch_timer_armed <- false;
+             if t.mempool_count > 0 then begin
+               let txs = List.rev t.mempool in
+               t.mempool <- [];
+               t.mempool_count <- 0;
+               propose_batch t txs
+             end)
+          : Sim.Engine.timer)
+    end
+
+let submit t ~payload =
+  t.tx_counter <- t.tx_counter + 1;
+  let tx =
+    {
+      Lyra.Types.tx_id = Printf.sprintf "h%d-%d" t.id t.tx_counter;
+      payload;
+      submitted_at = Sim.Engine.now t.engine;
+      origin = t.id;
+    }
+  in
+  t.mempool <- tx :: t.mempool;
+  t.mempool_count <- t.mempool_count + 1;
+  maybe_propose t;
+  tx.Lyra.Types.tx_id
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    match t.replica with Some r -> Replica.start r | None -> ()
+  end
+
+let create config net ~id ?(on_observe = fun _ -> ())
+    ?(on_output = fun _ -> ()) ?(censor = fun _ -> false) () =
+  let engine = Sim.Network.engine net in
+  let t =
+    {
+      config;
+      id;
+      net;
+      engine;
+      on_observe;
+      on_output;
+      censor;
+      replica = None;
+      outputs_rev = [];
+      next_seq = 0;
+      own_committed = 0;
+      mempool = [];
+      mempool_count = 0;
+      batch_timer_armed = false;
+      next_index = 0;
+      tx_counter = 0;
+      started = false;
+    }
+  in
+  let transport =
+    {
+      Replica.tr_n = config.n;
+      tr_broadcast = (fun m -> broadcast t (Hs m));
+      tr_send = (fun ~dst m -> Sim.Network.send t.net ~src:t.id ~dst (Hs m));
+      tr_schedule =
+        (fun ~delay_us fn ->
+          ignore (Sim.Engine.schedule engine ~delay:delay_us fn : Sim.Engine.timer));
+    }
+  in
+  let replica =
+    Replica.create transport ~id ~delta_us:config.delta_us
+      ~block_capacity:config.block_capacity ~cmd_id
+      ~on_commit:(fun ~height cmds -> on_commit t ~height cmds)
+      ()
+  in
+  t.replica <- Some replica;
+  Sim.Network.register net ~id (fun ~src body -> on_message t ~src body);
+  t

@@ -42,9 +42,11 @@ let rationale = function
   | D003 ->
       "Polymorphic compare / Hashtbl.hash inspect runtime representation: \
        they raise on closures, and their verdict silently changes when a \
-       type gains a mutable, abstract or functional field. Use the \
+       type gains a mutable, abstract or functional field. In \
+       deterministic protocol dirs this includes bare (=) / (<>) unless \
+       an operand is a literal or nullary constructor. Use the \
        type-specific comparison (Int.compare, Float.compare, \
-       Types.iid_compare, ...)."
+       Types.iid_compare, Int.equal, String.equal, ...)."
   | S001 ->
       "Obj.magic and friends defeat the type system; a representation \
        change turns them into memory corruption."

@@ -102,6 +102,29 @@ let scan_source ~rules ~path source =
         emit Rules.S001 loc (Printf.sprintf "Obj.%s defeats the type system" f)
     | _ -> ()
   in
+  (* Bare (=) / (<>) in deterministic protocol code: polymorphic
+     equality walks the runtime representation, so on mutable or
+     abstract types it can diverge (or raise on functional values).
+     A comparison against a syntactic immediate — literal constant or
+     nullary constructor (3, 'a', None, [], true) — is unambiguous and
+     stays legal. *)
+  let immediate_operand e =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_constant _ -> true
+    | Parsetree.Pexp_construct (_, None) -> true
+    | _ -> false
+  in
+  let check_apply fn args =
+    match fn.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc }
+      when deterministic
+           && not (List.exists (fun (_, a) -> immediate_operand a) args) ->
+        emit Rules.D003 loc
+          (Printf.sprintf
+             "bare (%s) is polymorphic; use String.equal / Int.equal / the type's own equality (comparisons against literals are exempt)"
+             op)
+    | _ -> ()
+  in
   let check_attribute (attr : Parsetree.attribute) =
     match attr.Parsetree.attr_name.Asttypes.txt with
     | ("warning" | "ocaml.warning") when in_lib ->
@@ -116,6 +139,7 @@ let scan_source ~rules ~path source =
         (fun it e ->
           (match e.Parsetree.pexp_desc with
           | Parsetree.Pexp_ident { txt; loc } -> check_ident txt loc
+          | Parsetree.Pexp_apply (fn, args) -> check_apply fn args
           | _ -> ());
           Ast_iterator.default_iterator.expr it e);
       attribute =

@@ -171,10 +171,10 @@ let rec arm_round_timer t r =
   end
 
 and try_advance t r =
-  if (not t.halted) && r = t.current && t.started then begin
+  if (not t.halted) && Int.equal r t.current && t.started then begin
     let rs = round_state t r in
     (* Weak coordinator: broadcast the first delivered value. *)
-    (if t.env.self = coordinator t r && not rs.coord_sent then
+    (if Int.equal t.env.self (coordinator t r) && not rs.coord_sent then
        match bin_values t r with
        | w :: _ ->
            rs.coord_sent <- true;
@@ -204,7 +204,7 @@ and try_advance t r =
         (match union with
         | [ v ] ->
             t.est <- v;
-            if v = r mod 2 && t.decided = None then begin
+            if Int.equal v (r mod 2) && t.decided = None then begin
               t.decided <- Some v;
               t.decision_round <- Some r;
               t.env.on_decide ~value:v ~round:r
@@ -245,7 +245,7 @@ and start_round t r =
    undecided peer shows activity in the current round. *)
 and join_round t r =
   if
-    (not t.halted) && t.decided <> None && r = t.current
+    (not t.halted) && t.decided <> None && Int.equal r t.current
     && not (round_state t r).timer_started
   then start_round t r
 
@@ -313,8 +313,8 @@ let check_quorum_one t =
 
 let on_init t ~src proposal sigma =
   if
-    src = t.iid.Types.proposer
-    && proposal.Types.batch.Types.iid = t.iid
+    Int.equal src t.iid.Types.proposer
+    && Types.iid_equal proposal.Types.batch.Types.iid t.iid
     && not t.init_seen
   then begin
     t.init_seen <- true;
@@ -390,7 +390,7 @@ let on_vote t ~src vote =
 
 let on_deliver t ~src:_ proposal proof =
   ensure_started t;
-  if proposal.Types.batch.Types.iid = t.iid && t.env.check_deliver proposal proof
+  if Types.iid_equal proposal.Types.batch.Types.iid t.iid && t.env.check_deliver proposal proof
   then begin
     if t.proposal = None then t.proposal <- Some proposal;
     (* Only the quorum-certified proposal can be delivered with 1; a
@@ -421,7 +421,7 @@ let on_est t ~src ~round ~value proposal =
 
 let on_coord t ~src ~round ~value =
   ensure_started t;
-  if src = coordinator t round && (value = 0 || value = 1) then begin
+  if Int.equal src (coordinator t round) && (value = 0 || value = 1) then begin
     if round >= 2 then (round_state t round).activity <- true;
     join_round t round;
     let rs = round_state t round in

@@ -19,6 +19,8 @@ type t =
   | Stale_votes of { delay_us : int }
       (** withhold votes for a while (latency pressure) *)
 
+val equal : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

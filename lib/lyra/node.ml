@@ -88,7 +88,8 @@ let f t = Config.f t.config
 
 let supermajority t = Config.supermajority t.config
 
-let is_byz t m = t.misbehavior = Some m
+let is_byz t m =
+  match t.misbehavior with Some m' -> Misbehavior.equal m' m | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Status piggybacking (Alg. 4 lines 74–78).                           *)
@@ -117,7 +118,7 @@ let rec take k = function
 let gossip_parts t =
   let version = Commit_state.version t.commit in
   match t.gossip_cache with
-  | Some (v, recent, root) when v = version -> (recent, root, version)
+  | Some (v, recent, root) when Int.equal v version -> (recent, root, version)
   | _ ->
       let recent = take gossip_cap (Commit_state.accepted_recent t.commit) in
       let root = Commit_state.accepted_root t.commit in
@@ -231,7 +232,7 @@ let on_reveal t ~src iid share =
       match share with
       | None -> not t.config.real_crypto
       | Some s -> (
-          s.Crypto.Vss.holder = src
+          Int.equal s.Crypto.Vss.holder src
           &&
           (* Check against the cipher's commitments when we have it. *)
           match Hashtbl.find_opt t.records iid with
@@ -314,7 +315,7 @@ let validate t (proposal : Types.proposal) ~seq_obs =
   let cfg = t.config in
   let n = cfg.n and fv = f t in
   let ok =
-    Array.length proposal.st = n
+    Int.equal (Array.length proposal.st) n
     && Array.length proposal.batch.txs <= 4 * cfg.batch_size
     &&
     match proposal.st.(t.id) with
@@ -376,7 +377,7 @@ let on_decide t iid ~value ~round proposal =
       t.min_pending_dirty <- true
   | None -> ());
   t.decide_rounds |> fun r -> Metrics.Recorder.record r (float_of_int round);
-  (if iid.Types.proposer = t.id then begin
+  (if Int.equal iid.Types.proposer t.id then begin
      t.inflight <- max 0 (t.inflight - 1);
      if value = 1 then t.own_accepted <- t.own_accepted + 1
      else begin
@@ -443,7 +444,7 @@ let make_env t iid : Instance.env =
         else
           match (share, t.dir) with
           | Some sh, Some dir ->
-              sh.Crypto.Threshold.signer = src
+              Int.equal sh.Crypto.Threshold.signer src
               && Crypto.Threshold.share_verify ~dir digest sh
           | _ -> false);
     make_vote_share =
@@ -482,7 +483,7 @@ let make_env t iid : Instance.env =
         ignore (Sim.Engine.schedule t.engine ~delay:delay_us fn : Sim.Engine.timer));
     observe_vote =
       (fun ~src ~seq_obs ->
-        if iid.Types.proposer = t.id then
+        if Int.equal iid.Types.proposer t.id then
           match Hashtbl.find_opt t.own_sref iid.Types.index with
           | Some s_ref -> Predictor.observe t.predictor ~peer:src ~s_ref ~seq_obs
           | None -> ());

@@ -26,7 +26,7 @@ let create ~n ~alpha ~self =
 
 let observe t ~peer ~s_ref ~seq_obs =
   if peer < 0 || peer >= t.n then invalid_arg "Predictor.observe: bad peer";
-  if peer <> t.self then begin
+  if not (Int.equal peer t.self) then begin
     let sample = max 0 (seq_obs - s_ref) in
     t.samples.(peer).(t.counts.(peer) mod window) <- sample;
     t.counts.(peer) <- t.counts.(peer) + 1
@@ -34,7 +34,7 @@ let observe t ~peer ~s_ref ~seq_obs =
 
 let distance t ~peer =
   if t.counts.(peer) = 0 then None
-  else if peer = t.self then Some 0
+  else if Int.equal peer t.self then Some 0
   else begin
     let k = min window t.counts.(peer) in
     let xs = Array.sub t.samples.(peer) 0 k in

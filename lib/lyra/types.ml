@@ -5,6 +5,8 @@ let iid_compare a b =
   | 0 -> Int.compare a.index b.index
   | c -> c
 
+let iid_equal a b = Int.equal a.proposer b.proposer && Int.equal a.index b.index
+
 let pp_iid fmt { proposer; index } = Format.fprintf fmt "%d/%d" proposer index
 
 type tx = {
@@ -41,7 +43,7 @@ let proposal_digest { batch; st } =
   Crypto.Sha256.digest_list parts
 
 let requested_seq ~n ~f st =
-  if Array.length st <> n then None
+  if not (Int.equal (Array.length st) n) then None
   else begin
     let known = Array.to_list st |> List.filter_map (fun x -> x) in
     if List.length known < n - f then None

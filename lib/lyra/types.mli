@@ -13,6 +13,8 @@ type iid = { proposer : int; index : int }
 
 val iid_compare : iid -> iid -> int
 
+val iid_equal : iid -> iid -> bool
+
 val pp_iid : Format.formatter -> iid -> unit
 
 (** A client transaction. [payload] is the 32-byte value of the paper's

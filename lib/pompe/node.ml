@@ -139,7 +139,7 @@ let submit_cmd t (cmd : Types.cmd) =
 
 let on_order_req t ~src batch =
   let iid = batch.Lyra.Types.iid in
-  if iid.Lyra.Types.proposer = src && not (Hashtbl.mem t.batches iid) then begin
+  if Int.equal iid.Lyra.Types.proposer src && not (Hashtbl.mem t.batches iid) then begin
     Hashtbl.replace t.batches iid batch;
     t.on_observe batch;
     let honest = Lyra.Ordering_clock.read t.clock in
@@ -207,7 +207,7 @@ and propose_batch t txs =
   broadcast t (Types.Order_req { batch })
 
 let on_ts_resp t ~src iid ts sigma =
-  if iid.Lyra.Types.proposer = t.id then
+  if Int.equal iid.Lyra.Types.proposer t.id then
     match Hashtbl.find_opt t.collects iid.Lyra.Types.index with
     | None -> ()
     | Some col ->
@@ -229,7 +229,7 @@ let on_ts_resp t ~src iid ts sigma =
 
 let on_sequenced t ~src iid seq proofs =
   if
-    src = iid.Lyra.Types.proposer
+    Int.equal src iid.Lyra.Types.proposer
     && List.length proofs >= Config.supermajority t.config
     && not (Hashtbl.mem t.seqs iid)
   then begin

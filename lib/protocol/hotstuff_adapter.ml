@@ -1,0 +1,64 @@
+let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
+    (module Node_intf.NODE) =
+  (module struct
+    let name = "hotstuff"
+
+    let default_warmup_us = 500_000
+
+    type net = { net : Hotstuff.Smr.msg Sim.Network.t; cfg : Hotstuff.Smr.config }
+
+    type t = Hotstuff.Smr.t
+
+    let make_net engine ~n ~jitter ?ns_per_byte () =
+      let cfg = tweak (Hotstuff.Smr.default_config ~n) in
+      let regions =
+        match regions with
+        | Some r -> r
+        | None -> Sim.Regions.paper_placement n
+      in
+      let latency = Sim.Latency.regional ~jitter regions in
+      let costs = Sim.Costs.default in
+      let net =
+        Sim.Network.create engine ~n ~latency ?ns_per_byte
+          ~cost:(fun ~dst:_ m -> Hotstuff.Smr.msg_cost costs m)
+          ~size:Hotstuff.Smr.msg_size ()
+      in
+      { net; cfg }
+
+    let tx_size nt = nt.cfg.Hotstuff.Smr.tx_size
+
+    let net_messages nt = Sim.Network.messages_sent nt.net
+
+    let net_bytes nt = Sim.Network.bytes_sent nt.net
+
+    let convert (o : Hotstuff.Smr.output) =
+      {
+        Node_intf.key = Node_intf.key_of_iid o.batch.Lyra.Types.iid;
+        txs = o.batch.Lyra.Types.txs;
+        seq = o.seq;
+        output_at = o.output_at;
+      }
+
+    let create nt ~id ?on_observe ~on_output () =
+      Hotstuff.Smr.create nt.cfg nt.net ~id ?on_observe
+        ~on_output:(fun o -> on_output (convert o))
+        ~censor:(censor id) ()
+
+    let start = Hotstuff.Smr.start
+
+    let submit = Hotstuff.Smr.submit
+
+    let honest _ = true
+
+    let output_log t = List.map convert (Hotstuff.Smr.output_log t)
+
+    let stats t =
+      {
+        Node_intf.accepted = Hotstuff.Smr.own_committed t;
+        rejected = 0;
+        decide_rounds = [||];
+        mempool = Hotstuff.Smr.mempool_size t;
+        committed_seq = Hotstuff.Smr.committed_height t;
+        late_accepts = 0;
+      }
+  end)

@@ -1,0 +1,12 @@
+(** {!Node_intf.NODE} adapter over {!Hotstuff.Smr} — the plain
+    chained-HotStuff SMR baseline ("ordering phase removed", §VI).
+
+    [censor id] gives node [id]'s leader-censorship predicate (batches
+    it refuses to include in its own blocks). HotStuff nodes have no
+    clock-offset parameter: ordering is whatever the leader says. *)
+val make :
+  ?tweak:(Hotstuff.Smr.config -> Hotstuff.Smr.config) ->
+  ?censor:(int -> Lyra.Types.iid -> bool) ->
+  ?regions:Sim.Regions.t array ->
+  unit ->
+  (module Node_intf.NODE)

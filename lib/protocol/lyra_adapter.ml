@@ -1,0 +1,77 @@
+let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
+    ?(clock_offsets = true) () : (module Node_intf.NODE) =
+  (module struct
+    let name = "lyra"
+
+    (* Distance measurement (§IV-B1) must finish before measuring. *)
+    let default_warmup_us = 1_500_000
+
+    type net = { net : Lyra.Types.msg Sim.Network.t; cfg : Lyra.Config.t }
+
+    type t = { node : Lyra.Node.t; honest : bool }
+
+    let make_net engine ~n ~jitter ?ns_per_byte () =
+      let cfg = tweak (Lyra.Config.default ~n) in
+      let regions =
+        match regions with
+        | Some r -> r
+        | None -> Sim.Regions.paper_placement n
+      in
+      let latency = Sim.Latency.regional ~jitter regions in
+      let costs = Sim.Costs.default in
+      let net =
+        Sim.Network.create engine ~n ~latency ?ns_per_byte
+          ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost costs m)
+          ~size:Lyra.Types.msg_size ()
+      in
+      { net; cfg }
+
+    let tx_size nt = nt.cfg.Lyra.Config.tx_size
+
+    let net_messages nt = Sim.Network.messages_sent nt.net
+
+    let net_bytes nt = Sim.Network.bytes_sent nt.net
+
+    let convert (o : Lyra.Node.output) =
+      {
+        Node_intf.key = Node_intf.key_of_iid o.batch.Lyra.Types.iid;
+        txs = o.batch.Lyra.Types.txs;
+        seq = o.seq;
+        output_at = o.output_at;
+      }
+
+    let create nt ~id ?on_observe ~on_output () =
+      let misbehavior = byz id in
+      let clock_offset_us =
+        if clock_offsets then
+          let rng = Sim.Engine.rng (Sim.Network.engine nt.net) in
+          Some (Crypto.Rng.int rng (1 + nt.cfg.Lyra.Config.clock_offset_max_us))
+        else None
+      in
+      let node =
+        Lyra.Node.create nt.cfg nt.net ~id ?clock_offset_us ?misbehavior
+          ?on_observe
+          ~on_output:(fun o -> on_output (convert o))
+          ()
+      in
+      { node; honest = Option.is_none misbehavior }
+
+    let start t = Lyra.Node.start t.node
+
+    let submit t ~payload = Lyra.Node.submit t.node ~payload
+
+    let honest t = t.honest
+
+    let output_log t = List.map convert (Lyra.Node.output_log t.node)
+
+    let stats t =
+      {
+        Node_intf.accepted = Lyra.Node.own_accepted t.node;
+        rejected = Lyra.Node.own_rejected t.node;
+        decide_rounds =
+          Metrics.Recorder.to_array (Lyra.Node.decide_rounds t.node);
+        mempool = Lyra.Node.mempool_size t.node;
+        committed_seq = Lyra.Node.committed_seq t.node;
+        late_accepts = Lyra.Node.late_accepts t.node;
+      }
+  end)

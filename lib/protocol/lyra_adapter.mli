@@ -1,0 +1,15 @@
+(** {!Node_intf.NODE} adapter over {!Lyra.Node}.
+
+    [tweak] edits the default configuration; [byz i] makes node [i]
+    Byzantine (such nodes report [honest = false]); [regions] overrides
+    the paper placement; [clock_offsets] (default true) draws each
+    node's clock offset from the engine RNG exactly as the WAN harness
+    always did — attack scenarios pass [false] to reproduce their
+    offset-free topologies. *)
+val make :
+  ?tweak:(Lyra.Config.t -> Lyra.Config.t) ->
+  ?byz:(int -> Lyra.Misbehavior.t option) ->
+  ?regions:Sim.Regions.t array ->
+  ?clock_offsets:bool ->
+  unit ->
+  (module Node_intf.NODE)

@@ -1,0 +1,64 @@
+(* The protocol-generic SMR surface. Everything the harness, the bench
+   driver and the attack framework need from a replica is expressed
+   here once; Lyra, Pompē and plain HotStuff plug in via adapters. *)
+
+type committed = {
+  key : string;
+  txs : Lyra.Types.tx array;
+  seq : int;
+  output_at : int;
+}
+
+type stats = {
+  accepted : int;
+  rejected : int;
+  decide_rounds : float array;
+  mempool : int;
+  committed_seq : int;
+  late_accepts : int;
+}
+
+(* Canonical log key of a batch: mirrors Lyra.Types.pp_iid so logs are
+   comparable across protocols with String.equal. *)
+let key_of_iid (iid : Lyra.Types.iid) =
+  Printf.sprintf "%d/%d" iid.Lyra.Types.proposer iid.Lyra.Types.index
+
+module type NODE = sig
+  val name : string
+
+  (* Warm-up the generic runner applies when the caller does not
+     override it (Lyra needs 1.5 s of distance measurement; the
+     leader-based baselines only need their pipeline to fill). *)
+  val default_warmup_us : int
+
+  type net
+
+  type t
+
+  val make_net :
+    Sim.Engine.t -> n:int -> jitter:float -> ?ns_per_byte:int -> unit -> net
+
+  val tx_size : net -> int
+
+  val net_messages : net -> int
+
+  val net_bytes : net -> int
+
+  val create :
+    net ->
+    id:int ->
+    ?on_observe:(Lyra.Types.batch -> unit) ->
+    on_output:(committed -> unit) ->
+    unit ->
+    t
+
+  val start : t -> unit
+
+  val submit : t -> payload:string -> string
+
+  val honest : t -> bool
+
+  val output_log : t -> committed list
+
+  val stats : t -> stats
+end

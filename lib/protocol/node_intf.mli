@@ -1,0 +1,79 @@
+(** The protocol-generic SMR surface (the tentpole abstraction): one
+    module type that {!Harness.Scenario.run}, the bench driver and the
+    attack framework program against. Adapters for Lyra, Pompē and the
+    plain chained-HotStuff baseline live next to it; a new baseline
+    only has to satisfy {!NODE} to appear in every experiment (see
+    docs/PROTOCOL.md, "adding a new baseline"). *)
+
+(** One committed batch as the harness sees it: [key] identifies the
+    batch across replicas (prefix-safety compares logs of keys with
+    [String.equal]); [seq] is the protocol's decided sequence number;
+    [output_at] the simulated output time in µs. *)
+type committed = {
+  key : string;
+  txs : Lyra.Types.tx array;
+  seq : int;
+  output_at : int;
+}
+
+(** Uniform per-node counters. Protocols without a notion of rejection
+    or decision rounds report [rejected = 0] / [decide_rounds = [||]]. *)
+type stats = {
+  accepted : int;  (** own proposals accepted (Lyra) / sequenced (others) *)
+  rejected : int;  (** own proposals rejected by consensus *)
+  decide_rounds : float array;  (** per-decision round numbers, in order *)
+  mempool : int;  (** transactions waiting to be batched *)
+  committed_seq : int;  (** newest committed sequence number / height *)
+  late_accepts : int;  (** safety counter; must stay 0 *)
+}
+
+(** Canonical log key of a batch instance (stable across protocols). *)
+val key_of_iid : Lyra.Types.iid -> string
+
+module type NODE = sig
+  val name : string
+
+  (** Warm-up the generic runner applies unless overridden. *)
+  val default_warmup_us : int
+
+  (** The protocol's network plus its resolved configuration. *)
+  type net
+
+  type t
+
+  (** Build the protocol's {!Sim.Network} on [engine] with the regional
+      latency model. [ns_per_byte] defaults to the simulator's line
+      rate (≈ 1 Gb/s); the WAN harness passes its own. *)
+  val make_net :
+    Sim.Engine.t -> n:int -> jitter:float -> ?ns_per_byte:int -> unit -> net
+
+  (** Client payload size of the resolved configuration. *)
+  val tx_size : net -> int
+
+  val net_messages : net -> int
+
+  val net_bytes : net -> int
+
+  (** Create and register node [id]. [on_observe] fires when a proposal
+      first becomes readable at this node (the MEV observation point);
+      [on_output] observes the committed log. *)
+  val create :
+    net ->
+    id:int ->
+    ?on_observe:(Lyra.Types.batch -> unit) ->
+    on_output:(committed -> unit) ->
+    unit ->
+    t
+
+  val start : t -> unit
+
+  val submit : t -> payload:string -> string
+
+  (** False for nodes the adapter made Byzantine; the harness excludes
+      them from client load, logs and statistics. *)
+  val honest : t -> bool
+
+  val output_log : t -> committed list
+
+  val stats : t -> stats
+end

@@ -1,0 +1,71 @@
+let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
+    ?(respond_ts = fun _ -> None) ?regions ?(clock_offsets = true) () :
+    (module Node_intf.NODE) =
+  (module struct
+    let name = "pompe"
+
+    let default_warmup_us = 500_000
+
+    type net = { net : Pompe.Types.body Sim.Network.t; cfg : Pompe.Config.t }
+
+    type t = Pompe.Node.t
+
+    let make_net engine ~n ~jitter ?ns_per_byte () =
+      let cfg = tweak (Pompe.Config.default ~n) in
+      let regions =
+        match regions with
+        | Some r -> r
+        | None -> Sim.Regions.paper_placement n
+      in
+      let latency = Sim.Latency.regional ~jitter regions in
+      let costs = Sim.Costs.default in
+      let net =
+        Sim.Network.create engine ~n ~latency ?ns_per_byte
+          ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost costs ~n b)
+          ~size:Pompe.Types.msg_size ()
+      in
+      { net; cfg }
+
+    let tx_size nt = nt.cfg.Pompe.Config.tx_size
+
+    let net_messages nt = Sim.Network.messages_sent nt.net
+
+    let net_bytes nt = Sim.Network.bytes_sent nt.net
+
+    let convert (o : Pompe.Node.output) =
+      {
+        Node_intf.key = Node_intf.key_of_iid o.batch.Lyra.Types.iid;
+        txs = o.batch.Lyra.Types.txs;
+        seq = o.seq;
+        output_at = o.output_at;
+      }
+
+    let create nt ~id ?on_observe ~on_output () =
+      let clock_offset_us =
+        if clock_offsets then
+          let rng = Sim.Engine.rng (Sim.Network.engine nt.net) in
+          Some (Crypto.Rng.int rng (1 + nt.cfg.Pompe.Config.clock_offset_max_us))
+        else None
+      in
+      Pompe.Node.create nt.cfg nt.net ~id ?clock_offset_us ?on_observe
+        ~on_output:(fun o -> on_output (convert o))
+        ~censor:(censor id) ?respond_ts:(respond_ts id) ()
+
+    let start = Pompe.Node.start
+
+    let submit = Pompe.Node.submit
+
+    let honest _ = true
+
+    let output_log t = List.map convert (Pompe.Node.output_log t)
+
+    let stats t =
+      {
+        Node_intf.accepted = Pompe.Node.sequenced_count t;
+        rejected = 0;
+        decide_rounds = [||];
+        mempool = Pompe.Node.mempool_size t;
+        committed_seq = Pompe.Node.committed_height t;
+        late_accepts = 0;
+      }
+  end)

@@ -1,0 +1,16 @@
+(** {!Node_intf.NODE} adapter over {!Pompe.Node}.
+
+    [censor id] gives node [id]'s leader-censorship predicate;
+    [respond_ts id] optionally installs node [id]'s Byzantine timestamp
+    response (see {!Pompe.Node.create}); [clock_offsets] as in
+    {!Lyra_adapter.make}. All Pompē nodes report [honest = true]: its
+    Byzantine behaviours (censoring, timestamp games) keep the node a
+    participating replica. *)
+val make :
+  ?tweak:(Pompe.Config.t -> Pompe.Config.t) ->
+  ?censor:(int -> Lyra.Types.iid -> bool) ->
+  ?respond_ts:(int -> (Lyra.Types.batch -> honest:int -> int option) option) ->
+  ?regions:Sim.Regions.t array ->
+  ?clock_offsets:bool ->
+  unit ->
+  (module Node_intf.NODE)

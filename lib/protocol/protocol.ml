@@ -1,0 +1,28 @@
+(* Library root: re-export the interface at the top level so consumers
+   write (module P : Protocol.NODE) and Protocol.Registry.all. *)
+
+module Node_intf = Node_intf
+module Lyra_adapter = Lyra_adapter
+module Pompe_adapter = Pompe_adapter
+module Hotstuff_adapter = Hotstuff_adapter
+module Registry = Registry
+
+module type NODE = Node_intf.NODE
+
+type committed = Node_intf.committed = {
+  key : string;
+  txs : Lyra.Types.tx array;
+  seq : int;
+  output_at : int;
+}
+
+type stats = Node_intf.stats = {
+  accepted : int;
+  rejected : int;
+  decide_rounds : float array;
+  mempool : int;
+  committed_seq : int;
+  late_accepts : int;
+}
+
+let key_of_iid = Node_intf.key_of_iid

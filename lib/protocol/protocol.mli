@@ -1,0 +1,30 @@
+(** Protocol-generic SMR runtime: one {!NODE} interface that the
+    harness, bench driver and attack framework program against, with
+    pluggable adapters for Lyra, Pompē and plain chained HotStuff.
+    See docs/PROTOCOL.md for the obligations of a new baseline. *)
+
+module Node_intf = Node_intf
+module Lyra_adapter = Lyra_adapter
+module Pompe_adapter = Pompe_adapter
+module Hotstuff_adapter = Hotstuff_adapter
+module Registry = Registry
+
+module type NODE = Node_intf.NODE
+
+type committed = Node_intf.committed = {
+  key : string;
+  txs : Lyra.Types.tx array;
+  seq : int;
+  output_at : int;
+}
+
+type stats = Node_intf.stats = {
+  accepted : int;
+  rejected : int;
+  decide_rounds : float array;
+  mempool : int;
+  committed_seq : int;
+  late_accepts : int;
+}
+
+val key_of_iid : Lyra.Types.iid -> string

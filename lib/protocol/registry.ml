@@ -1,0 +1,17 @@
+(* The baseline registry: every protocol with a default adapter, in
+   presentation order. Experiment drivers iterate [all] to grow a
+   column per protocol with no per-experiment code. *)
+
+let all () =
+  [
+    ("lyra", Lyra_adapter.make ());
+    ("pompe", Pompe_adapter.make ());
+    ("hotstuff", Hotstuff_adapter.make ());
+  ]
+
+let names = [ "lyra"; "pompe"; "hotstuff" ]
+
+let get name =
+  List.find_map
+    (fun (n, m) -> if String.equal n name then Some m else None)
+    (all ())

@@ -1,0 +1,8 @@
+(** The baseline registry: default-configured {!Node_intf.NODE}
+    adapters for every protocol, in presentation order. *)
+
+val all : unit -> (string * (module Node_intf.NODE)) list
+
+val names : string list
+
+val get : string -> (module Node_intf.NODE) option

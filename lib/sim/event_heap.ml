@@ -8,7 +8,7 @@ type 'a t = {
 
 let create () = { data = [||]; len = 0; next_seq = 0 }
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b = a.time < b.time || (Int.equal a.time b.time && a.seq < b.seq)
 
 let swap h i j =
   let tmp = h.data.(i) in
@@ -29,7 +29,7 @@ let rec sift_down h i =
   let smallest = ref i in
   if l < h.len && before h.data.(l) h.data.(!smallest) then smallest := l;
   if r < h.len && before h.data.(r) h.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
+  if not (Int.equal !smallest i) then begin
     swap h i !smallest;
     sift_down h !smallest
   end
@@ -37,7 +37,7 @@ let rec sift_down h i =
 let push h ~time payload =
   let entry = { time; seq = h.next_seq; payload } in
   h.next_seq <- h.next_seq + 1;
-  if h.len = Array.length h.data then begin
+  if Int.equal h.len (Array.length h.data) then begin
     (* Grow, filling fresh slots with the new entry as a placeholder. *)
     let new_cap = max 64 (2 * h.len) in
     let data = Array.make new_cap entry in

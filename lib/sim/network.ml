@@ -66,7 +66,7 @@ let send t ~src ~dst msg =
     invalid_arg "Network.send: endpoint out of range";
   if not t.crashed.(src) then begin
     t.sent <- t.sent + 1;
-    if src = dst then deliver t ~src ~dst msg
+    if Int.equal src dst then deliver t ~src ~dst msg
     else begin
       let bytes = t.size msg in
       t.bytes <- t.bytes + bytes;

@@ -9,7 +9,9 @@ let name = function
   | Tokyo -> "ap-northeast-1"
   | Singapore -> "ap-southeast-1"
 
-let equal a b = a = b
+let tag = function Oregon -> 0 | Ireland -> 1 | Sydney -> 2 | Tokyo -> 3 | Singapore -> 4
+
+let equal a b = Int.equal (tag a) (tag b)
 
 let intra_us = 300
 
@@ -18,7 +20,7 @@ let intra_us = 300
    detour so that Tokyo → Singapore → Sydney is faster than the direct
    path, reproducing the Fig. 1 triangle-inequality violation. *)
 let one_way_us a b =
-  if a = b then intra_us
+  if equal a b then intra_us
   else
     match (a, b) with
     | Oregon, Ireland | Ireland, Oregon -> 62_000

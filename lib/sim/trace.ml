@@ -38,7 +38,7 @@ let events ?node ?category ?(since_us = min_int) t =
     (fun acc e ->
       let keep =
         e.at_us >= since_us
-        && (match node with None -> true | Some n -> e.node = n)
+        && (match node with None -> true | Some n -> Int.equal e.node n)
         && match category with None -> true | Some c -> String.equal c e.category
       in
       if keep then e :: acc else acc)

@@ -89,7 +89,14 @@ let test_d003_fires () =
     "lib/lyra/fix.ml" "let eq a b = Stdlib.( = ) a b\n";
   check "Hashtbl.hash in lib"
     [ "lib/sim/fix.ml:1:D003" ]
-    "lib/sim/fix.ml" "let h x = Hashtbl.hash x\n"
+    "lib/sim/fix.ml" "let h x = Hashtbl.hash x\n";
+  (* bare = / <> between two variables in deterministic protocol code *)
+  check "bare = on variables in lib/lyra"
+    [ "lib/lyra/fix.ml:1:D003" ]
+    "lib/lyra/fix.ml" "let f a b = a = b\n";
+  check "bare <> on fields in lib/protocol"
+    [ "lib/protocol/fix.ml:1:D003" ]
+    "lib/protocol/fix.ml" "let f a b = a.Lyra.Types.proposer <> b\n"
 
 let test_d003_silent () =
   check "qualified Int.compare" [] "lib/lyra/fix.ml"
@@ -100,8 +107,17 @@ let test_d003_silent () =
   (* outside lib/ the polymorphic fallback is tolerated *)
   check "bare compare in bench" [] "bench/fix.ml"
     "let sort xs = List.sort compare xs\n";
-  (* ordinary = on scalars is out of scope by design *)
-  check "bare = is legal" [] "lib/lyra/fix.ml" "let f x = x = 3\n"
+  (* comparisons against syntactic immediates stay legal *)
+  check "bare = against a literal is legal" [] "lib/lyra/fix.ml" "let f x = x = 3\n";
+  check "bare = against None is legal" [] "lib/lyra/fix.ml"
+    "let f x = x = None\n";
+  check "bare <> against [] is legal" [] "lib/lyra/fix.ml"
+    "let f x = x <> []\n";
+  (* and outside the deterministic dirs bare = is not D003's business *)
+  check "bare = on variables in lib/metrics is legal" [] "lib/metrics/fix.ml"
+    "let f a b = a = b\n";
+  check "bare = on variables in bench is legal" [] "bench/fix.ml"
+    "let f a b = a = b\n"
 
 (* ------------------------------------------------------------------ *)
 (* S001: Obj escape hatches.                                           *)

@@ -18,6 +18,7 @@ let () =
       ("lyra-cluster", Test_lyra_cluster.suite);
       ("hotstuff", Test_hotstuff.suite);
       ("pompe", Test_pompe.suite);
+      ("protocol-runtime", Test_protocol.suite);
       ("apps", Test_apps.suite);
       ("metrics-workload", Test_metrics_workload.suite);
       ("attacks", Test_attacks.suite);
