@@ -395,6 +395,81 @@ let censor () =
        o.rows)
 
 (* ------------------------------------------------------------------ *)
+(* FAULTS — the robustness matrix: every protocol × every fault kind.  *)
+(*                                                                     *)
+(* Each cell runs the generic scenario under a deterministic           *)
+(* Sim.Faults plan while the continuous invariant monitor watches the  *)
+(* output streams. The table reports what the plan actually did        *)
+(* (drops, duplicates), how consensus felt it (stall windows) and the  *)
+(* verdict (prefix/durability violations — must always be none).      *)
+(* Fault times are placed relative to each protocol's warm-up and      *)
+(* duration so the same matrix runs at smoke scale.                    *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  let n = 4 in
+  let sydney = Sim.Faults.island_of_regions ~n [ Sim.Regions.Sydney ] in
+  let plans ~warmup_us ~duration_us =
+    let at frac = warmup_us + int_of_float (frac *. float_of_int duration_us) in
+    let crash p =
+      Sim.Faults.crash ~node:1 ~at_us:(at 0.2) ~recover_us:(at 0.45) p
+    in
+    let loss p =
+      Sim.Faults.loss ~dup_p:0.005 ~from_us:(at 0.1) ~until_us:(at 0.5)
+        ~drop_p:0.01 p
+    in
+    let partition p =
+      Sim.Faults.partition ~from_us:(at 0.55) ~heal_us:(at 0.7) ~island:sydney
+        p
+    in
+    let skew p = Sim.Faults.skew ~node:3 ~skew_us:2_000 p in
+    let none = Sim.Faults.none in
+    [
+      ("crash+recover", crash none);
+      ("loss 1%", loss none);
+      ("partition+heal", partition none);
+      ("clock skew", skew none);
+      ("combined", none |> loss |> crash |> partition |> skew);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let ((module P : Protocol.NODE) as p) =
+          Option.get (Protocol.Registry.get name)
+        in
+        let duration_us =
+          scale_dur (if String.equal name "pompe" then 8_000_000 else 4_000_000)
+        in
+        List.map
+          (fun (plan_name, plan) ->
+            let r =
+              Harness.Scenario.run ~faults:plan p ~n
+                ~load:(Harness.Scenario.Closed 2) ~duration_us ()
+            in
+            [
+              name ^ " " ^ plan_name;
+              Printf.sprintf "%.0f" r.throughput_tps;
+              string_of_int r.dropped_msgs;
+              string_of_int r.dup_msgs;
+              string_of_int (List.length r.stall_windows);
+              (match r.first_violation with
+              | None -> "none"
+              | Some v -> v.Harness.Invariant_monitor.v_kind);
+            ])
+          (plans ~warmup_us:P.default_warmup_us ~duration_us))
+      Protocol.Registry.names
+  in
+  Metrics.Table.print
+    ~title:
+      (Printf.sprintf
+         "FAULTS  crash/loss/partition/skew matrix under the invariant \
+          monitor (n=%d; violations must be none)"
+         n)
+    ~header:[ "protocol / plan"; "tx/s"; "dropped"; "dup"; "stalls"; "violation" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* ABLATE — sensitivity of the Fig. 3 story to the testbed model.     *)
 (*                                                                     *)
 (* The paper attributes Pompe's decline to the leader bottleneck and   *)
@@ -521,6 +596,7 @@ let all =
     ("byz", byz);
     ("mev", mev);
     ("censor", censor);
+    ("faults", faults);
     ("ablate", ablate);
     ("micro", micro);
   ]

@@ -66,6 +66,126 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ seed_t $ n_t 16 $ duration_t $ clients_t $ rate_t $ protocol_t)
 
+(* ------------------------------------------------------------------ *)
+(* faults: run any registered protocol under a declarative fault plan  *)
+(* with the continuous invariant monitor armed.                        *)
+(* ------------------------------------------------------------------ *)
+
+let split_colons s = String.split_on_char ':' s
+
+let us_of_sec_str field s =
+  match float_of_string_opt s with
+  | Some sec -> int_of_float (sec *. 1e6)
+  | None -> failwith (Printf.sprintf "%s: not a number: %s" field s)
+
+let int_of_str field s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "%s: not an integer: %s" field s)
+
+let float_of_str field s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "%s: not a number: %s" field s)
+
+let add_crash plan spec =
+  match split_colons spec with
+  | [ node; at ] ->
+      Sim.Faults.crash ~node:(int_of_str "crash node" node)
+        ~at_us:(us_of_sec_str "crash at" at) plan
+  | [ node; at; recover ] ->
+      Sim.Faults.crash ~node:(int_of_str "crash node" node)
+        ~at_us:(us_of_sec_str "crash at" at)
+        ~recover_us:(us_of_sec_str "crash recover" recover)
+        plan
+  | _ -> failwith ("--crash expects NODE:AT[:RECOVER], got " ^ spec)
+
+let add_loss plan spec =
+  match split_colons spec with
+  | [ from_s; until_s; drop ] ->
+      Sim.Faults.loss ~from_us:(us_of_sec_str "loss from" from_s)
+        ~until_us:(us_of_sec_str "loss until" until_s)
+        ~drop_p:(float_of_str "loss drop_p" drop)
+        plan
+  | [ from_s; until_s; drop; dup ] ->
+      Sim.Faults.loss ~from_us:(us_of_sec_str "loss from" from_s)
+        ~until_us:(us_of_sec_str "loss until" until_s)
+        ~drop_p:(float_of_str "loss drop_p" drop)
+        ~dup_p:(float_of_str "loss dup_p" dup)
+        plan
+  | _ -> failwith ("--loss expects FROM:UNTIL:DROP_P[:DUP_P], got " ^ spec)
+
+let add_partition plan spec =
+  match split_colons spec with
+  | [ from_s; heal_s; island ] ->
+      let ids =
+        List.map (int_of_str "partition island")
+          (String.split_on_char ',' island)
+      in
+      Sim.Faults.partition ~from_us:(us_of_sec_str "partition from" from_s)
+        ~heal_us:(us_of_sec_str "partition heal" heal_s)
+        ~island:ids plan
+  | _ -> failwith ("--partition expects FROM:HEAL:ID,ID,..., got " ^ spec)
+
+let add_skew plan spec =
+  match split_colons spec with
+  | [ node; us ] ->
+      Sim.Faults.skew ~node:(int_of_str "skew node" node)
+        ~skew_us:(int_of_str "skew us" us) plan
+  | _ -> failwith ("--skew expects NODE:MICROSECONDS, got " ^ spec)
+
+let faults_cmd =
+  let run seed n duration clients protocol crashes losses partitions skews =
+    let plan =
+      Sim.Faults.none
+      |> fun p ->
+      List.fold_left add_crash p crashes |> fun p ->
+      List.fold_left add_loss p losses |> fun p ->
+      List.fold_left add_partition p partitions |> fun p ->
+      List.fold_left add_skew p skews
+    in
+    Sim.Faults.validate plan ~n;
+    let duration_us = int_of_float (duration *. 1e6) in
+    let r =
+      Harness.Scenario.run ~seed (adapter protocol) ~n
+        ~load:(Harness.Scenario.Closed clients) ~faults:plan ~duration_us ()
+    in
+    print_result r;
+    match r.first_violation with
+    | None -> ()
+    | Some v ->
+        Format.printf "  !! invariant violated: %a@."
+          Harness.Invariant_monitor.pp_violation v;
+        exit 1
+  in
+  let repeatable name docv doc =
+    Arg.(value & opt_all string [] & info [ name ] ~docv ~doc)
+  in
+  let crash_t =
+    repeatable "crash" "NODE:AT[:RECOVER]"
+      "Crash $(docv) at a time (seconds); omit RECOVER for fail-stop. \
+       Repeatable."
+  and loss_t =
+    repeatable "loss" "FROM:UNTIL:DROP_P[:DUP_P]"
+      "Lossy window (times in seconds, probabilities in [0,1]). Repeatable."
+  and partition_t =
+    repeatable "partition" "FROM:HEAL:ID,ID,..."
+      "Partition the listed island from everyone else during \
+       [FROM, HEAL) seconds. Repeatable."
+  and skew_t =
+    repeatable "skew" "NODE:US"
+      "Offset a node's clock by a fixed skew in microseconds. Repeatable."
+  in
+  let doc =
+    "Run a protocol under a fault plan (crash/recovery, lossy links, \
+     partitions, clock skew) with the continuous invariant monitor; exits 1 \
+     on any violation."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ seed_t $ n_t 4 $ duration_t $ clients_t $ protocol_t
+      $ crash_t $ loss_t $ partition_t $ skew_t)
+
 let trials_arg default =
   Arg.(value & opt int default & info [ "trials" ] ~docv:"K" ~doc:"Attack trials.")
 
@@ -177,6 +297,15 @@ let batch_cmd =
 let main =
   let doc = "Lyra: order-fair, MEV-resistant leaderless SMR (IPDPS'23 reproduction)" in
   Cmd.group (Cmd.info "lyra_cli" ~doc ~version:"1.0.0")
-    [ run_cmd; frontrun_cmd; sandwich_cmd; censor_cmd; byz_cmd; lambda_cmd; batch_cmd ]
+    [
+      run_cmd;
+      faults_cmd;
+      frontrun_cmd;
+      sandwich_cmd;
+      censor_cmd;
+      byz_cmd;
+      lambda_cmd;
+      batch_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -13,6 +13,11 @@ type result = {
   bytes : int;
   prefix_safe : bool;
   late_accepts : int;
+  dropped_msgs : int;
+  dup_msgs : int;
+  stall_windows : (int * int) list;
+  first_violation : Invariant_monitor.violation option;
+  trace_dropped : int;
 }
 
 let wan_ns_per_byte = 40 (* ≈ 200 Mb/s effective per node over the WAN *)
@@ -25,7 +30,17 @@ let pp_result fmt r =
     (if Metrics.Recorder.is_empty r.latency_ms then 0.0
      else Metrics.Recorder.percentile 50.0 r.latency_ms)
     (Metrics.Recorder.mean r.latency_ms)
-    r.committed_txs r.prefix_safe
+    r.committed_txs r.prefix_safe;
+  if r.dropped_msgs > 0 || r.dup_msgs > 0 then
+    Format.fprintf fmt ", dropped=%d dup=%d" r.dropped_msgs r.dup_msgs;
+  (match r.stall_windows with
+  | [] -> ()
+  | ws -> Format.fprintf fmt ", stalls=%d" (List.length ws));
+  (match r.first_violation with
+  | None -> ()
+  | Some v -> Format.fprintf fmt ", VIOLATION(%a)" Invariant_monitor.pp_violation v);
+  if r.trace_dropped > 0 then
+    Format.fprintf fmt ", trace_dropped=%d" r.trace_dropped
 
 let is_prefix la lb =
   let rec go = function
@@ -55,17 +70,28 @@ let prefix_safe logs =
 let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
 let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
-    (module P : Protocol.NODE) ~n ~load ~duration_us () =
+    ?(faults = Sim.Faults.none) ?trace (module P : Protocol.NODE) ~n ~load
+    ~duration_us () =
   let warmup_us =
     match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
   let engine = Sim.Engine.create ~seed () in
-  let net = P.make_net engine ~n ~jitter ~ns_per_byte () in
+  let net = P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?trace () in
   let rng = Sim.Engine.rng engine in
   let latency_rec, _, committed = make_recorders ~n in
   let pools : Workload.Clients.Closed.t option array = Array.make n None in
   let measure_start = ref max_int in
+  (* The monitor observes every honest commit as it happens (including
+     warm-up — safety has no grace period); its liveness watchdog only
+     covers the measurement window, where steady progress is due. *)
+  let monitor =
+    Invariant_monitor.create engine ~n ~faults ~from_us:warmup_us
+      ~until_us:(warmup_us + duration_us) ()
+  in
+  let honest_commit : (int -> bool) ref = ref (fun _ -> true) in
   let on_output id (c : Protocol.committed) =
+    if !honest_commit id then
+      Invariant_monitor.on_commit monitor ~node:id ~key:c.key;
     Array.iter
       (fun (tx : Lyra.Types.tx) ->
         (match pools.(id) with
@@ -82,7 +108,9 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
   let nodes =
     Array.init n (fun id -> P.create net ~id ~on_output:(on_output id) ())
   in
+  (honest_commit := fun id -> P.honest nodes.(id));
   Array.iter P.start nodes;
+  Invariant_monitor.start monitor;
   (* Work done before the measurement window opens (Lyra's warm-up
      instances, pipeline fill) is excluded from the decision statistics
      and accept rate by snapshotting every node's counters at the
@@ -137,6 +165,7 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
            nodes)
       : Sim.Engine.timer);
   Sim.Engine.run engine ~until:(warmup_us + duration_us);
+  Invariant_monitor.finalize monitor;
   let honest =
     Array.of_list
       (List.filter (fun i -> P.honest nodes.(i)) (List.init n (fun i -> i)))
@@ -182,4 +211,10 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
       Array.fold_left
         (fun acc i -> acc + final.(i).Protocol.late_accepts)
         0 honest;
+    dropped_msgs = P.net_dropped net;
+    dup_msgs = P.net_dup net;
+    stall_windows = Invariant_monitor.stall_windows monitor;
+    first_violation = Invariant_monitor.first_violation monitor;
+    trace_dropped =
+      (match trace with None -> 0 | Some tr -> Sim.Trace.dropped tr);
   }

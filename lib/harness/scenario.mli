@@ -24,6 +24,13 @@ type result = {
   bytes : int;
   prefix_safe : bool;  (** output logs are prefixes of each other *)
   late_accepts : int;  (** safety counter; must be 0 *)
+  dropped_msgs : int;  (** messages the fault plan dropped *)
+  dup_msgs : int;  (** extra copies the fault plan injected *)
+  stall_windows : (int * int) list;
+      (** in-window periods with no cluster-wide commit progress *)
+  first_violation : Invariant_monitor.violation option;
+      (** first continuous-monitor violation; must be [None] *)
+  trace_dropped : int;  (** events evicted from the supplied trace *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -32,12 +39,19 @@ val pp_result : Format.formatter -> result -> unit
     protocol choice is the adapter module (see {!Protocol.Registry} and
     the [?tweak]/[?byz]/[?censor] knobs on the adapter constructors).
     [warmup_us] defaults to the protocol's [default_warmup_us];
-    [jitter] is the relative link jitter (default 0.01). *)
+    [jitter] is the relative link jitter (default 0.01). [faults]
+    executes a {!Sim.Faults} plan on the run; an {!Invariant_monitor}
+    always observes honest commits continuously, and its verdict lands
+    in [first_violation]/[stall_windows]. [trace] is handed to the
+    network for fault-event recording; its eviction count is surfaced
+    as [trace_dropped]. *)
 val run :
   ?seed:int64 ->
   ?warmup_us:int ->
   ?jitter:float ->
   ?ns_per_byte:int ->
+  ?faults:Sim.Faults.plan ->
+  ?trace:Sim.Trace.t ->
   (module Protocol.NODE) ->
   n:int ->
   load:load ->

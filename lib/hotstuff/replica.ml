@@ -13,6 +13,8 @@ type 'cmd msg =
   | Proposal of 'cmd block
   | Vote of { block_id : string; height : int }
   | New_view of { view : int; qc : qc }
+  | Catchup_req of { missing : string; have : int }
+  | Catchup_resp of { blocks : 'cmd block list }
 
 type 'cmd transport = {
   tr_n : int;
@@ -23,12 +25,16 @@ type 'cmd transport = {
 
 let qc_size qc = 48 + (8 * List.length qc.voters)
 
+let block_size ~cmd_size b =
+  96 + qc_size b.justify + List.fold_left (fun acc c -> acc + cmd_size c) 0 b.cmds
+
 let msg_size ~cmd_size = function
-  | Proposal b ->
-      96 + qc_size b.justify
-      + List.fold_left (fun acc c -> acc + cmd_size c) 0 b.cmds
+  | Proposal b -> block_size ~cmd_size b
   | Vote _ -> 96 (* block id + signature share *)
   | New_view { qc; _ } -> 40 + qc_size qc
+  | Catchup_req _ -> 72 (* block id + height *)
+  | Catchup_resp { blocks } ->
+      List.fold_left (fun acc b -> acc + block_size ~cmd_size b) 16 blocks
 
 let genesis_id = "genesis"
 
@@ -59,6 +65,10 @@ type 'cmd t = {
   mutable proposed_in : int;  (** last view this replica proposed in *)
   mutable blocks_proposed : int;
   mutable started : bool;
+  catchup_inflight : (string, unit) Hashtbl.t;  (** block ids requested *)
+  mutable resync_target : 'cmd block option;
+      (** highest block whose commit stalled on a missing ancestor *)
+  mutable catchups_sent : int;
 }
 
 let view t = t.view_no
@@ -66,6 +76,8 @@ let view t = t.view_no
 let committed_height t = t.last_committed
 
 let blocks_proposed t = t.blocks_proposed
+
+let catchups_sent t = t.catchups_sent
 
 let pending_count t = t.pending_n
 
@@ -91,64 +103,113 @@ let broadcast t m = t.tr.tr_broadcast m
 
 let send t ~dst m = t.tr.tr_send ~dst m
 
-(* Commit every uncommitted ancestor of [b] (inclusive), oldest first. *)
+(* A block we need is not in the store (its proposal was lost): pull it
+   from [from], who referenced it and therefore has it. The request is
+   deferred by 2Δ and only sent if the block is *still* missing, so a
+   merely out-of-order arrival never costs a message; the in-flight
+   entry expires so a lost response leads to a re-request. *)
+let request_catchup t ~from ~missing =
+  if not (Hashtbl.mem t.catchup_inflight missing) then begin
+    Hashtbl.replace t.catchup_inflight missing ();
+    t.tr.tr_schedule ~delay_us:(2 * t.delta_us) (fun () ->
+        if Option.is_none (find_block t missing) then begin
+          t.catchups_sent <- t.catchups_sent + 1;
+          send t ~dst:from (Catchup_req { missing; have = t.last_committed });
+          t.tr.tr_schedule ~delay_us:(8 * t.delta_us) (fun () ->
+              Hashtbl.remove t.catchup_inflight missing)
+        end
+        else Hashtbl.remove t.catchup_inflight missing)
+  end
+
+(* Remember the highest block whose commit evaluation stalled on a
+   missing ancestor; retried when new blocks arrive. *)
+let stall t b =
+  match t.resync_target with
+  | Some cur when cur.height >= b.height -> ()
+  | _ -> t.resync_target <- Some b
+
+(* Commit every uncommitted ancestor of [b] (inclusive), oldest first.
+   If an ancestor is missing the whole chain is refused — committing
+   around a hole would execute history out of order on this replica —
+   and the gap is fetched instead. Returns whether [b] was committed. *)
 let commit_chain t b =
-  let rec ancestors acc b =
-    if b.height <= t.last_committed then acc
+  let rec ancestors acc blk =
+    if blk.height <= t.last_committed then Ok acc
     else
-      match find_block t b.parent with
-      | Some p -> ancestors (b :: acc) p
-      | None -> b :: acc
+      match find_block t blk.parent with
+      | Some p -> ancestors (blk :: acc) p
+      | None -> Error blk
   in
-  let chain = ancestors [] b in
-  List.iter
-    (fun blk ->
-      if blk.height > t.last_committed then begin
-        t.last_committed <- blk.height;
-        Hashtbl.replace t.committed_ids blk.b_id ();
-        (* Different leaders may include the same command before
-           learning it committed; deliver each command once. *)
-        let fresh =
-          List.filter
-            (fun c -> not (Hashtbl.mem t.done_cmds (t.cmd_id c)))
-            blk.cmds
-        in
-        List.iter
-          (fun c ->
-            let id = t.cmd_id c in
-            Hashtbl.replace t.done_cmds id ();
-            Hashtbl.replace t.seen_cmds id ())
-          fresh;
-        let ids = List.map t.cmd_id blk.cmds in
-        if ids <> [] then begin
-          t.pending <-
-            List.filter (fun c -> not (List.mem (t.cmd_id c) ids)) t.pending;
-          t.pending_n <- List.length t.pending
-        end;
-        if fresh <> [] then t.on_commit ~height:blk.height fresh
-      end)
-    chain
+  match ancestors [] b with
+  | Error blocked ->
+      request_catchup t ~from:blocked.proposer ~missing:blocked.parent;
+      false
+  | Ok chain ->
+      List.iter
+        (fun blk ->
+          if blk.height > t.last_committed then begin
+            t.last_committed <- blk.height;
+            Hashtbl.replace t.committed_ids blk.b_id ();
+            (* Different leaders may include the same command before
+               learning it committed; deliver each command once. *)
+            let fresh =
+              List.filter
+                (fun c -> not (Hashtbl.mem t.done_cmds (t.cmd_id c)))
+                blk.cmds
+            in
+            List.iter
+              (fun c ->
+                let id = t.cmd_id c in
+                Hashtbl.replace t.done_cmds id ();
+                Hashtbl.replace t.seen_cmds id ())
+              fresh;
+            let ids = List.map t.cmd_id blk.cmds in
+            if ids <> [] then begin
+              t.pending <-
+                List.filter (fun c -> not (List.mem (t.cmd_id c) ids)) t.pending;
+              t.pending_n <- List.length t.pending
+            end;
+            if fresh <> [] then t.on_commit ~height:blk.height fresh
+          end)
+        chain;
+      true
 
 (* Three-chain rule, evaluated when processing a new block bstar:
    b2 = justify(bstar), b1 = justify(b2), b0 = justify(b1); if the
-   links are parent-consecutive, b0 is committed. *)
+   links are parent-consecutive, b0 is committed. Any link into a
+   missing block triggers catch-up and parks bstar for a retry. *)
 let try_commit t bstar =
   match find_block t bstar.justify.q_block with
-  | None -> ()
+  | None ->
+      request_catchup t ~from:bstar.proposer ~missing:bstar.justify.q_block;
+      stall t bstar
   | Some b2 -> (
       (* Lock on the middle block's QC. *)
       if b2.justify.q_height > t.locked_qc.q_height then
         t.locked_qc <- b2.justify;
       match find_block t b2.justify.q_block with
-      | None -> ()
+      | None ->
+          request_catchup t ~from:b2.proposer ~missing:b2.justify.q_block;
+          stall t bstar
       | Some b1 -> (
           match find_block t b1.justify.q_block with
-          | None -> ()
+          | None ->
+              request_catchup t ~from:b1.proposer ~missing:b1.justify.q_block;
+              stall t bstar
           | Some b0 ->
               if
                 String.equal b2.parent b1.b_id
                 && String.equal b1.parent b0.b_id
-              then commit_chain t b0))
+              then begin
+                if not (commit_chain t b0) then stall t bstar
+              end))
+
+let retry_stalled t =
+  match t.resync_target with
+  | None -> ()
+  | Some b ->
+      t.resync_target <- None;
+      try_commit t b
 
 let rec enter_view t v =
   if v > t.view_no then begin
@@ -213,8 +274,38 @@ let on_proposal t b =
         (Vote { block_id = b.b_id; height = b.height })
     end;
     try_commit t b;
+    (* A freshly filled gap may unblock a parked higher block. *)
+    retry_stalled t;
     enter_view t (b.height + 1)
   end
+
+(* Serve a peer's gap: the chain from just above [have] up to
+   [missing], oldest first, capped so one response stays bounded (a
+   larger gap converges over multiple rounds). *)
+let on_catchup_req t ~src ~missing ~have =
+  let rec collect acc id count =
+    if count >= 64 then acc
+    else
+      match find_block t id with
+      | None -> acc
+      | Some b ->
+          if b.height <= have || b.height <= 0 then acc
+          else collect (b :: acc) b.parent (count + 1)
+  in
+  match collect [] missing 0 with
+  | [] -> ()
+  | blocks -> send t ~dst:src (Catchup_resp { blocks })
+
+let on_catchup_resp t blocks =
+  List.iter
+    (fun b ->
+      if b.height > 0 && not (Hashtbl.mem t.blocks b.b_id) then begin
+        Hashtbl.replace t.blocks b.b_id b;
+        update_high_qc t b.justify;
+        Hashtbl.remove t.catchup_inflight b.b_id
+      end)
+    blocks;
+  retry_stalled t
 
 let on_vote t ~src ~block_id ~height =
   (* Collect votes if we lead the next view. *)
@@ -271,6 +362,8 @@ let handle t ~src msg =
   | Proposal b -> on_proposal t b
   | Vote { block_id; height } -> on_vote t ~src ~block_id ~height
   | New_view { view = v; qc } -> on_new_view t ~src ~view_v:v qc
+  | Catchup_req { missing; have } -> on_catchup_req t ~src ~missing ~have
+  | Catchup_resp { blocks } -> on_catchup_resp t blocks
 
 let create tr ~id ~delta_us ~block_capacity ~cmd_id ~on_commit () =
   let n = tr.tr_n in
@@ -300,6 +393,9 @@ let create tr ~id ~delta_us ~block_capacity ~cmd_id ~on_commit () =
       proposed_in = 0;
       blocks_proposed = 0;
       started = false;
+      catchup_inflight = Hashtbl.create 8;
+      resync_target = None;
+      catchups_sent = 0;
     }
   in
   Hashtbl.replace t.blocks genesis_id

@@ -26,6 +26,10 @@ type 'cmd msg =
   | Proposal of 'cmd block
   | Vote of { block_id : string; height : int }
   | New_view of { view : int; qc : qc }
+  | Catchup_req of { missing : string; have : int }
+      (** pull a lost block (and its uncommitted ancestry above
+          [have]); sent when a commit would otherwise skip a gap *)
+  | Catchup_resp of { blocks : 'cmd block list }  (** oldest first *)
 
 (** Sizes for the NIC model: [cmd_size] gives the wire size of one
     command inside a proposal. *)
@@ -77,5 +81,9 @@ val committed_height : 'cmd t -> int
 
 (** Number of blocks this replica proposed. *)
 val blocks_proposed : 'cmd t -> int
+
+(** Catch-up requests actually sent (0 on a reliable network: a commit
+    never stalls, so the deferred requests all get cancelled). *)
+val catchups_sent : 'cmd t -> int
 
 val pending_count : 'cmd t -> int

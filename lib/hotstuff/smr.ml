@@ -50,6 +50,17 @@ let msg_cost (c : Sim.Costs.t) body =
         c.combined_verify + (c.hash_per_kb * (1 + (bytes / 1024)))
     | Hs (Replica.Vote _) -> c.sig_verify (* leader checks votes *)
     | Hs (Replica.New_view _) -> c.combined_verify
+    | Hs (Replica.Catchup_req _) -> 4 (* store lookup *)
+    | Hs (Replica.Catchup_resp { blocks }) ->
+        (* Same verification work as receiving each block fresh. *)
+        List.fold_left
+          (fun acc (b : Lyra.Types.batch Replica.block) ->
+            let bytes =
+              List.fold_left (fun a cmd -> a + cmd_wire_size cmd) 0
+                b.Replica.cmds
+            in
+            acc + c.combined_verify + (c.hash_per_kb * (1 + (bytes / 1024))))
+          0 blocks
   in
   c.msg_overhead + base
 
@@ -130,7 +141,7 @@ let propose_batch t txs =
   broadcast t (Gossip { batch })
 
 let rec maybe_propose t =
-  if t.started then
+  if t.started && not (Sim.Network.is_crashed t.net t.id) then
     if t.mempool_count >= t.config.batch_size then begin
       let txs = List.rev t.mempool in
       let rec split k acc rest =
@@ -152,12 +163,16 @@ let rec maybe_propose t =
         (Sim.Engine.schedule t.engine ~delay:t.config.batch_timeout_us
            (fun () ->
              t.batch_timer_armed <- false;
-             if t.mempool_count > 0 then begin
-               let txs = List.rev t.mempool in
-               t.mempool <- [];
-               t.mempool_count <- 0;
-               propose_batch t txs
-             end)
+             if t.mempool_count > 0 then
+               if Sim.Network.is_crashed t.net t.id then
+                 (* Hold the transactions; the recovery hook re-enters. *)
+                 maybe_propose t
+               else begin
+                 let txs = List.rev t.mempool in
+                 t.mempool <- [];
+                 t.mempool_count <- 0;
+                 propose_batch t txs
+               end)
           : Sim.Engine.timer)
     end
 
@@ -224,4 +239,8 @@ let create config net ~id ?(on_observe = fun _ -> ())
   in
   t.replica <- Some replica;
   Sim.Network.register net ~id (fun ~src body -> on_message t ~src body);
+  (* A gossiped batch exists only in its origin's mempool until the
+     broadcast goes out, so a crashed node must hold its transactions
+     and flush them on recovery rather than propose into the void. *)
+  Sim.Network.on_recover net ~id (fun () -> maybe_propose t);
   t

@@ -6,6 +6,7 @@ type t = {
   accepted : (Types.iid, int) Hashtbl.t;
   mutable pending_commit : (int * Types.iid) list;  (** ascending (seq, iid) *)
   mutable committed_value : int;
+  mutable taken_upto : int;  (** max seq actually appended to the log *)
   mutable all_leaves : string list;  (** reversed commit-order digests *)
   mutable leaf_count : int;
   mutable root_cache : string option;  (** invalidated when leaves change *)
@@ -24,6 +25,7 @@ let create ~n ~f =
     accepted = Hashtbl.create 64;
     pending_commit = [];
     committed_value = 0;
+    taken_upto = 0;
     all_leaves = [];
     leaf_count = 0;
     root_cache = None;
@@ -108,12 +110,38 @@ let take_committable t =
       let leaf =
         Printf.sprintf "%d.%d.%d" iid.Types.proposer iid.Types.index seq
       in
+      t.taken_upto <- max t.taken_upto seq;
       t.all_leaves <- leaf :: t.all_leaves;
       t.leaf_count <- t.leaf_count + 1;
       t.root_cache <- None;
       t.version <- t.version + 1)
     taken;
   taken
+
+let note_committed t iid ~seq =
+  let was_accepted = Hashtbl.mem t.accepted iid in
+  let in_pending =
+    List.exists (fun (_, i) -> Types.iid_equal i iid) t.pending_commit
+  in
+  (* Append the leaf only if [take_committable] has not already done so
+     for this entry (accepted and no longer pending = already taken). *)
+  if (not was_accepted) || in_pending then begin
+    if not was_accepted then Hashtbl.replace t.accepted iid seq;
+    if in_pending then
+      t.pending_commit <-
+        List.filter (fun (_, i) -> not (Types.iid_equal i iid)) t.pending_commit;
+    let leaf =
+      Printf.sprintf "%d.%d.%d" iid.Types.proposer iid.Types.index seq
+    in
+    t.all_leaves <- leaf :: t.all_leaves;
+    t.leaf_count <- t.leaf_count + 1;
+    t.root_cache <- None;
+    t.version <- t.version + 1
+  end;
+  t.taken_upto <- max t.taken_upto seq;
+  t.committed_value <- max t.committed_value seq
+
+let taken_upto t = t.taken_upto
 
 let accepted_recent t = List.map (fun (seq, iid) -> (iid, seq)) t.pending_commit
 

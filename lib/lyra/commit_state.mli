@@ -39,6 +39,21 @@ val committed : t -> int
     passed. *)
 val take_committable : t -> (Types.iid * int) list
 
+(** Highest sequence number actually appended to the local log (by
+    {!take_committable} or {!note_committed}). Lags {!committed} while
+    a pending entry blocks takes — the reference point for deciding
+    whether a late decision really arrived after its place in the log
+    was given away. *)
+val taken_upto : t -> int
+
+(** [note_committed t iid ~seq] records an entry learned through an
+    output-log sync rather than a local decision: it enters the
+    accepted set directly as committed (bypassing [pending_commit]) and
+    advances the committed boundary to at least [seq], so a later local
+    decision for an already-synced instance cannot re-commit it.
+    Idempotent against both prior syncs and prior local commits. *)
+val note_committed : t -> Types.iid -> seq:int -> unit
+
 (** Accepted entries not yet committed, for status gossip (the recent
     window of A; older prefixes are summarized by {!accepted_root}). *)
 val accepted_recent : t -> (Types.iid * int) list

@@ -15,6 +15,11 @@ type t = {
   tx_size : int;
   clock_offset_max_us : int;
   future_bound_us : int;
+  sync_patience_us : int;
+  sync_batch : int;
+  isolation_gap_us : int;
+  retransmit_after_us : int;
+  retransmit_interval_us : int;
 }
 
 let default ~n =
@@ -35,6 +40,11 @@ let default ~n =
     tx_size = 32;
     clock_offset_max_us = 2_000;
     future_bound_us = 1_000_000;
+    sync_patience_us = 1_000_000;
+    sync_batch = 64;
+    isolation_gap_us = 250_000;
+    retransmit_after_us = 2_000_000;
+    retransmit_interval_us = 500_000;
   }
 
 let l_us t = 3 * t.delta_us

@@ -18,6 +18,22 @@ type t = {
   clock_offset_max_us : int;  (** spread of unsynchronized node clocks *)
   future_bound_us : int;  (** reject requested seqs this far in the future
                               (§VI-D memory-exhaustion mitigation) *)
+  sync_patience_us : int;
+      (** lag (vs the f+1-th highest peer output count) with no local
+          progress for this long triggers an output-log sync pull;
+          generous enough that healthy commit gaps never trip it *)
+  sync_batch : int;  (** max entries per [Sync_resp] *)
+  isolation_gap_us : int;
+      (** a node that has not heard from a quorum within this window
+          was cut off (crash or minority partition); it enters a
+          probation in which any observed lag starts a sync pull
+          immediately, before a stale commit boundary can emit
+          out-of-order. Healthy heartbeats arrive every 25 ms, so the
+          default (250 ms) never trips on a live cluster *)
+  retransmit_after_us : int;
+      (** instances still undecided after this long get a periodic
+          [Nudge] + state rebroadcast (lossy-link repair) *)
+  retransmit_interval_us : int;  (** sweep period for the above *)
 }
 
 (** [default ~n] — paper defaults: λ = 5 ms, Δ = 160 ms, batch 800. *)

@@ -52,9 +52,12 @@ type t = {
   mutable vote0_count : int;
   mutable sent_vote1 : bool;
   mutable sent_vote0 : bool;
+  mutable voted_digest : string option;  (** digest our Vote_one endorsed *)
   mutable delivered1 : bool;
   mutable delivered0 : bool;
   mutable deliver_sent : bool;
+  mutable deliver_proof : Crypto.Threshold.combined option;
+      (** kept for lossy-link retransmission ({!poke}) *)
   mutable expire_started : bool;
   (* --- DBFT rounds --- *)
   rounds : (int, round_state) Hashtbl.t;
@@ -78,9 +81,11 @@ let create env iid =
     vote0_count = 0;
     sent_vote1 = false;
     sent_vote0 = false;
+    voted_digest = None;
     delivered1 = false;
     delivered0 = false;
     deliver_sent = false;
+    deliver_proof = None;
     expire_started = false;
     rounds = Hashtbl.create 4;
     current = 1;
@@ -292,6 +297,7 @@ let vote_bucket t digest =
 let deliver_one t proof =
   if not t.delivered1 then begin
     t.delivered1 <- true;
+    t.deliver_proof <- proof;
     (match (t.proposal, t.deliver_sent) with
     | Some proposal, false ->
         t.deliver_sent <- true;
@@ -335,6 +341,7 @@ let on_init t ~src proposal sigma =
     if valid && not t.sent_vote1 then begin
       t.sent_vote1 <- true;
       let digest = Types.proposal_digest proposal in
+      t.voted_digest <- Some digest;
       let share = t.env.make_vote_share ~digest in
       t.env.broadcast
         (Types.Vote
@@ -439,6 +446,78 @@ let on_aux t ~src ~round ~values =
       rs.aux.(src) <- Some values;
       try_advance t round
     end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lossy-link repair.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-broadcast every message this process has already contributed to
+   the still-undecided protocol state. All receiver paths deduplicate
+   by sender (vote buckets, BV echo sets, AUX slots), so retransmission
+   is idempotent: it only matters to peers whose first copy a lossy
+   link dropped. Never called on a healthy run (the sweep only fires
+   for instances undecided past the retransmission patience). *)
+let poke t =
+  if t.started && not t.halted then begin
+    (if t.delivered1 then begin
+       match t.proposal with
+       | Some proposal when t.deliver_sent ->
+           t.env.broadcast
+             (Types.Deliver { iid = t.iid; proposal; proof = t.deliver_proof })
+       | _ -> ()
+     end
+     else begin
+       (match (t.voted_digest, t.seq_obs) with
+       | Some digest, Some seq_obs when t.sent_vote1 ->
+           let share = t.env.make_vote_share ~digest in
+           t.env.broadcast
+             (Types.Vote
+                { iid = t.iid; vote = Types.Vote_one { digest; share; seq_obs } })
+       | _ -> ());
+       if t.sent_vote0 then begin
+         let seq_obs =
+           match t.seq_obs with Some s -> s | None -> t.env.clock_read ()
+         in
+         t.env.broadcast
+           (Types.Vote { iid = t.iid; vote = Types.Vote_zero { seq_obs } })
+       end
+     end);
+    let r = t.current in
+    (if r >= 2 then
+       let proposal = if t.est = 1 then t.proposal else None in
+       t.env.broadcast
+         (Types.Est { iid = t.iid; round = r; value = t.est; proposal }));
+    let rs = round_state t r in
+    (if rs.coord_sent then
+       match bin_values t r with
+       | w :: _ ->
+           t.env.broadcast (Types.Coord { iid = t.iid; round = r; value = w })
+       | [] -> ());
+    if rs.aux_sent then begin
+      let bin = bin_values t r in
+      let e =
+        match rs.coord_value with
+        | Some c when bin_has t r c -> [ c ]
+        | Some _ | None -> bin
+      in
+      if e <> [] then
+        t.env.broadcast (Types.Aux { iid = t.iid; round = r; values = e })
+    end
+  end
+
+(* Adopt a decision learned outside the instance's own message flow:
+   either f+1 matching Decided notices, or an output-log sync that
+   proves the cluster committed (value 1) this instance. *)
+let force_decide t ~value proposal =
+  if t.decided = None then begin
+    (match proposal with
+    | Some _ when t.proposal = None -> t.proposal <- proposal
+    | _ -> ());
+    t.decided <- Some value;
+    t.decision_round <- Some t.current;
+    t.halted <- true;
+    t.env.on_decide ~value ~round:t.current proposal
   end
 
 let debug_state t =

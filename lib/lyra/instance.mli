@@ -90,5 +90,19 @@ val seq_obs : t -> int option
 
 val halted : t -> bool
 
+(** Lossy-link repair. *)
+
+(** [poke t] re-broadcasts every message this process already
+    contributed (round-1 vote, DELIVER certificate, current-round
+    EST/COORD/AUX). Receivers deduplicate by sender, so this is
+    idempotent; it only has an effect on peers whose first copy was
+    dropped. No-op once decided-and-halted. *)
+val poke : t -> unit
+
+(** [force_decide t ~value proposal] adopts a decision learned out of
+    band (f+1 Decided notices, or a committed-log sync). Fires
+    [on_decide] exactly once; no-op if already decided. *)
+val force_decide : t -> value:int -> Types.proposal option -> unit
+
 (** One-line internal state dump for debugging stalled instances. *)
 val debug_state : t -> string

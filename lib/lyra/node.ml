@@ -2,7 +2,23 @@ type output = { batch : Types.batch; seq : int; output_at : int }
 
 type pending_kind = Validated | External
 
-type pending_entry = { p_seq : int; kind : pending_kind; added_at : int }
+type pending_entry = {
+  p_seq : int;
+  kind : pending_kind;
+  added_at : int;
+  mutable nudged_at : int;  (** last active-repair Nudge for it *)
+}
+
+(* Who has ever gossiped an instance as accepted. Kept outside
+   [pending_entry] so corroboration accumulates across an entry's
+   expiry and re-creation: a claim whose second witness is behind a
+   partition must still corroborate once the partition heals, even if
+   the pending entry lapsed in between. *)
+type claim = {
+  cl_peers : bool array;  (** distinct claiming peers, over all time *)
+  mutable cl_count : int;
+  mutable cl_lapsed : bool;  (** expired uncorroborated at least once *)
+}
 
 type reveal_state = {
   senders : bool array;
@@ -14,6 +30,15 @@ type commit_record = {
   c_batch : Types.batch;
   c_seq : int;
   mutable emitted : bool;
+}
+
+(* Tally of Decided notices for an instance this node has not decided
+   itself; adopted once f+1 distinct senders agree on the value. *)
+type decided_tally = {
+  d_senders : bool array;
+  mutable d_ones : int;
+  mutable d_zeros : int;
+  mutable d_prop : Types.proposal option;
 }
 
 type t = {
@@ -33,6 +58,7 @@ type t = {
   instances : (Types.iid, Instance.t) Hashtbl.t;
   own_sref : (int, int) Hashtbl.t;  (** proposal index → s_ref *)
   pending : (Types.iid, pending_entry) Hashtbl.t;
+  claims : (Types.iid, claim) Hashtbl.t;  (** gossip witnesses per instance *)
   shares_held : (Types.iid, Crypto.Vss.decryption_share) Hashtbl.t;
   reveals : (Types.iid, reveal_state) Hashtbl.t;
   records : (Types.iid, commit_record) Hashtbl.t;
@@ -49,7 +75,17 @@ type t = {
   mutable min_pending_dirty : bool;
   mutable min_pending_cache : int;
   mutable gossip_cache : (int * (Types.iid * int) list * string) option;
-  peer_versions : int array;
+  peer_committed : int array;  (** emitted-output counts claimed in statuses *)
+  last_rx : int array;  (** per-peer time of last received message *)
+  mutable probation_until : int;  (** heightened lag sensitivity window *)
+  mutable sync_active : bool;  (** output emission paused, pulling the log *)
+  mutable sync_req_at : int;
+  mutable lag_since : (int * int) option;  (** (since_us, output_count then) *)
+  mutable synced_entries : int;
+  mutable syncs_started : int;
+  decided_votes : (Types.iid, decided_tally) Hashtbl.t;
+  inst_created : (Types.iid, int) Hashtbl.t;  (** engine time of first contact *)
+  mutable retransmits : int;
   mutable late_accepts : int;
   mutable own_accepted : int;
   mutable own_rejected : int;
@@ -73,6 +109,12 @@ let pending_count t = Hashtbl.length t.pending
 let mempool_size t = t.mempool_count
 
 let late_accepts t = t.late_accepts
+
+let synced_entries t = t.synced_entries
+
+let syncs_started t = t.syncs_started
+
+let retransmits t = t.retransmits
 
 let decide_rounds t = t.decide_rounds
 
@@ -139,6 +181,7 @@ let build_status ?(full = false) t : Types.status =
     {
       locked_upto = 0;
       min_pending = 0;
+      committed = 0;
       accepted_recent = [];
       accepted_root = "";
       version = 0;
@@ -148,6 +191,7 @@ let build_status ?(full = false) t : Types.status =
     {
       locked_upto = Ordering_clock.peek t.clock - Config.l_us t.config;
       min_pending = min_pending_value t;
+      committed = t.output_count;
       accepted_recent = recent;
       accepted_root = root;
       version;
@@ -156,6 +200,7 @@ let build_status ?(full = false) t : Types.status =
     {
       locked_upto = Ordering_clock.peek t.clock - Config.l_us t.config;
       min_pending = min_pending_value t;
+      committed = t.output_count;
       accepted_recent = [];
       accepted_root = "";
       version = 0 (* scalar-only status: gossip not re-sent *);
@@ -187,8 +232,13 @@ let reveal_complete t iid =
   | Some r -> r.count >= supermajority t
 
 (* Emit revealed batches in commit order only: the head of the outbox
-   must be decryptable before anything behind it is output. *)
+   must be decryptable before anything behind it is output. While an
+   output-log sync is in flight, emission pauses entirely: entries
+   committed elsewhere during our outage must surface before anything
+   we commit locally, or the prefix diverges. *)
 let rec drain_outbox t =
+  if t.sync_active then ()
+  else
   match Queue.peek_opt t.outbox with
   | None -> ()
   | Some iid -> (
@@ -259,18 +309,56 @@ let pending_blocks_commit t boundary =
   let expiry = 2 * Config.l_us t.config in
   let blocking = ref false in
   let expired = ref [] in
+  let nudge_if_due iid e =
+    if
+      now - e.added_at > Config.l_us t.config
+      && now - e.nudged_at > t.config.retransmit_interval_us
+      && not (Sim.Network.is_crashed t.net t.id)
+    then begin
+      e.nudged_at <- now;
+      t.retransmits <- t.retransmits + 1;
+      broadcast_body t (Types.Nudge { iid })
+    end
+  in
   List.iter
     (fun (iid, e) ->
       if e.p_seq <= boundary then
         match e.kind with
         | Validated -> blocking := true
         | External ->
-            (* A gossiped instance we never decided locally. Any truly
-               accepted transaction generates VVB traffic that reaches
-               us within the window, so stale claims (e.g. from a
-               Byzantine gossiper) are dropped after 2L. *)
-            if now - e.added_at > expiry then expired := iid :: !expired
-            else blocking := true)
+            (* A gossiped instance we never decided locally. When the
+               claim is corroborated (f+1 distinct witnesses over all
+               time include a correct node; a local instance means we
+               saw real VVB traffic) the entry is genuinely accepted
+               somewhere and skipping it would fork the log — e.g. we
+               were crashed or partitioned through its whole exchange.
+               Those block for as long as it takes and are actively
+               repaired with a Nudge pull (peers answer Decided; f+1
+               notices settle it). Only uncorroborated claims — a
+               Byzantine gossiper inventing entries to stall the
+               prefix — expire, after 2L; they are nudged too, since
+               an honest answer both corroborates (the notice creates
+               a local instance) and progresses the repair. *)
+            let corroborated =
+              Hashtbl.mem t.instances iid
+              || (match Hashtbl.find_opt t.claims iid with
+                 | Some c -> c.cl_count > Config.f t.config
+                 | None -> false)
+            in
+            if corroborated then begin
+              blocking := true;
+              nudge_if_due iid e
+            end
+            else if now - e.added_at > expiry then begin
+              (match Hashtbl.find_opt t.claims iid with
+              | Some c -> c.cl_lapsed <- true
+              | None -> ());
+              expired := iid :: !expired
+            end
+            else begin
+              blocking := true;
+              nudge_if_due iid e
+            end)
     (Sim.Det.sorted_bindings ~cmp:Types.iid_compare t.pending);
   if !expired <> [] then t.min_pending_dirty <- true;
   List.iter (Hashtbl.remove t.pending) !expired;
@@ -284,6 +372,9 @@ let try_commit t =
       (fun (iid, seq) ->
         match Hashtbl.find_opt t.instances iid with
         | None -> ()
+        (* A record can already exist when the entry arrived through an
+           output-log sync; it was emitted there — don't re-queue it. *)
+        | Some _ when Hashtbl.mem t.records iid -> ()
         | Some inst -> (
             match Instance.proposal inst with
             | None -> ()
@@ -357,6 +448,7 @@ let validate t (proposal : Types.proposal) ~seq_obs =
             p_seq = s;
             kind = Validated;
             added_at = Sim.Engine.now t.engine;
+            nudged_at = 0;
           })
   end;
   ok
@@ -376,6 +468,9 @@ let on_decide t iid ~value ~round proposal =
       Hashtbl.remove t.pending iid;
       t.min_pending_dirty <- true
   | None -> ());
+  (* The local decision settles the instance for good; gossip witness
+     bookkeeping for it is no longer needed. *)
+  Hashtbl.remove t.claims iid;
   t.decide_rounds |> fun r -> Metrics.Recorder.record r (float_of_int round);
   (if Int.equal iid.Types.proposer t.id then begin
      t.inflight <- max 0 (t.inflight - 1);
@@ -411,9 +506,19 @@ let on_decide t iid ~value ~round proposal =
            Types.requested_seq ~n:t.config.n ~f:(f t) p.Types.st
          with
          | Some seq ->
-             if seq <= Commit_state.committed t.commit then
-               t.late_accepts <- t.late_accepts + 1;
-             Commit_state.add_accepted t.commit iid ~seq
+             (* A decision for an entry already learned through the
+                committed-log sync is a replay, not a late accept: the
+                entry sits at its canonical position already. A late
+                decision is only dangerous once the local log has
+                *emitted* past its seq — the commit *boundary* may run
+                ahead of emission while a blocked pending entry (being
+                repaired by the Nudge pull) holds takes back, and that
+                is the repair working, not a violation. *)
+             if not (Commit_state.is_accepted t.commit iid) then begin
+               if seq <= Commit_state.taken_upto t.commit then
+                 t.late_accepts <- t.late_accepts + 1;
+               Commit_state.add_accepted t.commit iid ~seq
+             end
          | None -> ())
      | None -> ());
   try_commit t
@@ -497,6 +602,7 @@ let instance_of t iid =
   | None ->
       let inst = Instance.create (make_env t iid) iid in
       Hashtbl.replace t.instances iid inst;
+      Hashtbl.replace t.inst_created iid (Sim.Engine.now t.engine);
       inst
 
 (* ------------------------------------------------------------------ *)
@@ -584,7 +690,11 @@ let propose_batch t txs =
   end
 
 let rec maybe_propose t =
-  if t.started && t.inflight < t.config.max_inflight then begin
+  if
+    t.started
+    && (not (Sim.Network.is_crashed t.net t.id))
+    && t.inflight < t.config.max_inflight
+  then begin
     if t.mempool_count >= t.config.batch_size then begin
       let txs = List.rev t.mempool in
       let rec split k acc rest =
@@ -606,7 +716,12 @@ let rec maybe_propose t =
         (Sim.Engine.schedule t.engine ~delay:t.config.batch_timeout_us
            (fun () ->
              t.batch_timer_armed <- false;
-             if t.mempool_count > 0 && t.inflight < t.config.max_inflight
+             (* A crashed node holds its transactions; the recovery
+                hook re-enters maybe_propose. *)
+             if
+               t.mempool_count > 0
+               && t.inflight < t.config.max_inflight
+               && not (Sim.Network.is_crashed t.net t.id)
              then begin
                let txs = List.rev t.mempool in
                t.mempool <- [];
@@ -641,41 +756,328 @@ let submit t ~payload =
   tx.Types.tx_id
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery: output-log sync.                                    *)
+(*                                                                     *)
+(* A node that was crashed (or starved by a lossy link) misses both    *)
+(* the BOC traffic of instances decided in its absence and the Reveal  *)
+(* shares of entries committed then — neither is retransmitted by the  *)
+(* steady-state protocol, because statuses only gossip *pending*       *)
+(* entries. The repair is a pull: when the (f+1)-th highest emitted-   *)
+(* output count claimed by peers stays ahead of ours with no local     *)
+(* progress for sync_patience_us, we pause emission and pull the       *)
+(* missing slice of the committed log from a peer that has emitted it. *)
+(* Synced entries bypass the reveal quorum: the serving (correct) peer *)
+(* only serves what it has itself emitted, so the quorum already       *)
+(* formed cluster-wide while we were away.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* At least one of the f+1 highest claims is from a correct process,
+   so the target prefix really exists and can be served. *)
+let sync_target t =
+  let sorted = Array.copy t.peer_committed in
+  sorted.(t.id) <- t.output_count;
+  Array.sort (fun a b -> Int.compare b a) sorted;
+  sorted.(f t)
+
+let send_sync_req t =
+  t.sync_req_at <- Sim.Engine.now t.engine;
+  let target = sync_target t in
+  (* Deterministic choice: lowest-id peer claiming the target prefix. *)
+  let peer = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if !peer < 0 && (not (Int.equal i t.id)) && c >= target then peer := i)
+    t.peer_committed;
+  if !peer >= 0 then
+    send_body t ~dst:!peer (Types.Sync_req { from_count = t.output_count })
+
+(* Heartbeat-driven lag watchdog. Transient lag is normal (peers emit a
+   few hundred µs apart), so sync only starts when the lag persists
+   with zero local progress for the whole patience window — a healthy
+   node always emits again long before that. *)
+let sync_tick t =
+  if not (Sim.Network.is_crashed t.net t.id) then begin
+    let now = Sim.Engine.now t.engine in
+    let target = sync_target t in
+    if target <= t.output_count then begin
+      t.lag_since <- None;
+      if t.sync_active then begin
+        t.sync_active <- false;
+        drain_outbox t
+      end
+    end
+    else if t.sync_active then begin
+      (* Pull in flight; re-request if the response itself was lost. *)
+      if now - t.sync_req_at > 2 * t.config.delta_us then send_sync_req t
+    end
+    else
+      match t.lag_since with
+      | Some (since, count) when Int.equal count t.output_count ->
+          if now - since > t.config.sync_patience_us then begin
+            t.sync_active <- true;
+            t.syncs_started <- t.syncs_started + 1;
+            send_sync_req t
+          end
+      | _ -> t.lag_since <- Some (now, t.output_count)
+  end
+
+let on_sync_req t ~src ~from_count =
+  if from_count >= 0 && from_count < t.output_count then begin
+    let upto = min t.output_count (from_count + t.config.sync_batch) in
+    (* outputs_rev is newest first; walk down collecting the slice
+       [from_count, upto) in ascending order. *)
+    let rec collect acc idx = function
+      | [] -> acc
+      | (o : output) :: rest ->
+          if idx < from_count then acc
+          else
+            let acc = if idx < upto then (o.batch, o.seq) :: acc else acc in
+            collect acc (idx - 1) rest
+    in
+    let entries = collect [] (t.output_count - 1) t.outputs_rev in
+    send_body t ~dst:src
+      (Types.Sync_resp { from_count; upto = t.output_count; entries })
+  end
+
+let on_sync_resp t ~src:_ ~from_count ~upto entries =
+  (* Apply only an exactly-contiguous slice; anything else is stale
+     (an earlier duplicate request) and a fresh pull will follow. *)
+  if t.sync_active && Int.equal from_count t.output_count then begin
+    let ok = ref true in
+    List.iter
+      (fun ((batch : Types.batch), seq) ->
+        if !ok then begin
+          let iid = batch.Types.iid in
+          match Hashtbl.find_opt t.records iid with
+          | Some r when r.emitted ->
+              (* Responder's log diverges from ours — Byzantine server.
+                 Abort; the next tick re-pulls from another peer. *)
+              ok := false
+          | existing ->
+              Commit_state.note_committed t.commit iid ~seq;
+              Hashtbl.remove t.claims iid;
+              (if Hashtbl.mem t.pending iid then begin
+                 Hashtbl.remove t.pending iid;
+                 t.min_pending_dirty <- true
+               end);
+              (match existing with
+              | Some r -> r.emitted <- true
+              | None ->
+                  Hashtbl.replace t.records iid
+                    { c_batch = batch; c_seq = seq; emitted = true });
+              (* Settle the local instance if it is still undecided, so
+                 the retransmission sweep stops nudging for it and an
+                 own proposal releases its inflight slot. *)
+              (match Hashtbl.find_opt t.instances iid with
+              | Some inst when Instance.decided inst = None ->
+                  Instance.force_decide inst ~value:1 (Instance.proposal inst)
+              | _ -> ());
+              t.synced_entries <- t.synced_entries + 1;
+              let out =
+                { batch; seq; output_at = Sim.Engine.now t.engine }
+              in
+              t.outputs_rev <- out :: t.outputs_rev;
+              t.output_count <- t.output_count + 1;
+              t.on_output out
+        end)
+      entries;
+    if t.output_count >= upto then begin
+      (* Responder exhausted; if another peer is still ahead the next
+         heartbeat tick restarts the pull. *)
+      t.sync_active <- false;
+      try_commit t;
+      drain_outbox t;
+      maybe_propose t
+    end
+    else if !ok then send_sync_req t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lossy-link repair: nudges and decision notices.                     *)
+(* ------------------------------------------------------------------ *)
+
+let on_nudge t ~src iid =
+  match Hashtbl.find_opt t.instances iid with
+  | None -> ()
+  | Some inst -> (
+      match Instance.decided inst with
+      | Some value ->
+          let proposal = if value = 1 then Instance.proposal inst else None in
+          send_body t ~dst:src (Types.Decided { iid; value; proposal })
+      | None ->
+          (* Both stuck: re-offer our contribution so quorums re-form. *)
+          Instance.poke inst)
+
+let on_decided t ~src iid ~value proposal =
+  if value = 0 || value = 1 then begin
+    let inst = instance_of t iid in
+    if Instance.decided inst = None then begin
+      let tally =
+        match Hashtbl.find_opt t.decided_votes iid with
+        | Some d -> d
+        | None ->
+            let d =
+              {
+                d_senders = Array.make t.config.n false;
+                d_ones = 0;
+                d_zeros = 0;
+                d_prop = None;
+              }
+            in
+            Hashtbl.replace t.decided_votes iid d;
+            d
+      in
+      if not tally.d_senders.(src) then begin
+        tally.d_senders.(src) <- true;
+        if value = 1 then begin
+          tally.d_ones <- tally.d_ones + 1;
+          if tally.d_prop = None then tally.d_prop <- proposal
+        end
+        else tally.d_zeros <- tally.d_zeros + 1;
+        (* f+1 matching notices contain at least one correct sender. *)
+        let bar = f t + 1 in
+        if tally.d_ones >= bar then begin
+          Hashtbl.remove t.decided_votes iid;
+          let p =
+            match tally.d_prop with
+            | Some _ as p -> p
+            | None -> Instance.proposal inst
+          in
+          Instance.force_decide inst ~value:1 p
+        end
+        else if tally.d_zeros >= bar then begin
+          Hashtbl.remove t.decided_votes iid;
+          Instance.force_decide inst ~value:0 None
+        end
+      end
+    end
+  end
+
+(* Periodic sweep: any instance still undecided past the patience gets
+   its state re-broadcast plus a Nudge pulling peers' state. On healthy
+   runs every instance decides well inside the patience, so the sweep
+   sends nothing and the goldens are untouched. *)
+let rec retransmit_loop t =
+  (if not (Sim.Network.is_crashed t.net t.id) then begin
+     let now = Sim.Engine.now t.engine in
+     List.iter
+       (fun (iid, inst) ->
+         if Instance.decided inst = None && not (Instance.halted inst) then
+           match Hashtbl.find_opt t.inst_created iid with
+           | Some at when now - at > t.config.retransmit_after_us ->
+               t.retransmits <- t.retransmits + 1;
+               Instance.poke inst;
+               broadcast_body t (Types.Nudge { iid })
+           | _ -> ())
+       (Sim.Det.sorted_bindings ~cmp:Types.iid_compare t.instances)
+   end);
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.config.retransmit_interval_us
+       (fun () -> retransmit_loop t)
+      : Sim.Engine.timer)
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let absorb_status t ~src (status : Types.status) =
   Commit_state.peer_status t.commit ~peer:src ~locked:status.locked_upto
     ~min_pending:status.min_pending;
-  (* Gossip re-processing is skipped while the sender's accepted set is
-     unchanged; commits are attempted from decisions and the heartbeat
-     tick rather than on every message. *)
-  if status.version > t.peer_versions.(src) then begin
-    t.peer_versions.(src) <- status.version;
-    List.iter
-      (fun (iid, seq) ->
-        if not (Commit_state.is_accepted t.commit iid) then begin
-          let inst = Hashtbl.find_opt t.instances iid in
+  (* Monotone: reordered deliveries must not shrink a peer's claim. *)
+  if status.committed > t.peer_committed.(src) then
+    t.peer_committed.(src) <- status.committed;
+  (* Gossip is processed on every status, not only when the sender's
+     version bumps: a peer rejoining from a partition re-announces an
+     unchanged accepted set, and that re-announcement may be exactly
+     the corroborating witness (or re-creation trigger) for an entry
+     whose pending record lapsed in the meantime. Commits are still
+     attempted from decisions and the heartbeat tick rather than on
+     every message. *)
+  List.iter
+    (fun (iid, seq) ->
+      if not (Commit_state.is_accepted t.commit iid) then begin
+        (* Corroboration: record every distinct peer that ever claimed
+           this entry accepted; f+1 of them include a correct one. *)
+        let cl =
+          match Hashtbl.find_opt t.claims iid with
+          | Some c -> c
+          | None ->
+              let c =
+                {
+                  cl_peers = Array.make t.config.n false;
+                  cl_count = 0;
+                  cl_lapsed = false;
+                }
+              in
+              Hashtbl.replace t.claims iid c;
+              c
+        in
+        if not cl.cl_peers.(src) then begin
+          cl.cl_peers.(src) <- true;
+          cl.cl_count <- cl.cl_count + 1
+        end;
+        if not (Hashtbl.mem t.pending iid) then begin
           let decided =
-            match inst with
+            match Hashtbl.find_opt t.instances iid with
             | Some i -> Instance.decided i <> None
             | None -> false
           in
-          if (not decided) && not (Hashtbl.mem t.pending iid) then begin
+          (* A claim that already expired once is only re-admitted when
+             corroborated — a lone Byzantine gossiper can stall the
+             prefix for at most one 2L window per invented entry. *)
+          if
+            (not decided)
+            && ((not cl.cl_lapsed) || cl.cl_count > Config.f t.config)
+          then begin
             t.min_pending_dirty <- true;
             Hashtbl.replace t.pending iid
               {
                 p_seq = seq;
                 kind = External;
                 added_at = Sim.Engine.now t.engine;
+                nudged_at = 0;
               }
           end
-        end)
-      status.accepted_recent
-  end
+        end
+      end)
+    status.accepted_recent
+
+(* Isolation probation. A node cut off from a quorum (crash, minority
+   partition) may hold a stale view of the committed log: entries that
+   completed in its absence were never gossiped to it (statuses only
+   carry *pending* entries). Once reconnected, fresh statuses can
+   advance its commit boundary past those missed entries and it would
+   emit the log out of order — and the patience-based watchdog is too
+   slow to stop that. So: whenever fewer than a quorum of peers have
+   been heard within isolation_gap_us, open a probation window in which
+   any observed lag starts the sync pull immediately. This always wins
+   the race with a bad emission, because advancing the boundary needs
+   fresh statuses from 2f+1 peers while spotting the lag needs only
+   f+1 — and both ride the same messages. Outages shorter than the gap
+   cannot hide a full commit (the commit pipeline alone takes longer),
+   so the window misses nothing. On healthy runs every peer heartbeats
+   every 25 ms and the quorum check never fails. *)
+let isolation_check t ~src ~now =
+  t.last_rx.(src) <- now;
+  let heard = ref 0 in
+  Array.iteri
+    (fun i at ->
+      if Int.equal i t.id || now - at <= t.config.isolation_gap_us then
+        incr heard)
+    t.last_rx;
+  if !heard < Config.quorum t.config then
+    t.probation_until <- now + t.config.isolation_gap_us
 
 let on_message t ~src (msg : Types.msg) =
+  let now = Sim.Engine.now t.engine in
+  isolation_check t ~src ~now;
   absorb_status t ~src msg.status;
+  (if (not t.sync_active) && now <= t.probation_until
+      && sync_target t > t.output_count then begin
+     t.sync_active <- true;
+     t.syncs_started <- t.syncs_started + 1;
+     send_sync_req t
+   end);
   match msg.body with
   | Types.Init { proposal; share; sigma } ->
       (match share with
@@ -696,6 +1098,12 @@ let on_message t ~src (msg : Types.msg) =
       Instance.on_aux (instance_of t iid) ~src ~round ~values
   | Types.Reveal { iid; share } -> on_reveal t ~src iid share
   | Types.Heartbeat -> try_commit t
+  | Types.Nudge { iid } -> on_nudge t ~src iid
+  | Types.Decided { iid; value; proposal } ->
+      on_decided t ~src iid ~value proposal
+  | Types.Sync_req { from_count } -> on_sync_req t ~src ~from_count
+  | Types.Sync_resp { from_count; upto; entries } ->
+      on_sync_resp t ~src ~from_count ~upto entries
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle.                                                          *)
@@ -703,8 +1111,13 @@ let on_message t ~src (msg : Types.msg) =
 
 let rec heartbeat_loop t =
   try_commit t;
-  Sim.Network.broadcast t.net ~src:t.id
-    { status = build_status ~full:true t; body = Types.Heartbeat };
+  sync_tick t;
+  (* The loop keeps ticking through a crash (local state survives; the
+     network layer swallows traffic), but skip the broadcast so the
+     send counters reflect reality. *)
+  if not (Sim.Network.is_crashed t.net t.id) then
+    Sim.Network.broadcast t.net ~src:t.id
+      { status = build_status ~full:true t; body = Types.Heartbeat };
   ignore
     (Sim.Engine.schedule t.engine ~delay:t.config.status_interval_us (fun () ->
          heartbeat_loop t)
@@ -719,7 +1132,9 @@ let warmup t =
     ignore
       (Sim.Engine.schedule t.engine
          ~delay:((k * t.config.warmup_spacing_us) + jitter)
-         (fun () -> propose_batch t (fresh_txs t 1))
+         (fun () ->
+           if not (Sim.Network.is_crashed t.net t.id) then
+             propose_batch t (fresh_txs t 1))
         : Sim.Engine.timer)
   done
 
@@ -737,6 +1152,7 @@ let start t =
     | Some Misbehavior.Silent -> Sim.Network.crash t.net t.id
     | Some (Misbehavior.Flood { batches_per_sec }) ->
         heartbeat_loop t;
+        retransmit_loop t;
         warmup t;
         ignore
           (Sim.Engine.schedule t.engine
@@ -745,6 +1161,7 @@ let start t =
             : Sim.Engine.timer)
     | _ ->
         heartbeat_loop t;
+        retransmit_loop t;
         warmup t
   end
 
@@ -773,6 +1190,7 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       instances = Hashtbl.create 64;
       own_sref = Hashtbl.create 16;
       pending = Hashtbl.create 32;
+      claims = Hashtbl.create 32;
       shares_held = Hashtbl.create 32;
       reveals = Hashtbl.create 32;
       records = Hashtbl.create 32;
@@ -789,7 +1207,17 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       min_pending_dirty = true;
       min_pending_cache = Types.no_pending;
       gossip_cache = None;
-      peer_versions = Array.make config.Config.n (-1);
+      peer_committed = Array.make config.Config.n 0;
+      last_rx = Array.make config.Config.n 0;
+      probation_until = 0;
+      sync_active = false;
+      sync_req_at = 0;
+      lag_since = None;
+      synced_entries = 0;
+      syncs_started = 0;
+      decided_votes = Hashtbl.create 8;
+      inst_created = Hashtbl.create 64;
+      retransmits = 0;
       late_accepts = 0;
       own_accepted = 0;
       own_rejected = 0;
@@ -799,6 +1227,13 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
     }
   in
   Sim.Network.register net ~id (fun ~src msg -> on_message t ~src msg);
+  (* Batches held in the mempool during a crash flow again on recovery;
+     missed commits are repaired by the sync pull once statuses resume
+     and the lag becomes visible — probation makes that immediate. *)
+  Sim.Network.on_recover net ~id (fun () ->
+      t.probation_until <-
+        Sim.Engine.now engine + config.Config.isolation_gap_us;
+      maybe_propose t);
   t
 
 let undecided t =

@@ -65,6 +65,17 @@ val mempool_size : t -> int
     must stay 0 for SMR-Safety (watched by the test suite). *)
 val late_accepts : t -> int
 
+(** Outputs learned through a committed-log sync (crash recovery /
+    lossy-link repair) rather than a local commit. 0 on healthy runs. *)
+val synced_entries : t -> int
+
+(** Sync pulls initiated. 0 on healthy runs. *)
+val syncs_started : t -> int
+
+(** Undecided-instance retransmission sweeps that fired (Nudge + state
+    rebroadcast). 0 on healthy runs. *)
+val retransmits : t -> int
+
 (** Per-decision round numbers (1 = optimal good case). *)
 val decide_rounds : t -> Metrics.Recorder.t
 

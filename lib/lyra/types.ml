@@ -57,6 +57,7 @@ let requested_seq ~n ~f st =
 type status = {
   locked_upto : int;
   min_pending : int;
+  committed : int;
   accepted_recent : (iid * int) list;
   accepted_root : string;
   version : int;
@@ -89,11 +90,17 @@ type body =
   | Aux of { iid : iid; round : int; values : int list }
   | Reveal of { iid : iid; share : Crypto.Vss.decryption_share option }
   | Heartbeat
+  | Nudge of { iid : iid }
+  | Decided of { iid : iid; value : int; proposal : proposal option }
+  | Sync_req of { from_count : int }
+  | Sync_resp of { from_count : int; upto : int; entries : (batch * int) list }
 
 type msg = { status : status; body : body }
 
 let tx_wire_size = 32
 
+(* The [committed] scalar rides in the status header's existing
+   alignment padding, so the modelled wire size is unchanged. *)
 let status_size status = 48 + (24 * List.length status.accepted_recent)
 
 let body_size = function
@@ -109,6 +116,18 @@ let body_size = function
   | Aux { values; _ } -> 40 + (8 * List.length values)
   | Reveal _ -> 88
   | Heartbeat -> 8
+  | Nudge _ -> 16
+  | Decided { proposal; _ } -> (
+      40
+      + match proposal with
+        | None -> 0
+        | Some p ->
+            (tx_wire_size * Array.length p.batch.txs) + (8 * Array.length p.st))
+  | Sync_req _ -> 16
+  | Sync_resp { entries; _ } ->
+      List.fold_left
+        (fun acc (batch, _) -> acc + 48 + (tx_wire_size * Array.length batch.txs))
+        24 entries
 
 let msg_size { status; body } = status_size status + body_size body
 
@@ -128,5 +147,15 @@ let msg_cost (c : Sim.Costs.t) { status; body } =
     | Aux _ -> 2
     | Reveal _ -> c.vss_partial_decrypt / 4 (* share validity check *)
     | Heartbeat -> 1
+    | Nudge _ -> 1 (* table lookup *)
+    | Decided _ -> 2 (* tally update; adopted only after f+1 senders *)
+    | Sync_req _ -> 2 (* output-log slice *)
+    | Sync_resp { entries; _ } ->
+        (* Hash every replayed batch on the way into the local log. *)
+        List.fold_left
+          (fun acc (batch, _) ->
+            let kb = 1 + (tx_wire_size * Array.length batch.txs / 1024) in
+            acc + (c.hash_per_kb * kb))
+          2 entries
   in
   c.msg_overhead + gossip + body_cost

@@ -68,6 +68,8 @@ val requested_seq : n:int -> f:int -> int option array -> int option
 type status = {
   locked_upto : int;  (** local acceptance-window bound seq_i − L *)
   min_pending : int;  (** lowest pending requested seq; [no_pending] if none *)
+  committed : int;  (** emitted-output count; lets a recovering peer
+                        detect how far behind the cluster it is *)
   accepted_recent : (iid * int) list;  (** accepted (instance, seq) pairs *)
   accepted_root : string;  (** Merkle root over the full accepted prefix *)
   version : int;  (** sender's accepted-set version; receivers skip
@@ -106,6 +108,19 @@ type body =
   | Aux of { iid : iid; round : int; values : int list }
   | Reveal of { iid : iid; share : Crypto.Vss.decryption_share option }
   | Heartbeat
+  | Nudge of { iid : iid }
+      (** retransmission pull: the sender is stuck undecided on [iid]
+          after losing messages; receivers re-send what they hold *)
+  | Decided of { iid : iid; value : int; proposal : proposal option }
+      (** decision notice answering a [Nudge]; adopted only once f + 1
+          distinct senders agree, so Byzantine notices cannot forge a
+          decision *)
+  | Sync_req of { from_count : int }
+      (** pull committed outputs starting at log index [from_count]
+          (crash recovery / lossy-link repair) *)
+  | Sync_resp of { from_count : int; upto : int; entries : (batch * int) list }
+      (** contiguous (batch, seq) slice of the responder's emitted log
+          from [from_count]; [upto] is the responder's total count *)
 
 type msg = { status : status; body : body }
 

@@ -13,6 +13,10 @@ type t = {
   real_crypto : bool;
   tx_size : int;
   clock_offset_max_us : int;
+  fetch_base_us : int;  (** first payload-fetch backoff step *)
+  fetch_retry_max : int;  (** payload fetch attempts before giving up *)
+  order_retry_us : int;  (** first Order_req re-broadcast delay *)
+  order_retry_max : int;  (** ordering-phase retries before giving up *)
 }
 
 val default : n:int -> t

@@ -7,6 +7,11 @@ type ts_collect = {
   mutable done_ : bool;
 }
 
+(* Bounded payload-fetch state for a sequenced batch whose Order_req
+   never arrived (satellite of the fault-injection work: the retry loop
+   in [flush_exec] used to spin forever on lossy links). *)
+type fetch_wait = { mutable attempts : int; mutable next_at : int }
+
 type t = {
   config : Config.t;
   id : int;
@@ -23,6 +28,10 @@ type t = {
   batches : (Lyra.Types.iid, Lyra.Types.batch) Hashtbl.t;
   collects : (int, ts_collect) Hashtbl.t;  (** per own proposal index *)
   seqs : (Lyra.Types.iid, int) Hashtbl.t;
+  ts_sent : (Lyra.Types.iid, int) Hashtbl.t;  (** idempotent re-response *)
+  payload_waits : (Lyra.Types.iid, fetch_wait) Hashtbl.t;
+  mutable payload_giveups : int;
+  mutable order_giveups : int;
   mutable exec_buffer : (int * Lyra.Types.iid) list;  (** ascending *)
   mutable max_committed_seq : int;
   mutable outputs_rev : output list;
@@ -48,6 +57,10 @@ let committed_height t =
 
 let mempool_size t = t.mempool_count
 
+let payload_giveups t = t.payload_giveups
+
+let order_giveups t = t.order_giveups
+
 let broadcast t body = Sim.Network.broadcast t.net ~src:t.id body
 
 let send t ~dst body = Sim.Network.send t.net ~src:t.id ~dst body
@@ -62,6 +75,27 @@ let entry_compare (s1, i1) (s2, i2) =
   | 0 -> Lyra.Types.iid_compare i1 i2
   | c -> c
 
+(* Missing payload for a committed batch: pull it from the proposer
+   with exponentially backed-off [Order_fetch]s. Returns [true] once
+   the retry budget is exhausted (the caller gives up on the entry). *)
+let fetch_payload t iid now =
+  match Hashtbl.find_opt t.payload_waits iid with
+  | None ->
+      Hashtbl.replace t.payload_waits iid
+        { attempts = 1; next_at = now + t.config.fetch_base_us };
+      send t ~dst:iid.Lyra.Types.proposer (Types.Order_fetch { iid });
+      false
+  | Some w ->
+      if w.attempts >= t.config.fetch_retry_max then true
+      else begin
+        if now >= w.next_at then begin
+          w.attempts <- w.attempts + 1;
+          w.next_at <- now + (t.config.fetch_base_us lsl min 6 w.attempts);
+          send t ~dst:iid.Lyra.Types.proposer (Types.Order_fetch { iid })
+        end;
+        false
+      end
+
 let flush_exec t =
   (* A batch with sequence number s may only execute once no batch
      with a lower sequence number can still be committed: the newest
@@ -69,29 +103,38 @@ let flush_exec t =
      ordering+consensus window ahead, or (idle fallback) wall-clock
      long past s. This stable wait is intrinsic to Pompē and is part
      of its latency gap versus Lyra (Fig. 2). *)
-  let horizon =
-    max
-      (t.max_committed_seq - t.config.exec_window_us)
-      (Lyra.Ordering_clock.peek t.clock - (16 * t.config.delta_us))
-  in
-  let rec go = function
-    | (seq, iid) :: rest when seq <= horizon -> (
-        match Hashtbl.find_opt t.batches iid with
-        | Some batch ->
-            let out =
-              { batch; seq; output_at = Sim.Engine.now t.engine }
-            in
-            t.outputs_rev <- out :: t.outputs_rev;
-            t.output_n <- t.output_n + 1;
-            t.on_output out;
-            go rest
-        | None ->
-            (* Payload not yet received (Order_req in flight); retry on
-               the next flush. *)
-            (seq, iid) :: rest)
-    | rest -> rest
-  in
-  t.exec_buffer <- go t.exec_buffer
+  if not (Sim.Network.is_crashed t.net t.id) then begin
+    let horizon =
+      max
+        (t.max_committed_seq - t.config.exec_window_us)
+        (Lyra.Ordering_clock.peek t.clock - (16 * t.config.delta_us))
+    in
+    let rec go = function
+      | (seq, iid) :: rest when seq <= horizon -> (
+          match Hashtbl.find_opt t.batches iid with
+          | Some batch ->
+              let out =
+                { batch; seq; output_at = Sim.Engine.now t.engine }
+              in
+              t.outputs_rev <- out :: t.outputs_rev;
+              t.output_n <- t.output_n + 1;
+              t.on_output out;
+              go rest
+          | None ->
+              (* Payload not yet received: fetch it (bounded); on
+                 give-up skip the entry so one unrecoverable payload
+                 cannot stall execution forever — the hole is counted
+                 and visible to the invariant monitor. *)
+              if fetch_payload t iid (Sim.Engine.now t.engine) then begin
+                t.payload_giveups <- t.payload_giveups + 1;
+                Hashtbl.remove t.payload_waits iid;
+                go rest
+              end
+              else (seq, iid) :: rest)
+      | rest -> rest
+    in
+    t.exec_buffer <- go t.exec_buffer
+  end
 
 let on_hotstuff_commit t ~height:_ cmds =
   List.iter
@@ -139,18 +182,40 @@ let submit_cmd t (cmd : Types.cmd) =
 
 let on_order_req t ~src batch =
   let iid = batch.Lyra.Types.iid in
-  if Int.equal iid.Lyra.Types.proposer src && not (Hashtbl.mem t.batches iid) then begin
-    Hashtbl.replace t.batches iid batch;
-    t.on_observe batch;
-    let honest = Lyra.Ordering_clock.read t.clock in
-    (match t.respond_ts batch ~honest with
-    | Some ts -> send t ~dst:src (Types.Ts_resp { iid; ts; sigma = sign_ts t iid ts })
-    | None -> ());
-    flush_exec t
-  end
+  if Int.equal iid.Lyra.Types.proposer src then
+    if not (Hashtbl.mem t.batches iid) then begin
+      Hashtbl.replace t.batches iid batch;
+      Hashtbl.remove t.payload_waits iid;
+      t.on_observe batch;
+      let honest = Lyra.Ordering_clock.read t.clock in
+      (match t.respond_ts batch ~honest with
+      | Some ts ->
+          Hashtbl.replace t.ts_sent iid ts;
+          send t ~dst:src (Types.Ts_resp { iid; ts; sigma = sign_ts t iid ts })
+      | None -> ());
+      flush_exec t
+    end
+    else
+      (* A duplicate Order_req is the proposer retrying because our
+         Ts_resp may have been lost: re-send the original timestamp
+         (the proposer's responder set makes this idempotent). *)
+      match Hashtbl.find_opt t.ts_sent iid with
+      | Some ts ->
+          send t ~dst:src (Types.Ts_resp { iid; ts; sigma = sign_ts t iid ts })
+      | None -> ()
+
+let on_order_fetch t ~src iid =
+  if Int.equal iid.Lyra.Types.proposer t.id then
+    match Hashtbl.find_opt t.batches iid with
+    | Some batch -> send t ~dst:src (Types.Order_req { batch })
+    | None -> ()
 
 let rec maybe_propose t =
-  if t.started && t.inflight < t.config.max_inflight then begin
+  if
+    t.started
+    && (not (Sim.Network.is_crashed t.net t.id))
+    && t.inflight < t.config.max_inflight
+  then begin
     if t.mempool_count >= t.config.batch_size then begin
       let txs = List.rev t.mempool in
       let rec split k acc rest =
@@ -204,7 +269,34 @@ and propose_batch t txs =
       count = 0;
       done_ = false;
     };
-  broadcast t (Types.Order_req { batch })
+  broadcast t (Types.Order_req { batch });
+  arm_order_retry t index batch 1
+
+(* Lost Order_reqs or Ts_resps would strand the collect below 2f+1 and
+   leak the inflight slot forever; re-broadcast with doubling delays
+   (generous enough never to fire on a healthy run), then give up and
+   free the slot. *)
+and arm_order_retry t index batch attempt =
+  let delay = t.config.order_retry_us * (1 lsl min 4 (attempt - 1)) in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun () ->
+         match Hashtbl.find_opt t.collects index with
+         | Some col when not col.done_ ->
+             if attempt >= t.config.order_retry_max then begin
+               col.done_ <- true;
+               t.order_giveups <- t.order_giveups + 1;
+               t.inflight <- max 0 (t.inflight - 1);
+               maybe_propose t
+             end
+             else if Sim.Network.is_crashed t.net t.id then
+               (* Crashed: keep the slot, check again after recovery. *)
+               arm_order_retry t index batch attempt
+             else begin
+               broadcast t (Types.Order_req { batch });
+               arm_order_retry t index batch (attempt + 1)
+             end
+         | _ -> ())
+      : Sim.Engine.timer)
 
 let on_ts_resp t ~src iid ts sigma =
   if Int.equal iid.Lyra.Types.proposer t.id then
@@ -244,6 +336,7 @@ let on_message t ~src body =
   | Types.Order_req { batch } -> on_order_req t ~src batch
   | Types.Ts_resp { iid; ts; sigma } -> on_ts_resp t ~src iid ts sigma
   | Types.Sequenced { iid; seq; proofs } -> on_sequenced t ~src iid seq proofs
+  | Types.Order_fetch { iid } -> on_order_fetch t ~src iid
   | Types.Hs m -> (
       match t.replica with
       | Some r ->
@@ -306,6 +399,10 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       batches = Hashtbl.create 128;
       collects = Hashtbl.create 32;
       seqs = Hashtbl.create 128;
+      ts_sent = Hashtbl.create 128;
+      payload_waits = Hashtbl.create 8;
+      payload_giveups = 0;
+      order_giveups = 0;
       exec_buffer = [];
       max_committed_seq = 0;
       outputs_rev = [];
@@ -338,4 +435,9 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
   in
   t.replica <- Some replica;
   Sim.Network.register net ~id (fun ~src body -> on_message t ~src body);
+  (* Re-enter the pipeline after a planned crash/recovery: flush
+     whatever the mempool accumulated and resume executing. *)
+  Sim.Network.on_recover net ~id (fun () ->
+      maybe_propose t;
+      flush_exec t);
   t

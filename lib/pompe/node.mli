@@ -46,6 +46,15 @@ val sequenced_count : t -> int
 
 val committed_height : t -> int
 
+(** Committed batches skipped because their payload could not be
+    fetched within the retry budget (lossy-link give-ups; 0 on a
+    healthy network). *)
+val payload_giveups : t -> int
+
+(** Own batches abandoned in the ordering phase after exhausting
+    Order_req retries (e.g. the cluster was partitioned away). *)
+val order_giveups : t -> int
+
 val mempool_size : t -> int
 
 val id : t -> int

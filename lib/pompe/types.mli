@@ -39,6 +39,9 @@ type body =
       seq : int;
       proofs : timestamp_proof list;
     }
+  | Order_fetch of { iid : Lyra.Types.iid }
+      (** pull-based payload recovery: ask the proposer to re-send an
+          [Order_req] whose payload a lossy link swallowed *)
   | Hs of cmd Hotstuff.Replica.msg
 
 val msg_size : body -> int

@@ -9,7 +9,11 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
 
     type t = Hotstuff.Smr.t
 
-    let make_net engine ~n ~jitter ?ns_per_byte () =
+    (* HotStuff has no local-clock component, so plan skews have nothing
+       to act on here; the transport still executes the rest of the
+       plan. *)
+    let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
+        ?trace () =
       let cfg = tweak (Hotstuff.Smr.default_config ~n) in
       let regions =
         match regions with
@@ -19,7 +23,7 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?trace
           ~cost:(fun ~dst:_ m -> Hotstuff.Smr.msg_cost costs m)
           ~size:Hotstuff.Smr.msg_size ()
       in
@@ -30,6 +34,10 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
     let net_messages nt = Sim.Network.messages_sent nt.net
 
     let net_bytes nt = Sim.Network.bytes_sent nt.net
+
+    let net_dropped nt = Sim.Network.messages_dropped nt.net
+
+    let net_dup nt = Sim.Network.messages_duplicated nt.net
 
     let convert (o : Hotstuff.Smr.output) =
       {

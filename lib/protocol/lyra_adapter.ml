@@ -6,11 +6,16 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
     (* Distance measurement (§IV-B1) must finish before measuring. *)
     let default_warmup_us = 1_500_000
 
-    type net = { net : Lyra.Types.msg Sim.Network.t; cfg : Lyra.Config.t }
+    type net = {
+      net : Lyra.Types.msg Sim.Network.t;
+      cfg : Lyra.Config.t;
+      faults : Sim.Faults.plan;
+    }
 
     type t = { node : Lyra.Node.t; honest : bool }
 
-    let make_net engine ~n ~jitter ?ns_per_byte () =
+    let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
+        ?trace () =
       let cfg = tweak (Lyra.Config.default ~n) in
       let regions =
         match regions with
@@ -20,17 +25,21 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?trace
           ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost costs m)
           ~size:Lyra.Types.msg_size ()
       in
-      { net; cfg }
+      { net; cfg; faults }
 
     let tx_size nt = nt.cfg.Lyra.Config.tx_size
 
     let net_messages nt = Sim.Network.messages_sent nt.net
 
     let net_bytes nt = Sim.Network.bytes_sent nt.net
+
+    let net_dropped nt = Sim.Network.messages_dropped nt.net
+
+    let net_dup nt = Sim.Network.messages_duplicated nt.net
 
     let convert (o : Lyra.Node.output) =
       {
@@ -42,10 +51,15 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
 
     let create nt ~id ?on_observe ~on_output () =
       let misbehavior = byz id in
+      (* Planned clock skew stacks on the sampled offset: the predictor's
+         distance measurements (§IV-B1) see the skewed clock. *)
+      let skew = Sim.Faults.skew_us nt.faults id in
       let clock_offset_us =
         if clock_offsets then
           let rng = Sim.Engine.rng (Sim.Network.engine nt.net) in
-          Some (Crypto.Rng.int rng (1 + nt.cfg.Lyra.Config.clock_offset_max_us))
+          Some
+            (skew + Crypto.Rng.int rng (1 + nt.cfg.Lyra.Config.clock_offset_max_us))
+        else if not (Int.equal skew 0) then Some skew
         else None
       in
       let node =

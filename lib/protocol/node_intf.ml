@@ -36,13 +36,24 @@ module type NODE = sig
   type t
 
   val make_net :
-    Sim.Engine.t -> n:int -> jitter:float -> ?ns_per_byte:int -> unit -> net
+    Sim.Engine.t ->
+    n:int ->
+    jitter:float ->
+    ?ns_per_byte:int ->
+    ?faults:Sim.Faults.plan ->
+    ?trace:Sim.Trace.t ->
+    unit ->
+    net
 
   val tx_size : net -> int
 
   val net_messages : net -> int
 
   val net_bytes : net -> int
+
+  val net_dropped : net -> int
+
+  val net_dup : net -> int
 
   val create :
     net ->

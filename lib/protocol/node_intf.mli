@@ -43,9 +43,19 @@ module type NODE = sig
 
   (** Build the protocol's {!Sim.Network} on [engine] with the regional
       latency model. [ns_per_byte] defaults to the simulator's line
-      rate (≈ 1 Gb/s); the WAN harness passes its own. *)
+      rate (≈ 1 Gb/s); the WAN harness passes its own. [faults]
+      executes a {!Sim.Faults} plan on the transport (per-node clock
+      skews are additionally applied by adapters that model local
+      clocks); [trace] receives the network's fault events. *)
   val make_net :
-    Sim.Engine.t -> n:int -> jitter:float -> ?ns_per_byte:int -> unit -> net
+    Sim.Engine.t ->
+    n:int ->
+    jitter:float ->
+    ?ns_per_byte:int ->
+    ?faults:Sim.Faults.plan ->
+    ?trace:Sim.Trace.t ->
+    unit ->
+    net
 
   (** Client payload size of the resolved configuration. *)
   val tx_size : net -> int
@@ -53,6 +63,12 @@ module type NODE = sig
   val net_messages : net -> int
 
   val net_bytes : net -> int
+
+  (** Messages dropped by the fault plan (loss windows + partitions). *)
+  val net_dropped : net -> int
+
+  (** Extra copies injected by duplication windows. *)
+  val net_dup : net -> int
 
   (** Create and register node [id]. [on_observe] fires when a proposal
       first becomes readable at this node (the MEV observation point);

@@ -6,11 +6,16 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
 
     let default_warmup_us = 500_000
 
-    type net = { net : Pompe.Types.body Sim.Network.t; cfg : Pompe.Config.t }
+    type net = {
+      net : Pompe.Types.body Sim.Network.t;
+      cfg : Pompe.Config.t;
+      faults : Sim.Faults.plan;
+    }
 
     type t = Pompe.Node.t
 
-    let make_net engine ~n ~jitter ?ns_per_byte () =
+    let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
+        ?trace () =
       let cfg = tweak (Pompe.Config.default ~n) in
       let regions =
         match regions with
@@ -20,17 +25,21 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?trace
           ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost costs ~n b)
           ~size:Pompe.Types.msg_size ()
       in
-      { net; cfg }
+      { net; cfg; faults }
 
     let tx_size nt = nt.cfg.Pompe.Config.tx_size
 
     let net_messages nt = Sim.Network.messages_sent nt.net
 
     let net_bytes nt = Sim.Network.bytes_sent nt.net
+
+    let net_dropped nt = Sim.Network.messages_dropped nt.net
+
+    let net_dup nt = Sim.Network.messages_duplicated nt.net
 
     let convert (o : Pompe.Node.output) =
       {
@@ -41,10 +50,15 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
       }
 
     let create nt ~id ?on_observe ~on_output () =
+      (* Planned clock skew stacks on the sampled offset, shifting the
+         node's Order_req timestamps. *)
+      let skew = Sim.Faults.skew_us nt.faults id in
       let clock_offset_us =
         if clock_offsets then
           let rng = Sim.Engine.rng (Sim.Network.engine nt.net) in
-          Some (Crypto.Rng.int rng (1 + nt.cfg.Pompe.Config.clock_offset_max_us))
+          Some
+            (skew + Crypto.Rng.int rng (1 + nt.cfg.Pompe.Config.clock_offset_max_us))
+        else if not (Int.equal skew 0) then Some skew
         else None
       in
       Pompe.Node.create nt.cfg nt.net ~id ?clock_offset_us ?on_observe
@@ -62,7 +76,9 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
     let stats t =
       {
         Node_intf.accepted = Pompe.Node.sequenced_count t;
-        rejected = 0;
+        (* Ordering-phase give-ups are the closest Pompē analogue of a
+           rejected own proposal. *)
+        rejected = Pompe.Node.order_giveups t;
         decide_rounds = [||];
         mempool = Pompe.Node.mempool_size t;
         committed_seq = Pompe.Node.committed_height t;

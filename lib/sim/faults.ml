@@ -1,0 +1,171 @@
+type loss_window = {
+  l_from_us : int;
+  l_until_us : int;
+  l_src : int option;
+  l_dst : int option;
+  l_drop_p : float;
+  l_dup_p : float;
+}
+
+type partition = { p_from_us : int; p_heal_us : int; p_island : int list }
+
+type crash = { c_node : int; c_at_us : int; c_recover_us : int option }
+
+type plan = {
+  losses : loss_window list;
+  partitions : partition list;
+  crashes : crash list;
+  skews_us : (int * int) list;
+}
+
+let none = { losses = []; partitions = []; crashes = []; skews_us = [] }
+
+let is_none p =
+  match (p.losses, p.partitions, p.crashes, p.skews_us) with
+  | [], [], [], [] -> true
+  | _ -> false
+
+(* Elements are appended so a plan reads top-to-bottom in the order it
+   was built; queries don't depend on the order. *)
+let loss ?src ?dst ?(dup_p = 0.0) ~from_us ~until_us ~drop_p plan =
+  let w =
+    {
+      l_from_us = from_us;
+      l_until_us = until_us;
+      l_src = src;
+      l_dst = dst;
+      l_drop_p = drop_p;
+      l_dup_p = dup_p;
+    }
+  in
+  { plan with losses = plan.losses @ [ w ] }
+
+let partition ~from_us ~heal_us ~island plan =
+  let p = { p_from_us = from_us; p_heal_us = heal_us; p_island = island } in
+  { plan with partitions = plan.partitions @ [ p ] }
+
+let crash ?recover_us ~node ~at_us plan =
+  let c = { c_node = node; c_at_us = at_us; c_recover_us = recover_us } in
+  { plan with crashes = plan.crashes @ [ c ] }
+
+let skew ~node ~skew_us plan =
+  { plan with skews_us = plan.skews_us @ [ (node, skew_us) ] }
+
+let island_of_regions ~n regions =
+  let placement = Regions.paper_placement n in
+  List.filter
+    (fun i -> List.exists (fun r -> Regions.equal r placement.(i)) regions)
+    (List.init n (fun i -> i))
+
+let validate plan ~n =
+  let node ctx id =
+    if id < 0 || id >= n then
+      invalid_arg (Printf.sprintf "Faults.validate: %s node %d out of [0,%d)" ctx id n)
+  in
+  let prob ctx p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Faults.validate: %s probability %g outside [0,1]" ctx p)
+  in
+  let window ctx from_us until_us =
+    if until_us <= from_us then
+      invalid_arg
+        (Printf.sprintf "Faults.validate: %s window [%d,%d) is empty" ctx from_us until_us)
+  in
+  List.iter
+    (fun w ->
+      window "loss" w.l_from_us w.l_until_us;
+      prob "drop" w.l_drop_p;
+      prob "dup" w.l_dup_p;
+      Option.iter (node "loss src") w.l_src;
+      Option.iter (node "loss dst") w.l_dst)
+    plan.losses;
+  List.iter
+    (fun p ->
+      window "partition" p.p_from_us p.p_heal_us;
+      if p.p_island = [] then invalid_arg "Faults.validate: empty partition island";
+      List.iter (node "partition") p.p_island)
+    plan.partitions;
+  List.iter
+    (fun c ->
+      node "crash" c.c_node;
+      if c.c_at_us < 0 then invalid_arg "Faults.validate: crash time negative";
+      Option.iter
+        (fun r ->
+          if r <= c.c_at_us then
+            invalid_arg "Faults.validate: recovery not after crash")
+        c.c_recover_us)
+    plan.crashes;
+  List.iter (fun (id, _) -> node "skew" id) plan.skews_us
+
+let in_window ~now ~from_us ~until_us = now >= from_us && now < until_us
+
+let endpoint_matches filter id =
+  match filter with None -> true | Some wanted -> Int.equal wanted id
+
+(* Overlapping windows compose as independent trials: the message
+   survives only if it survives every active window. *)
+let drop_dup plan ~now ~src ~dst =
+  List.fold_left
+    (fun ((keep_d, keep_u) as acc) w ->
+      if
+        in_window ~now ~from_us:w.l_from_us ~until_us:w.l_until_us
+        && endpoint_matches w.l_src src
+        && endpoint_matches w.l_dst dst
+      then (keep_d *. (1.0 -. w.l_drop_p), keep_u *. (1.0 -. w.l_dup_p))
+      else acc)
+    (1.0, 1.0) plan.losses
+  |> fun (keep_d, keep_u) -> (1.0 -. keep_d, 1.0 -. keep_u)
+
+let partitioned plan ~now ~src ~dst =
+  List.exists
+    (fun p ->
+      in_window ~now ~from_us:p.p_from_us ~until_us:p.p_heal_us
+      &&
+      let inside id = List.exists (Int.equal id) p.p_island in
+      not (Bool.equal (inside src) (inside dst)))
+    plan.partitions
+
+let skew_us plan id =
+  List.fold_left
+    (fun acc (node, s) -> if Int.equal node id then acc + s else acc)
+    0 plan.skews_us
+
+let active plan ~now =
+  let losses =
+    List.filter_map
+      (fun w ->
+        if in_window ~now ~from_us:w.l_from_us ~until_us:w.l_until_us then
+          Some
+            (Printf.sprintf "loss[%d,%d)p=%g%s" w.l_from_us w.l_until_us
+               w.l_drop_p
+               (if w.l_dup_p > 0.0 then Printf.sprintf " dup=%g" w.l_dup_p
+                else ""))
+        else None)
+      plan.losses
+  in
+  let partitions =
+    List.filter_map
+      (fun p ->
+        if in_window ~now ~from_us:p.p_from_us ~until_us:p.p_heal_us then
+          Some
+            (Printf.sprintf "partition[%d,%d){%s}" p.p_from_us p.p_heal_us
+               (String.concat "," (List.map string_of_int p.p_island)))
+        else None)
+      plan.partitions
+  in
+  let crashes =
+    List.filter_map
+      (fun c ->
+        let live =
+          now >= c.c_at_us
+          && match c.c_recover_us with None -> true | Some r -> now < r
+        in
+        if live then
+          Some
+            (match c.c_recover_us with
+            | None -> Printf.sprintf "crash(n%d@%d)" c.c_node c.c_at_us
+            | Some r -> Printf.sprintf "crash(n%d@%d..%d)" c.c_node c.c_at_us r)
+        else None)
+      plan.crashes
+  in
+  losses @ partitions @ crashes

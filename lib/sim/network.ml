@@ -10,69 +10,171 @@ type 'msg t = {
   cpus : Cpu.t array;
   nics : Cpu.t array;
   crashed : bool array;
+  (* Bumped on every crash: callbacks scheduled on behalf of a node
+     capture the value and become no-ops if the node crashed (even if it
+     recovered) in between — a crash tombstones everything in flight. *)
+  incarnation : int array;
+  faults : Faults.plan;
+  (* [Some] iff the plan can drop or duplicate; kept separate from
+     [link_rng] so a plan with no loss windows leaves the latency
+     sampling stream untouched. *)
+  fault_rng : Crypto.Rng.t option;
+  trace : Trace.t option;
+  recover_hooks : (unit -> unit) option array;
   link_rng : Crypto.Rng.t;
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
+  mutable dropped : int;
+  mutable duped : int;
 }
 
+let trace t ~node detail =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~node ~category:"fault" detail
+
+let crash t id =
+  if not t.crashed.(id) then begin
+    t.crashed.(id) <- true;
+    t.incarnation.(id) <- t.incarnation.(id) + 1;
+    trace t ~node:id "crash"
+  end
+
+let recover t id =
+  if t.crashed.(id) then begin
+    t.crashed.(id) <- false;
+    trace t ~node:id "recover";
+    match t.recover_hooks.(id) with None -> () | Some hook -> hook ()
+  end
+
 let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
-    ?(cores = 8) ~cost ~size () =
-  {
-    engine;
-    n;
-    latency;
-    adversary;
-    cost;
-    size;
-    ns_per_byte;
-    handlers = Array.make n None;
-    cpus = Array.init n (fun _ -> Cpu.create ~cores engine);
-    nics = Array.init n (fun _ -> Cpu.create engine);
-    crashed = Array.make n false;
-    link_rng = Crypto.Rng.split (Engine.rng engine);
-    sent = 0;
-    delivered = 0;
-    bytes = 0;
-  }
+    ?(cores = 8) ?(faults = Faults.none) ?trace:trace_sink ~cost ~size () =
+  Faults.validate faults ~n;
+  let t =
+    {
+      engine;
+      n;
+      latency;
+      adversary;
+      cost;
+      size;
+      ns_per_byte;
+      handlers = Array.make n None;
+      cpus = Array.init n (fun _ -> Cpu.create ~cores engine);
+      nics = Array.init n (fun _ -> Cpu.create engine);
+      crashed = Array.make n false;
+      incarnation = Array.make n 0;
+      faults;
+      fault_rng =
+        (* The split must be conditional: an unconditional split would
+           advance the engine RNG and shift every downstream stream,
+           breaking golden fault-free runs. *)
+        (if faults.Faults.losses = [] then None
+         else Some (Crypto.Rng.split (Engine.rng engine)));
+      trace = trace_sink;
+      recover_hooks = Array.make n None;
+      link_rng = Crypto.Rng.split (Engine.rng engine);
+      sent = 0;
+      delivered = 0;
+      bytes = 0;
+      dropped = 0;
+      duped = 0;
+    }
+  in
+  (* Plan-scheduled process faults. The handler survives a crash, so a
+     recovered node resumes receiving without re-registering. *)
+  List.iter
+    (fun (c : Faults.crash) ->
+      ignore
+        (Engine.schedule_at engine ~time:c.c_at_us (fun () -> crash t c.c_node)
+          : Engine.timer);
+      Option.iter
+        (fun time ->
+          ignore
+            (Engine.schedule_at engine ~time (fun () -> recover t c.c_node)
+              : Engine.timer))
+        c.c_recover_us)
+    faults.Faults.crashes;
+  t
 
 let register t ~id handler = t.handlers.(id) <- Some handler
 
-let deliver t ~src ~dst msg =
-  if not t.crashed.(dst) then
+let on_recover t ~id hook = t.recover_hooks.(id) <- Some hook
+
+(* [inc] is the receiver's incarnation when the message entered the
+   wire (or, for self-delivery, when it was sent): if the receiver
+   crashed since, the delivery is tombstoned even after recovery. *)
+let deliver t ~src ~dst ~inc msg =
+  if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc then
     match t.handlers.(dst) with
     | None -> ()
     | Some handler ->
         let service = t.cost ~dst msg in
         Cpu.submit t.cpus.(dst) ~service_us:service (fun () ->
-            if not t.crashed.(dst) then begin
+            if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc
+            then begin
               t.delivered <- t.delivered + 1;
               handler ~src msg
             end)
 
-let wire t ~src ~dst msg =
+let schedule_delivery t ~src ~dst msg =
   let latency = Latency.sample t.latency t.link_rng ~src ~dst in
   let extra =
     Adversary.extra_delay t.adversary t.link_rng ~now:(Engine.now t.engine)
       ~src ~dst
   in
+  let inc = t.incarnation.(dst) in
   ignore
     (Engine.schedule t.engine ~delay:(latency + extra) (fun () ->
-         deliver t ~src ~dst msg)
+         deliver t ~src ~dst ~inc msg)
       : Engine.timer)
+
+(* The fault plan acts at the moment a message enters the wire:
+   partitions silently cut the link, then loss windows may drop or
+   duplicate. Self-delivery never touches the wire and is immune. *)
+let wire t ~src ~dst msg =
+  let now = Engine.now t.engine in
+  if Faults.partitioned t.faults ~now ~src ~dst then begin
+    t.dropped <- t.dropped + 1;
+    trace t ~node:dst (Printf.sprintf "partition-drop src=%d" src)
+  end
+  else begin
+    let deliver_once = ref true and copies = ref 1 in
+    (match t.fault_rng with
+    | None -> ()
+    | Some rng ->
+        let drop_p, dup_p = Faults.drop_dup t.faults ~now ~src ~dst in
+        if drop_p > 0.0 && Crypto.Rng.float rng < drop_p then begin
+          deliver_once := false;
+          t.dropped <- t.dropped + 1;
+          trace t ~node:dst (Printf.sprintf "drop src=%d" src)
+        end
+        else if dup_p > 0.0 && Crypto.Rng.float rng < dup_p then begin
+          copies := 2;
+          t.duped <- t.duped + 1;
+          trace t ~node:dst (Printf.sprintf "dup src=%d" src)
+        end);
+    if !deliver_once then
+      for _ = 1 to !copies do
+        schedule_delivery t ~src ~dst msg
+      done
+  end
 
 let send t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: endpoint out of range";
   if not t.crashed.(src) then begin
     t.sent <- t.sent + 1;
-    if Int.equal src dst then deliver t ~src ~dst msg
+    if Int.equal src dst then deliver t ~src ~dst ~inc:t.incarnation.(dst) msg
     else begin
       let bytes = t.size msg in
       t.bytes <- t.bytes + bytes;
       let tx_us = bytes * t.ns_per_byte / 1000 in
+      let src_inc = t.incarnation.(src) in
       Cpu.submit t.nics.(src) ~service_us:tx_us (fun () ->
-          if not t.crashed.(src) then wire t ~src ~dst msg)
+          if (not t.crashed.(src)) && Int.equal t.incarnation.(src) src_inc
+          then wire t ~src ~dst msg)
     end
   end
 
@@ -80,8 +182,6 @@ let broadcast t ~src msg =
   for dst = 0 to t.n - 1 do
     send t ~src ~dst msg
   done
-
-let crash t id = t.crashed.(id) <- true
 
 let is_crashed t id = t.crashed.(id)
 
@@ -98,3 +198,7 @@ let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 
 let bytes_sent t = t.bytes
+
+let messages_dropped t = t.dropped
+
+let messages_duplicated t = t.duped

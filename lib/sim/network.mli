@@ -1,5 +1,5 @@
-(** Simulated point-to-point network with authenticated reliable
-    channels (§II-A), parameterized by the protocol's message type.
+(** Simulated point-to-point network with authenticated channels
+    (§II-A), parameterized by the protocol's message type.
 
     A message from [src] to [dst] pays, in order:
     - transmission time on [src]'s egress NIC ([size msg] bytes at the
@@ -9,8 +9,14 @@
     - CPU service on [dst] ([cost ~dst msg] µs on a FIFO CPU queue).
 
     Self-addressed messages skip the NIC and wire but still pay CPU.
-    Messages are never lost or tampered with; Byzantine behaviour lives
-    in the node logic, not the transport. *)
+
+    Reliability is plan-dependent: with the default empty {!Faults}
+    plan, messages are never lost or tampered with and Byzantine
+    behaviour lives in the node logic, not the transport. A non-empty
+    plan may drop or duplicate messages inside loss windows, cut links
+    across a partition, and crash/recover nodes on schedule — all
+    deterministically in the engine seed. Messages are never tampered
+    with or reordered beyond their sampled delays in any plan. *)
 
 type 'msg t
 
@@ -19,7 +25,11 @@ type 'msg t
     pays to process [msg]; [size msg] its wire size in bytes.
     [ns_per_byte] sets the per-node line rate (default 8 ≈ 1 Gb/s);
     [cores] the per-node CPU parallelism (default 8, as the paper's
-    16-vCPU machines). *)
+    16-vCPU machines). [faults] schedules transport/process faults
+    (validated against [n]; default {!Faults.none} keeps the transport
+    perfectly reliable and consumes no extra randomness). [trace]
+    records a ["fault"] event per drop, duplicate, crash and
+    recovery. *)
 val create :
   Engine.t ->
   n:int ->
@@ -27,25 +37,40 @@ val create :
   ?adversary:Adversary.t ->
   ?ns_per_byte:int ->
   ?cores:int ->
+  ?faults:Faults.plan ->
+  ?trace:Trace.t ->
   cost:(dst:int -> 'msg -> int) ->
   size:('msg -> int) ->
   unit ->
   'msg t
 
 (** [register t ~id handler] installs the message handler of node [id];
-    [handler ~src msg] runs after CPU service completes. *)
+    [handler ~src msg] runs after CPU service completes. The handler
+    survives crash/recovery. *)
 val register : 'msg t -> id:int -> (src:int -> 'msg -> unit) -> unit
 
 (** [send t ~src ~dst msg] transmits one message. *)
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 (** [broadcast t ~src msg] sends to every node, including [src] itself
-    (self-delivery skips NIC and wire but pays CPU). *)
+    (self-delivery skips NIC and wire but pays CPU; it is also immune
+    to loss windows and partitions). *)
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 
 (** [crash t id] makes node [id] silently drop everything from now on
-    (fail-stop). *)
+    (fail-stop). Everything in flight towards or queued on the node —
+    wire deliveries, pending CPU work, NIC transmissions — is
+    tombstoned and will not execute even if the node later recovers. *)
 val crash : 'msg t -> int -> unit
+
+(** [recover t id] undoes {!crash}: the node resumes sending and
+    receiving with its registered handler intact, and its [on_recover]
+    hook (if any) runs. Messages tombstoned by the crash stay lost. *)
+val recover : 'msg t -> int -> unit
+
+(** [on_recover t ~id hook] runs [hook] whenever node [id] recovers
+    (protocols use it to restart timers / re-enter the pipeline). *)
+val on_recover : 'msg t -> id:int -> (unit -> unit) -> unit
 
 val is_crashed : 'msg t -> int -> bool
 
@@ -67,3 +92,9 @@ val messages_delivered : 'msg t -> int
 
 (** Total bytes offered to the transport. *)
 val bytes_sent : 'msg t -> int
+
+(** Messages dropped by the fault plan (loss windows + partitions). *)
+val messages_dropped : 'msg t -> int
+
+(** Extra copies injected by duplication windows. *)
+val messages_duplicated : 'msg t -> int

@@ -147,6 +147,40 @@ let test_s003 () =
     "[@@@warning \"-32\"]\nlet unused = 1\n"
 
 (* ------------------------------------------------------------------ *)
+(* The fault layer and the invariant monitor live in deterministic     *)
+(* dirs (lib/sim, lib/harness): the idioms a fault implementation is   *)
+(* most tempted by — ambient randomness for drop decisions, unordered  *)
+(* traversal of per-node fault state, structural equality on fault     *)
+(* records — must all be caught there.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_layer_fixtures () =
+  check "Random drop decision in lib/sim/faults.ml"
+    [ "lib/sim/faults.ml:1:D002" ]
+    "lib/sim/faults.ml" "let dropped p = Random.float 1.0 < p\n";
+  check "unordered traversal of crash tombstones"
+    [ "lib/sim/faults.ml:1:D001" ]
+    "lib/sim/faults.ml"
+    "let live tbl = Hashtbl.fold (fun _ _ a -> a + 1) tbl 0\n";
+  check "structural compare on fault windows"
+    [ "lib/sim/faults.ml:1:D003" ]
+    "lib/sim/faults.ml" "let sort ws = List.sort compare ws\n";
+  check "monitor iterating node logs unordered"
+    [ "lib/harness/invariant_monitor.ml:2:D001" ]
+    "lib/harness/invariant_monitor.ml"
+    "let scan logs =\n  Hashtbl.iter (fun _ _ -> ()) logs\n";
+  check "monitor comparing outputs structurally"
+    [ "lib/harness/invariant_monitor.ml:1:D003" ]
+    "lib/harness/invariant_monitor.ml" "let same a b = a = b\n";
+  (* the legal versions stay silent: seeded streams, sorted traversal,
+     typed comparison *)
+  check "seeded rng + sorted bindings + typed compare are legal" []
+    "lib/sim/faults.ml"
+    "let dropped st p = Crypto.Rng.float st 1.0 < p\n\
+     let live tbl = List.length (Sim.Det.sorted_bindings ~cmp:Int.compare tbl)\n\
+     let sort ws = List.sort Int.compare ws\n"
+
+(* ------------------------------------------------------------------ *)
 (* Rule selection.                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -244,6 +278,7 @@ let suite =
     Alcotest.test_case "D003 silent" `Quick test_d003_silent;
     Alcotest.test_case "S001 Obj" `Quick test_s001;
     Alcotest.test_case "S003 warnings" `Quick test_s003;
+    Alcotest.test_case "fault-layer fixtures" `Quick test_fault_layer_fixtures;
     Alcotest.test_case "rule filter" `Quick test_rule_filter;
     Alcotest.test_case "S002 + allowlist" `Quick test_s002_and_allowlist;
     Alcotest.test_case "allowlist parsing" `Quick test_allow_parsing;

@@ -19,6 +19,7 @@ let () =
       ("hotstuff", Test_hotstuff.suite);
       ("pompe", Test_pompe.suite);
       ("protocol-runtime", Test_protocol.suite);
+      ("faults", Test_faults.suite);
       ("apps", Test_apps.suite);
       ("metrics-workload", Test_metrics_workload.suite);
       ("attacks", Test_attacks.suite);

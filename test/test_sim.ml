@@ -242,6 +242,163 @@ let test_network_bad_endpoint () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Fault plans (Sim.Faults executed by Sim.Network).                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash must tombstone everything already in flight towards the node —
+   wire deliveries and queued CPU work — so recovery never resurrects
+   pre-crash messages. *)
+let test_crash_tombstones_inflight () =
+  let e = Sim.Engine.create () in
+  let net = make_net e 2 in
+  let got = ref [] in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping k) -> got := k :: !got);
+  (* In flight on the wire when the crash hits (latency 1000). *)
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+  ignore (Sim.Engine.schedule e ~delay:500 (fun () -> Sim.Network.crash net 1));
+  ignore (Sim.Engine.schedule e ~delay:2_000 (fun () -> Sim.Network.recover net 1));
+  ignore
+    (Sim.Engine.schedule e ~delay:2_500 (fun () ->
+         Sim.Network.send net ~src:0 ~dst:1 (Ping 2)));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "only the post-recovery message" [ 2 ] !got
+
+let test_crash_tombstones_cpu_queue () =
+  let e = Sim.Engine.create () in
+  (* Latency 0, heavy CPU cost: the message is in the CPU queue when the
+     crash lands mid-service. *)
+  let net = make_net ~latency:(Sim.Latency.constant 0) ~cost:5_000 e 2 in
+  let got = ref 0 in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping _) -> incr got);
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+  ignore (Sim.Engine.schedule e ~delay:2 (fun () -> Sim.Network.crash net 1));
+  ignore (Sim.Engine.schedule e ~delay:10_000 (fun () -> Sim.Network.recover net 1));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "queued CPU work tombstoned" 0 !got
+
+let test_plan_crash_recover_hook () =
+  let e = Sim.Engine.create () in
+  let plan =
+    Sim.Faults.(none |> crash ~node:1 ~at_us:500 ~recover_us:2_000)
+  in
+  let net =
+    Sim.Network.create e ~n:2 ~latency:(Sim.Latency.constant 100) ~faults:plan
+      ~cost:(fun ~dst:_ _ -> 1)
+      ~size:(fun (Ping _) -> 100)
+      ()
+  in
+  let got = ref 0 and recovered_at = ref (-1) in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping _) -> incr got);
+  Sim.Network.on_recover net ~id:1 (fun () -> recovered_at := Sim.Engine.now e);
+  ignore
+    (Sim.Engine.schedule e ~delay:1_000 (fun () ->
+         Alcotest.(check bool) "crashed on schedule" true
+           (Sim.Network.is_crashed net 1);
+         Sim.Network.send net ~src:0 ~dst:1 (Ping 1)));
+  ignore
+    (Sim.Engine.schedule e ~delay:2_500 (fun () ->
+         Sim.Network.send net ~src:0 ~dst:1 (Ping 2)));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "recovery hook ran on schedule" 2_000 !recovered_at;
+  Alcotest.(check int) "only post-recovery delivery" 1 !got
+
+(* Window edges: [from_us, until_us) applies at wire-entry time. *)
+let test_drop_window_edges () =
+  let e = Sim.Engine.create () in
+  let plan =
+    Sim.Faults.(none |> loss ~from_us:1_000 ~until_us:2_000 ~drop_p:1.0)
+  in
+  let net =
+    Sim.Network.create e ~n:2 ~latency:(Sim.Latency.constant 10) ~faults:plan
+      ~cost:(fun ~dst:_ _ -> 1)
+      ~size:(fun (Ping _) -> 100)
+      ()
+  in
+  let got = ref [] in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping k) -> got := k :: !got);
+  List.iter
+    (fun (at, k) ->
+      ignore
+        (Sim.Engine.schedule e ~delay:at (fun () ->
+             Sim.Network.send net ~src:0 ~dst:1 (Ping k))))
+    [ (999, 1); (1_000, 2); (1_999, 3); (2_000, 4) ];
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "outside the window" [ 1; 4 ] (List.rev !got);
+  Alcotest.(check int) "dropped counted" 2 (Sim.Network.messages_dropped net)
+
+let test_dup_window () =
+  let e = Sim.Engine.create () in
+  let plan =
+    Sim.Faults.(
+      none |> loss ~from_us:0 ~until_us:10_000 ~drop_p:0.0 ~dup_p:1.0)
+  in
+  let net =
+    Sim.Network.create e ~n:2 ~latency:(Sim.Latency.constant 10) ~faults:plan
+      ~cost:(fun ~dst:_ _ -> 1)
+      ~size:(fun (Ping _) -> 100)
+      ()
+  in
+  let got = ref 0 in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping _) -> incr got);
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "delivered twice" 2 !got;
+  Alcotest.(check int) "one extra copy counted" 1
+    (Sim.Network.messages_duplicated net);
+  Alcotest.(check int) "sent counts the original only" 1
+    (Sim.Network.messages_sent net)
+
+let test_partition_heal () =
+  let e = Sim.Engine.create () in
+  let plan =
+    Sim.Faults.(
+      none |> partition ~from_us:1_000 ~heal_us:2_000 ~island:[ 0; 1 ])
+  in
+  let net =
+    Sim.Network.create e ~n:3 ~latency:(Sim.Latency.constant 10) ~faults:plan
+      ~cost:(fun ~dst:_ _ -> 1)
+      ~size:(fun (Ping _) -> 100)
+      ()
+  in
+  let got = Array.make 3 [] in
+  for i = 0 to 2 do
+    Sim.Network.register net ~id:i (fun ~src (Ping k) ->
+        got.(i) <- (src, k) :: got.(i))
+  done;
+  ignore
+    (Sim.Engine.schedule e ~delay:1_500 (fun () ->
+         (* Across the cut: dropped. Inside the island: flows. *)
+         Sim.Network.send net ~src:0 ~dst:2 (Ping 1);
+         Sim.Network.send net ~src:2 ~dst:0 (Ping 2);
+         Sim.Network.send net ~src:0 ~dst:1 (Ping 3)));
+  ignore
+    (Sim.Engine.schedule e ~delay:2_000 (fun () ->
+         Sim.Network.send net ~src:0 ~dst:2 (Ping 4)));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list (pair int int))) "healed link" [ (0, 4) ] got.(2);
+  Alcotest.(check (list (pair int int))) "intra-island" [ (0, 3) ] got.(1);
+  Alcotest.(check (list (pair int int))) "cut is bidirectional" [] got.(0);
+  Alcotest.(check int) "two dropped" 2 (Sim.Network.messages_dropped net)
+
+let test_fault_plan_validate () =
+  let bad p =
+    try
+      Sim.Faults.validate p ~n:3;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad node" true
+    (bad Sim.Faults.(none |> crash ~node:5 ~at_us:0));
+  Alcotest.(check bool) "bad probability" true
+    (bad Sim.Faults.(none |> loss ~from_us:0 ~until_us:10 ~drop_p:1.5));
+  Alcotest.(check bool) "inverted window" true
+    (bad Sim.Faults.(none |> loss ~from_us:10 ~until_us:5 ~drop_p:0.1));
+  Sim.Faults.validate
+    Sim.Faults.(none |> crash ~node:2 ~at_us:0 ~recover_us:10)
+    ~n:3;
+  Alcotest.(check bool) "empty plan is none" true (Sim.Faults.is_none Sim.Faults.none)
+
 let suite =
   [
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
@@ -264,4 +421,14 @@ let suite =
     Alcotest.test_case "network crash" `Quick test_network_crash;
     Alcotest.test_case "network nic serializes" `Quick test_network_nic_serializes;
     Alcotest.test_case "network bad endpoint" `Quick test_network_bad_endpoint;
+    Alcotest.test_case "crash tombstones in-flight" `Quick
+      test_crash_tombstones_inflight;
+    Alcotest.test_case "crash tombstones cpu queue" `Quick
+      test_crash_tombstones_cpu_queue;
+    Alcotest.test_case "plan crash + recovery hook" `Quick
+      test_plan_crash_recover_hook;
+    Alcotest.test_case "drop window edges" `Quick test_drop_window_edges;
+    Alcotest.test_case "dup window" `Quick test_dup_window;
+    Alcotest.test_case "partition heal" `Quick test_partition_heal;
+    Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validate;
   ]
