@@ -13,6 +13,11 @@
 
 let smoke = ref false
 
+(* --json additionally writes the figure experiments' data as
+   schema-stable BENCH_*.json artifacts (validated on write, see
+   [write_json]); the human-readable tables still print. *)
+let json = ref false
+
 let fig_ns () = if !smoke then [ 4 ] else [ 5; 10; 16; 31; 61; 100 ]
 
 let scale_dur d = if !smoke then 600_000 else d
@@ -27,6 +32,63 @@ let small_n n = if !smoke then 4 else n
 let pct p r =
   if Metrics.Recorder.is_empty r then Float.nan
   else Metrics.Recorder.percentile p r
+
+(* Write a JSON artifact, then read it back, re-parse and validate it
+   against its schema: a schema drift (or writer bug) fails the smoke
+   run in CI instead of silently changing the artifact consumers see. *)
+let write_json ~file ~schema v =
+  let oc = open_out file in
+  output_string oc (Metrics.Json.to_string v);
+  close_out oc;
+  let ic = open_in file in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Metrics.Json.of_string content with
+  | Error e -> failwith (Printf.sprintf "%s: unparseable artifact: %s" file e)
+  | Ok v' -> (
+      match Metrics.Json.check schema v' with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "%s: schema violation: %s" file e)));
+  Printf.printf "[wrote %s]\n%!" file
+
+(* Per-phase summary of a result, shared by the LAT3R table and JSON. *)
+let phase_stats (r : Harness.Scenario.result) =
+  List.filter_map
+    (fun (label, rec_) ->
+      if Metrics.Recorder.is_empty rec_ then None
+      else
+        let sorted = Metrics.Recorder.sorted rec_ in
+        let mean, p50, p95, p99, _ = Metrics.Stats.summary_sorted sorted in
+        Some (label, Array.length sorted, mean, p50, p95, p99))
+    r.phases
+
+let phases_json r =
+  Metrics.Json.List
+    (List.map
+       (fun (label, samples, mean, p50, p95, p99) ->
+         Metrics.Json.Obj
+           [
+             ("phase", Metrics.Json.Str label);
+             ("samples", Metrics.Json.Int samples);
+             ("mean_ms", Metrics.Json.num mean);
+             ("p50_ms", Metrics.Json.num p50);
+             ("p95_ms", Metrics.Json.num p95);
+             ("p99_ms", Metrics.Json.num p99);
+           ])
+       (phase_stats r))
+
+let phases_schema =
+  Metrics.Json.(
+    List_of
+      (Obj_of
+         [
+           ("phase", Str_s);
+           ("samples", Int_s);
+           ("mean_ms", Nullable Num_s);
+           ("p50_ms", Nullable Num_s);
+           ("p95_ms", Nullable Num_s);
+           ("p99_ms", Nullable Num_s);
+         ]))
 
 let check_safety label (r : Harness.Scenario.result) =
   if not (r.prefix_safe && r.late_accepts = 0) then
@@ -67,7 +129,7 @@ let fig2 () =
   (* Leader-based pipelines have a ~2.7 s closed-loop turnaround: give
      them a window that fits at least one full turn at every n. *)
   let extra = function "lyra" -> 0 | _ -> 3_000_000 in
-  let rows =
+  let data =
     List.concat_map
       (fun n ->
         let dur = scale_dur (if n >= 61 then 1_500_000 else 3_000_000) in
@@ -87,17 +149,7 @@ let fig2 () =
           | r :: _ -> Metrics.Recorder.mean r.latency_ms
           | [] -> Float.nan
         in
-        List.map
-          (fun (r : Harness.Scenario.result) ->
-            [
-              string_of_int n;
-              r.protocol;
-              Printf.sprintf "%.0f" (Metrics.Recorder.mean r.latency_ms);
-              Printf.sprintf "%.0f" (pct 50.0 r.latency_ms);
-              Printf.sprintf "%.2f"
-                (Metrics.Recorder.mean r.latency_ms /. lyra_mean);
-            ])
-          results)
+        List.map (fun r -> (n, lyra_mean, r)) results)
       (fig_ns ())
   in
   Metrics.Table.print
@@ -105,7 +157,59 @@ let fig2 () =
       "FIG2  commit latency vs n (ms; paper: Lyra < 1 s, ~2x lower than \
        Pompe at n > 60)"
     ~header:[ "n"; "protocol"; "mean ms"; "p50 ms"; "vs lyra" ]
-    rows
+    (List.map
+       (fun (n, lyra_mean, (r : Harness.Scenario.result)) ->
+         [
+           string_of_int n;
+           r.protocol;
+           Printf.sprintf "%.0f" (Metrics.Recorder.mean r.latency_ms);
+           Printf.sprintf "%.0f" (pct 50.0 r.latency_ms);
+           Printf.sprintf "%.2f" (Metrics.Recorder.mean r.latency_ms /. lyra_mean);
+         ])
+       data);
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_FIG2.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ( "rows",
+               List_of
+                 (Obj_of
+                    [
+                      ("n", Int_s);
+                      ("protocol", Str_s);
+                      ("mean_ms", Nullable Num_s);
+                      ("p50_ms", Nullable Num_s);
+                      ("vs_lyra", Nullable Num_s);
+                      ("throughput_tps", Nullable Num_s);
+                      ("committed_txs", Int_s);
+                    ]) );
+           ])
+      (Obj
+         [
+           ("experiment", Str "fig2");
+           ("smoke", Bool !smoke);
+           ( "rows",
+             List
+               (List.map
+                  (fun (n, lyra_mean, (r : Harness.Scenario.result)) ->
+                    Obj
+                      [
+                        ("n", Int n);
+                        ("protocol", Str r.protocol);
+                        ("mean_ms", num (Metrics.Recorder.mean r.latency_ms));
+                        ("p50_ms", num (pct 50.0 r.latency_ms));
+                        ( "vs_lyra",
+                          num (Metrics.Recorder.mean r.latency_ms /. lyra_mean)
+                        );
+                        ("throughput_tps", num r.throughput_tps);
+                        ("committed_txs", Int r.committed_txs);
+                      ])
+                  data) );
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* FIG3 — throughput vs n.                                             *)
@@ -143,7 +247,7 @@ let fig3 () =
         2_000_000 );
     ]
   in
-  let rows =
+  let data =
     List.concat_map
       (fun n ->
         let dur = scale_dur (if n >= 61 then 1_500_000 else 3_000_000) in
@@ -162,15 +266,7 @@ let fig3 () =
         let lyra_tps =
           match results with r :: _ -> r.throughput_tps | [] -> Float.nan
         in
-        List.map
-          (fun (r : Harness.Scenario.result) ->
-            [
-              string_of_int n;
-              r.protocol;
-              Printf.sprintf "%.0f" r.throughput_tps;
-              Printf.sprintf "%.2f" (lyra_tps /. r.throughput_tps);
-            ])
-          results)
+        List.map (fun r -> (n, lyra_tps, r)) results)
       (fig_ns ())
   in
   Metrics.Table.print
@@ -178,7 +274,56 @@ let fig3 () =
       "FIG3  throughput vs n (tx/s; paper: Pompe ahead below ~20-30 nodes, \
        Lyra scales to ~240k at n=100, ~7x Pompe)"
     ~header:[ "n"; "protocol"; "tx/s"; "lyra/this" ]
-    rows
+    (List.map
+       (fun (n, lyra_tps, (r : Harness.Scenario.result)) ->
+         [
+           string_of_int n;
+           r.protocol;
+           Printf.sprintf "%.0f" r.throughput_tps;
+           Printf.sprintf "%.2f" (lyra_tps /. r.throughput_tps);
+         ])
+       data);
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_FIG3.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ( "rows",
+               List_of
+                 (Obj_of
+                    [
+                      ("n", Int_s);
+                      ("protocol", Str_s);
+                      ("throughput_tps", Nullable Num_s);
+                      ("lyra_ratio", Nullable Num_s);
+                      ("committed_txs", Int_s);
+                      ("messages", Int_s);
+                      ("bytes", Int_s);
+                    ]) );
+           ])
+      (Obj
+         [
+           ("experiment", Str "fig3");
+           ("smoke", Bool !smoke);
+           ( "rows",
+             List
+               (List.map
+                  (fun (n, lyra_tps, (r : Harness.Scenario.result)) ->
+                    Obj
+                      [
+                        ("n", Int n);
+                        ("protocol", Str r.protocol);
+                        ("throughput_tps", num r.throughput_tps);
+                        ("lyra_ratio", num (lyra_tps /. r.throughput_tps));
+                        ("committed_txs", Int r.committed_txs);
+                        ("messages", Int r.messages);
+                        ("bytes", Int r.bytes);
+                      ])
+                  data) );
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* LAT3R — good-case latency is 3 message delays (Thm 3; Pompe: 11).   *)
@@ -220,7 +365,74 @@ let rounds () =
       metric "mean one-way delay ms" (fun _ -> Printf.sprintf "%.1f" delta_ms);
       metric "end-to-end latency in delays" (fun r ->
           Printf.sprintf "%.1f" (Metrics.Recorder.mean r.latency_ms /. delta_ms));
-    ]
+    ];
+  (* The latency anatomy behind those totals: Lyra's boc_decide row is
+     Thm 3's claim in the data — mean ≈ 3 one-way delays. *)
+  List.iter
+    (fun (r : Harness.Scenario.result) ->
+      Printf.printf "\nLAT3R phases  %s n=%d (own batches, ms)\n%s%!" r.protocol
+        r.n
+        (Harness.Scenario.phase_table r))
+    results;
+  (match
+     List.find_opt
+       (fun (r : Harness.Scenario.result) -> String.equal r.protocol "lyra")
+       results
+   with
+  | Some r -> (
+      match List.assoc_opt "boc_decide" r.phases with
+      | Some rec_ when not (Metrics.Recorder.is_empty rec_) ->
+          Printf.printf
+            "\nLAT3R check  lyra boc_decide mean = %.1f ms = %.2f one-way \
+             delays (Thm 3: 3)\n%!"
+            (Metrics.Recorder.mean rec_)
+            (Metrics.Recorder.mean rec_ /. delta_ms)
+      | _ -> ())
+  | None -> ());
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_LAT3R.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ("n", Int_s);
+             ("mean_one_way_delay_ms", Num_s);
+             ( "protocols",
+               List_of
+                 (Obj_of
+                    [
+                      ("protocol", Str_s);
+                      ("decide_rounds_mean", Nullable Num_s);
+                      ("latency_ms_mean", Nullable Num_s);
+                      ("latency_in_delays", Nullable Num_s);
+                      ("phases", phases_schema);
+                    ]) );
+           ])
+      (Obj
+         [
+           ("experiment", Str "lat3r");
+           ("smoke", Bool !smoke);
+           ("n", Int n);
+           ("mean_one_way_delay_ms", num delta_ms);
+           ( "protocols",
+             List
+               (List.map
+                  (fun (r : Harness.Scenario.result) ->
+                    Obj
+                      [
+                        ("protocol", Str r.protocol);
+                        ("decide_rounds_mean", num r.decide_rounds);
+                        ( "latency_ms_mean",
+                          num (Metrics.Recorder.mean r.latency_ms) );
+                        ( "latency_in_delays",
+                          num (Metrics.Recorder.mean r.latency_ms /. delta_ms)
+                        );
+                        ("phases", phases_json r);
+                      ])
+                  results) );
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* LAMBDA — security-parameter sweep (§VI-B: λ = 5 ms suffices).       *)
@@ -614,6 +826,10 @@ let () =
       (fun a ->
         if a = "--smoke" then begin
           smoke := true;
+          false
+        end
+        else if a = "--json" then begin
+          json := true;
           false
         end
         else true)

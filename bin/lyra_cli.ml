@@ -67,6 +67,52 @@ let run_cmd =
     Term.(const run $ seed_t $ n_t 16 $ duration_t $ clients_t $ rate_t $ protocol_t)
 
 (* ------------------------------------------------------------------ *)
+(* profile: the same run with the simulator profiler attached — phase  *)
+(* breakdown, event-kind counts, per-node CPU/NIC utilization and      *)
+(* queue-backlog percentiles.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run seed n duration clients rate protocol bucket_ms =
+    let load =
+      match rate with
+      | Some r -> Harness.Scenario.Open_rate r
+      | None -> Harness.Scenario.Closed clients
+    in
+    let duration_us = int_of_float (duration *. 1e6) in
+    let ((module P : Protocol.NODE) as p) = adapter protocol in
+    let r =
+      Harness.Scenario.run ~seed ~profile_bucket_us:(bucket_ms * 1000) p ~n
+        ~load ~duration_us ()
+    in
+    print_result r;
+    Format.printf "@.phase breakdown (own batches of honest nodes, ms):@.%s@."
+      (Harness.Scenario.phase_table r);
+    match r.profile with
+    | Some prof ->
+        (* Busy time accumulates from t = 0, so utilization is over the
+           whole simulated span including warm-up. *)
+        print_string
+          (Sim.Profile.report prof ~over_us:(P.default_warmup_us + duration_us))
+    | None -> ()
+  in
+  let bucket_t =
+    Arg.(
+      value & opt int 100
+      & info [ "bucket" ] ~docv:"MS"
+          ~doc:"Profiler sampling bucket in milliseconds.")
+  in
+  let doc =
+    "Run a cluster with the simulator profiler attached: per-phase latency \
+     breakdown, engine event-kind counts, per-node CPU/NIC utilization and \
+     queue-backlog percentiles."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ seed_t $ n_t 16 $ duration_t $ clients_t $ rate_t
+      $ protocol_t $ bucket_t)
+
+(* ------------------------------------------------------------------ *)
 (* faults: run any registered protocol under a declarative fault plan  *)
 (* with the continuous invariant monitor armed.                        *)
 (* ------------------------------------------------------------------ *)
@@ -299,6 +345,7 @@ let main =
   Cmd.group (Cmd.info "lyra_cli" ~doc ~version:"1.0.0")
     [
       run_cmd;
+      profile_cmd;
       faults_cmd;
       frontrun_cmd;
       sandwich_cmd;

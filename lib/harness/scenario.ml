@@ -18,6 +18,8 @@ type result = {
   stall_windows : (int * int) list;
   first_violation : Invariant_monitor.violation option;
   trace_dropped : int;
+  phases : (string * Metrics.Recorder.t) list;
+  profile : Sim.Profile.t option;
 }
 
 let wan_ns_per_byte = 40 (* ≈ 200 Mb/s effective per node over the WAN *)
@@ -70,8 +72,8 @@ let prefix_safe logs =
 let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
 let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
-    ?(faults = Sim.Faults.none) ?trace (module P : Protocol.NODE) ~n ~load
-    ~duration_us () =
+    ?(faults = Sim.Faults.none) ?trace ?profile_bucket_us
+    (module P : Protocol.NODE) ~n ~load ~duration_us () =
   let warmup_us =
     match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
@@ -109,6 +111,18 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     Array.init n (fun id -> P.create net ~id ~on_output:(on_output id) ())
   in
   (honest_commit := fun id -> P.honest nodes.(id));
+  (* Profiling is opt-in: attaching schedules sampling events, which
+     perturbs the engine's event counts (never protocol behaviour). *)
+  let profile =
+    match profile_bucket_us with
+    | None -> None
+    | Some bucket_us ->
+        Some
+          (Sim.Profile.attach ~bucket_us engine
+             ~cpus:(Array.init n (P.net_cpu net))
+             ~nics:(Array.init n (P.net_nic net))
+             ~until_us:(warmup_us + duration_us))
+  in
   Array.iter P.start nodes;
   Invariant_monitor.start monitor;
   (* Work done before the measurement window opens (Lyra's warm-up
@@ -117,6 +131,7 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
      window boundary. *)
   let rounds_skip = Array.make n 0 in
   let acc_skip = Array.make n 0 and rej_skip = Array.make n 0 in
+  let phase_skip : (string * int) list array = Array.make n [] in
   ignore
     (Sim.Engine.schedule engine ~delay:warmup_us (fun () ->
          measure_start := Sim.Engine.now engine;
@@ -125,7 +140,11 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
              let s = P.stats node in
              rounds_skip.(i) <- Array.length s.Protocol.decide_rounds;
              acc_skip.(i) <- s.Protocol.accepted;
-             rej_skip.(i) <- s.Protocol.rejected)
+             rej_skip.(i) <- s.Protocol.rejected;
+             phase_skip.(i) <-
+               List.map
+                 (fun (label, xs) -> (label, Array.length xs))
+                 s.Protocol.phases)
            nodes)
       : Sim.Engine.timer);
   (* Clients start before the measurement window so the pipeline is in
@@ -193,6 +212,33 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
           r + final.(i).Protocol.rejected - rej_skip.(i) ))
       (0, 0) honest
   in
+  (* Aggregate the per-node phase breakdowns over honest nodes, in the
+     protocol's pipeline order, excluding samples recorded before the
+     measurement window opened (same snapshot trick as decide_rounds). *)
+  let phases =
+    if Int.equal (Array.length honest) 0 then []
+    else
+      let labels = List.map fst final.(honest.(0)).Protocol.phases in
+      List.map
+        (fun label ->
+          let agg = Metrics.Recorder.create () in
+          Array.iter
+            (fun i ->
+              let skip =
+                match List.assoc_opt label phase_skip.(i) with
+                | Some k -> k
+                | None -> 0
+              in
+              match List.assoc_opt label final.(i).Protocol.phases with
+              | Some xs ->
+                  Array.iteri
+                    (fun k v -> if k >= skip then Metrics.Recorder.record agg v)
+                    xs
+              | None -> ())
+            honest;
+          (label, agg))
+        labels
+  in
   {
     n;
     protocol = P.name;
@@ -217,4 +263,30 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     first_violation = Invariant_monitor.first_violation monitor;
     trace_dropped =
       (match trace with None -> 0 | Some tr -> Sim.Trace.dropped tr);
+    phases;
+    profile;
   }
+
+(* The LAT3R anatomy table: one row per pipeline phase, aggregated over
+   honest nodes' own batches within the measurement window. *)
+let phase_table r =
+  let header = [ "phase"; "samples"; "mean_ms"; "p50_ms"; "p95_ms"; "p99_ms" ] in
+  let rows =
+    List.map
+      (fun (label, rec_) ->
+        if Metrics.Recorder.is_empty rec_ then
+          [ label; "0"; "-"; "-"; "-"; "-" ]
+        else
+          let sorted = Metrics.Recorder.sorted rec_ in
+          let mean, p50, p95, p99, _ = Metrics.Stats.summary_sorted sorted in
+          [
+            label;
+            string_of_int (Array.length sorted);
+            Printf.sprintf "%.1f" mean;
+            Printf.sprintf "%.1f" p50;
+            Printf.sprintf "%.1f" p95;
+            Printf.sprintf "%.1f" p99;
+          ])
+      r.phases
+  in
+  Metrics.Table.render ~header rows

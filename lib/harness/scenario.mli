@@ -31,9 +31,19 @@ type result = {
   first_violation : Invariant_monitor.violation option;
       (** first continuous-monitor violation; must be [None] *)
   trace_dropped : int;  (** events evicted from the supplied trace *)
+  phases : (string * Metrics.Recorder.t) list;
+      (** per-phase latency breakdown (ms) of honest nodes' own
+          batches within the measurement window, in pipeline order —
+          the LAT3R anatomy (every protocol ends with [e2e]) *)
+  profile : Sim.Profile.t option;
+      (** present when [profile_bucket_us] was passed to {!run} *)
 }
 
 val pp_result : Format.formatter -> result -> unit
+
+(** Plain-text table of the phase breakdown (samples, mean, p50, p95,
+    p99 per phase). *)
+val phase_table : result -> string
 
 (** [run (module P) ~n ~load ~duration_us ()] — the one generic driver:
     protocol choice is the adapter module (see {!Protocol.Registry} and
@@ -44,7 +54,9 @@ val pp_result : Format.formatter -> result -> unit
     always observes honest commits continuously, and its verdict lands
     in [first_violation]/[stall_windows]. [trace] is handed to the
     network for fault-event recording; its eviction count is surfaced
-    as [trace_dropped]. *)
+    as [trace_dropped]. [profile_bucket_us] attaches a {!Sim.Profile}
+    to the run (opt-in: sampling adds engine events, though never
+    changes protocol behaviour); it lands in [profile]. *)
 val run :
   ?seed:int64 ->
   ?warmup_us:int ->
@@ -52,6 +64,7 @@ val run :
   ?ns_per_byte:int ->
   ?faults:Sim.Faults.plan ->
   ?trace:Sim.Trace.t ->
+  ?profile_bucket_us:int ->
   (module Protocol.NODE) ->
   n:int ->
   load:load ->

@@ -82,7 +82,15 @@ type t = {
   mutable next_index : int;
   mutable tx_counter : int;
   mutable started : bool;
+  phases : Metrics.Phases.t;
+  phase_marks : (int, int) Hashtbl.t;  (** own index → propose µs *)
 }
+
+(* HotStuff has no ordering phase to break out: the whole pipeline is
+   [consensus] (Gossip → 3-chain commit of the own batch), which is
+   also [e2e]. Both labels are reported so cross-protocol tables share
+   the [e2e] column. *)
+let phase_labels = [ "consensus"; "e2e" ]
 
 let id t = t.id
 
@@ -97,6 +105,13 @@ let mempool_size t = t.mempool_count
 
 let broadcast t body = Sim.Network.broadcast t.net ~src:t.id body
 
+let phases t = t.phases
+
+let trace_phase t detail =
+  match Sim.Network.trace_sink t.net with
+  | Some tr -> Sim.Trace.record tr ~node:t.id Sim.Trace.Phase detail
+  | None -> ()
+
 let on_commit t ~height:_ cmds =
   List.iter
     (fun (batch : Lyra.Types.batch) ->
@@ -104,8 +119,18 @@ let on_commit t ~height:_ cmds =
         { batch; seq = t.next_seq; output_at = Sim.Engine.now t.engine }
       in
       t.next_seq <- t.next_seq + 1;
-      if Int.equal batch.iid.Lyra.Types.proposer t.id then
-        t.own_committed <- t.own_committed + 1;
+      (if Int.equal batch.iid.Lyra.Types.proposer t.id then begin
+         t.own_committed <- t.own_committed + 1;
+         match Hashtbl.find_opt t.phase_marks batch.iid.Lyra.Types.index with
+         | Some from_us ->
+             Metrics.Phases.record_span_us t.phases "consensus" ~from_us
+               ~until_us:out.output_at;
+             Metrics.Phases.record_span_us t.phases "e2e" ~from_us
+               ~until_us:out.output_at;
+             trace_phase t (Sim.Trace.Span { span = "e2e"; from_us });
+             Hashtbl.remove t.phase_marks batch.iid.Lyra.Types.index
+         | None -> ()
+       end);
       t.outputs_rev <- out :: t.outputs_rev;
       t.on_output out)
     cmds
@@ -138,6 +163,8 @@ let propose_batch t txs =
       created_at = Sim.Engine.now t.engine;
     }
   in
+  Hashtbl.replace t.phase_marks index (Sim.Engine.now t.engine);
+  trace_phase t (Sim.Trace.Mark { mark = "propose"; proposer = t.id; index });
   broadcast t (Gossip { batch })
 
 let rec maybe_propose t =
@@ -219,6 +246,8 @@ let create config net ~id ?(on_observe = fun _ -> ())
       next_index = 0;
       tx_counter = 0;
       started = false;
+      phases = Metrics.Phases.create phase_labels;
+      phase_marks = Hashtbl.create 16;
     }
   in
   let transport =

@@ -67,3 +67,9 @@ val own_committed : t -> int
 
 (** Transactions waiting to be batched. *)
 val mempool_size : t -> int
+
+(** Per-phase latency breakdown of this replica's own batches (ms).
+    HotStuff's pipeline is a single phase: [consensus] (Gossip →
+    3-chain commit) equals [e2e]; both labels are reported so
+    cross-protocol tables share the [e2e] column. *)
+val phases : t -> Metrics.Phases.t

@@ -18,6 +18,7 @@ type env = {
   broadcast : Types.body -> unit;
   schedule : delay_us:int -> (unit -> unit) -> unit;
   observe_vote : src:int -> seq_obs:int -> unit;
+  on_vvb_deliver : unit -> unit;
   on_decide : value:int -> round:int -> Types.proposal option -> unit;
 }
 
@@ -298,6 +299,10 @@ let deliver_one t proof =
   if not t.delivered1 then begin
     t.delivered1 <- true;
     t.deliver_proof <- proof;
+    (* Phase milestone: the VVB layer has delivered (1, m) locally —
+       the boundary between broadcast and binary consensus in the
+       latency anatomy. *)
+    t.env.on_vvb_deliver ();
     (match (t.proposal, t.deliver_sent) with
     | Some proposal, false ->
         t.deliver_sent <- true;

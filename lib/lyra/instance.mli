@@ -46,6 +46,9 @@ type env = {
   schedule : delay_us:int -> (unit -> unit) -> unit;
   observe_vote : src:int -> seq_obs:int -> unit;
       (** distance measurement hook (only meaningful at the proposer) *)
+  on_vvb_deliver : unit -> unit;
+      (** fires when this process first delivers (1, m) — the
+          VVB→DBFT boundary of the phase breakdown *)
   on_decide : value:int -> round:int -> Types.proposal option -> unit;
 }
 

@@ -32,6 +32,16 @@ type commit_record = {
   mutable emitted : bool;
 }
 
+(* Per-own-proposal phase milestones, in engine µs; -1 = not reached.
+   Keyed by proposal index; removed once the batch is emitted (or
+   learned through a log sync, where the pipeline was bypassed). *)
+type phase_marks = {
+  mutable k_propose : int;
+  mutable k_deliver : int;  (** VVB delivered (1, m) locally *)
+  mutable k_decide : int;  (** DBFT decided 1 *)
+  mutable k_reveal : int;  (** taken committable; Reveal broadcast *)
+}
+
 (* Tally of Decided notices for an instance this node has not decided
    itself; adopted once f+1 distinct senders agree on the value. *)
 type decided_tally = {
@@ -91,8 +101,19 @@ type t = {
   mutable own_rejected : int;
   decide_rounds : Metrics.Recorder.t;
   boc_latency : Metrics.Recorder.t;
+  phases : Metrics.Phases.t;
+  phase_marks : (int, phase_marks) Hashtbl.t;  (** own index → marks *)
   mutable proposals_made : int;
 }
+
+(* The latency anatomy of an own batch, as phase spans (ms):
+   propose → VVB-deliver → DBFT-decide → take-committable (Reveal
+   broadcast) → emit. [boc_decide] = propose → decide is the paper's
+   headline BOC latency (3 one-way delays in the good case);
+   [accept_wait] is the residual of the L acceptance window plus the
+   stable-prefix wait; [e2e] is propose → emit. *)
+let phase_labels =
+  [ "vvb_deliver"; "dbft_decide"; "boc_decide"; "accept_wait"; "reveal"; "e2e" ]
 
 let id t = t.id
 
@@ -119,6 +140,17 @@ let retransmits t = t.retransmits
 let decide_rounds t = t.decide_rounds
 
 let boc_latency t = t.boc_latency
+
+let phases t = t.phases
+
+(* Structured trace spans for the Phase category. Phase records are
+   per-batch milestones, not per-message, so eagerly building the
+   detail variant costs nothing measurable; [Trace.record] itself
+   drops it when the category is off. *)
+let trace_phase t detail =
+  match Sim.Network.trace_sink t.net with
+  | Some tr -> Sim.Trace.record tr ~node:t.id Sim.Trace.Phase detail
+  | None -> ()
 
 let own_accepted t = t.own_accepted
 
@@ -270,6 +302,19 @@ let rec drain_outbox t =
               in
               t.outputs_rev <- out :: t.outputs_rev;
               t.output_count <- t.output_count + 1;
+              (if Int.equal iid.Types.proposer t.id then
+                 match Hashtbl.find_opt t.phase_marks iid.Types.index with
+                 | Some m ->
+                     let now = out.output_at in
+                     if m.k_reveal >= 0 then
+                       Metrics.Phases.record_span_us t.phases "reveal"
+                         ~from_us:m.k_reveal ~until_us:now;
+                     Metrics.Phases.record_span_us t.phases "e2e"
+                       ~from_us:m.k_propose ~until_us:now;
+                     trace_phase t
+                       (Sim.Trace.Span { span = "e2e"; from_us = m.k_propose });
+                     Hashtbl.remove t.phase_marks iid.Types.index
+                 | None -> ());
               t.on_output out;
               drain_outbox t
             end
@@ -382,6 +427,14 @@ let try_commit t =
                 Hashtbl.replace t.records iid
                   { c_batch = proposal.Types.batch; c_seq = seq; emitted = false };
                 Queue.push iid t.outbox;
+                (if Int.equal iid.Types.proposer t.id then
+                   match Hashtbl.find_opt t.phase_marks iid.Types.index with
+                   | Some m when m.k_decide >= 0 && m.k_reveal < 0 ->
+                       let now = Sim.Engine.now t.engine in
+                       m.k_reveal <- now;
+                       Metrics.Phases.record_span_us t.phases "accept_wait"
+                         ~from_us:m.k_decide ~until_us:now
+                   | _ -> ());
                 (* Broadcast our decryption share (line 95). *)
                 let share =
                   if t.config.real_crypto then
@@ -493,11 +546,26 @@ let on_decide t iid ~value ~round proposal =
            | None -> ())
        | None -> ()
      end;
-     match Hashtbl.find_opt t.own_sref iid.Types.index with
+     (match Hashtbl.find_opt t.own_sref iid.Types.index with
      | Some s_ref ->
          Metrics.Recorder.record t.boc_latency
            (float_of_int (Ordering_clock.peek t.clock - s_ref))
-     | None -> ()
+     | None -> ());
+     match Hashtbl.find_opt t.phase_marks iid.Types.index with
+     | Some m when value = 1 && m.k_decide < 0 ->
+         let now = Sim.Engine.now t.engine in
+         m.k_decide <- now;
+         if m.k_deliver >= 0 then
+           Metrics.Phases.record_span_us t.phases "dbft_decide"
+             ~from_us:m.k_deliver ~until_us:now;
+         Metrics.Phases.record_span_us t.phases "boc_decide"
+           ~from_us:m.k_propose ~until_us:now;
+         trace_phase t
+           (Sim.Trace.Span { span = "boc_decide"; from_us = m.k_propose })
+     | Some _ when value = 0 ->
+         (* Rejected: the pipeline ends here; its marks never complete. *)
+         Hashtbl.remove t.phase_marks iid.Types.index
+     | _ -> ()
    end);
   (if value = 1 then
      match proposal with
@@ -592,6 +660,16 @@ let make_env t iid : Instance.env =
           match Hashtbl.find_opt t.own_sref iid.Types.index with
           | Some s_ref -> Predictor.observe t.predictor ~peer:src ~s_ref ~seq_obs
           | None -> ());
+    on_vvb_deliver =
+      (fun () ->
+        if Int.equal iid.Types.proposer t.id then
+          match Hashtbl.find_opt t.phase_marks iid.Types.index with
+          | Some m when m.k_deliver < 0 ->
+              let now = Sim.Engine.now t.engine in
+              m.k_deliver <- now;
+              Metrics.Phases.record_span_us t.phases "vvb_deliver"
+                ~from_us:m.k_propose ~until_us:now
+          | _ -> ());
     on_decide =
       (fun ~value ~round proposal -> on_decide t iid ~value ~round proposal);
   }
@@ -637,6 +715,14 @@ let propose_batch t txs =
     + Sim.Cpu.backlog_us (Sim.Network.nic t.net t.id)
   in
   Hashtbl.replace t.own_sref index s_ref;
+  Hashtbl.replace t.phase_marks index
+    {
+      k_propose = Sim.Engine.now t.engine;
+      k_deliver = -1;
+      k_decide = -1;
+      k_reveal = -1;
+    };
+  trace_phase t (Sim.Trace.Mark { mark = "propose"; proposer = t.id; index });
   let st = Predictor.predict t.predictor ~s_ref in
   let st =
     match t.misbehavior with
@@ -873,6 +959,10 @@ let on_sync_resp t ~src:_ ~from_count ~upto entries =
                   Instance.force_decide inst ~value:1 (Instance.proposal inst)
               | _ -> ());
               t.synced_entries <- t.synced_entries + 1;
+              (* An own batch emitted through the sync bypassed the
+                 reveal pipeline; its phase marks can never complete. *)
+              if Int.equal iid.Types.proposer t.id then
+                Hashtbl.remove t.phase_marks iid.Types.index;
               let out =
                 { batch; seq; output_at = Sim.Engine.now t.engine }
               in
@@ -1223,6 +1313,8 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       own_rejected = 0;
       decide_rounds = Metrics.Recorder.create ();
       boc_latency = Metrics.Recorder.create ();
+      phases = Metrics.Phases.create phase_labels;
+      phase_marks = Hashtbl.create 16;
       proposals_made = 0;
     }
   in

@@ -82,6 +82,14 @@ val decide_rounds : t -> Metrics.Recorder.t
 (** BOC decision latency (µs, INIT broadcast → local decision). *)
 val boc_latency : t -> Metrics.Recorder.t
 
+(** Per-phase latency breakdown of this node's own batches (ms):
+    [vvb_deliver] (propose → VVB delivers (1, m)), [dbft_decide]
+    (deliver → DBFT decides 1), [boc_decide] (propose → decide, the
+    paper's 3-message-delay good case), [accept_wait] (decide → taken
+    committable / Reveal broadcast), [reveal] (Reveal → emit), [e2e]
+    (propose → emit). *)
+val phases : t -> Metrics.Phases.t
+
 (** Own proposals: how many were accepted / rejected by consensus. *)
 val own_accepted : t -> int
 

@@ -1,0 +1,309 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* NaN propagates freely through the percentile math on empty-ish
+   columns; JSON has no NaN/inf, so they serialize as null and the
+   schema marks those fields nullable. *)
+let num x = if Float.is_finite x then Float x else Null
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.9g" x
+
+let rec write buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+      if Float.is_finite x then Buffer.add_string buf (float_literal x)
+      else Buffer.add_string buf "null"
+  | Str s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          write buf ~indent ~level:(level + 1) item)
+        items;
+      nl ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          escape buf k;
+          Buffer.add_string buf (if indent then ": " else ":");
+          write buf ~indent ~level:(level + 1) item)
+        fields;
+      nl ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = true) v =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 v;
+  if indent then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a small recursive-descent reader, enough to re-read and    *)
+(* validate everything this module writes.                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let of_string s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when Char.equal c c' -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.equal (String.sub s !pos (String.length word)) word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* ASCII round-trips; anything above is replaced — the
+                 writer never emits non-ASCII escapes. *)
+              Buffer.add_char buf
+                (if code < 0x80 then Char.chr code else '?');
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (items [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos < len then Error "trailing garbage" else Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Structural schema: exact key sets, element-wise list types.         *)
+(* ------------------------------------------------------------------ *)
+
+type schema =
+  | Bool_s
+  | Int_s
+  | Num_s  (** Int or Float *)
+  | Str_s
+  | Nullable of schema
+  | List_of of schema
+  | Obj_of of (string * schema) list  (** exactly these keys, any order *)
+
+let rec validate schema v ~path =
+  let err want =
+    Error (Printf.sprintf "%s: expected %s" (if String.equal path "" then "$" else path) want)
+  in
+  match (schema, v) with
+  | Bool_s, Bool _ -> Ok ()
+  | Int_s, Int _ -> Ok ()
+  | Num_s, (Int _ | Float _) -> Ok ()
+  | Str_s, Str _ -> Ok ()
+  | Nullable _, Null -> Ok ()
+  | Nullable inner, v -> validate inner v ~path
+  | List_of inner, List items ->
+      let rec go i = function
+        | [] -> Ok ()
+        | x :: rest -> (
+            match validate inner x ~path:(Printf.sprintf "%s[%d]" path i) with
+            | Ok () -> go (i + 1) rest
+            | Error _ as e -> e)
+      in
+      go 0 items
+  | Obj_of spec, Obj fields ->
+      let keys = List.map fst fields in
+      let missing = List.filter (fun (k, _) -> not (List.mem k keys)) spec in
+      let extra =
+        List.filter (fun k -> not (List.exists (fun (k', _) -> String.equal k k') spec)) keys
+      in
+      if missing <> [] then
+        Error (Printf.sprintf "%s: missing key %S" path (fst (List.hd missing)))
+      else if extra <> [] then
+        Error (Printf.sprintf "%s: unexpected key %S" path (List.hd extra))
+      else
+        let rec go = function
+          | [] -> Ok ()
+          | (k, inner) :: rest -> (
+              match
+                validate inner (List.assoc k fields) ~path:(path ^ "." ^ k)
+              with
+              | Ok () -> go rest
+              | Error _ as e -> e)
+        in
+        go spec
+  | Bool_s, _ -> err "bool"
+  | Int_s, _ -> err "int"
+  | Num_s, _ -> err "number"
+  | Str_s, _ -> err "string"
+  | List_of _, _ -> err "array"
+  | Obj_of _, _ -> err "object"
+
+let check schema v = validate schema v ~path:""

@@ -1,0 +1,46 @@
+(** Minimal JSON tree: writer, reader and a structural schema checker.
+
+    The bench harness's machine-readable output ([BENCH_*.json]) is
+    written and self-validated through this module; it is deliberately
+    dependency-free (no external JSON library in the toolchain) and
+    deterministic — object keys render in construction order and float
+    literals use a fixed format, so identical runs produce identical
+    bytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [num x] is [Float x], or [Null] when [x] is NaN/infinite (JSON has
+    no representation for either). *)
+val num : float -> t
+
+(** Render; [indent] (default true) pretty-prints with 2-space
+    indentation and a trailing newline. *)
+val to_string : ?indent:bool -> t -> string
+
+(** Parse a complete JSON document. *)
+val of_string : string -> (t, string) result
+
+(** [member k v] — field [k] of an object, [None] otherwise. *)
+val member : string -> t -> t option
+
+(** Structural schema: leaf types, nullability, homogeneous arrays and
+    exact object key sets. *)
+type schema =
+  | Bool_s
+  | Int_s
+  | Num_s  (** [Int] or [Float] *)
+  | Str_s
+  | Nullable of schema
+  | List_of of schema
+  | Obj_of of (string * schema) list
+      (** exactly these keys, in any order *)
+
+(** [check schema v] — [Error] carries the path of the first mismatch. *)
+val check : schema -> t -> (unit, string) result

@@ -1,0 +1,38 @@
+(* A fixed, ordered set of named phase-latency recorders.
+
+   Protocol nodes stamp per-transaction milestones (propose, deliver,
+   decide, ...) and record the span between two milestones into the
+   recorder for that phase label. The label set is fixed at creation so
+   every node of a protocol reports the same phases in the same order,
+   which lets the harness aggregate across nodes by position as well as
+   by name. *)
+
+type t = { labels : string array; recs : Recorder.t array }
+
+let create labels =
+  let labels = Array.of_list labels in
+  if Array.length labels = 0 then invalid_arg "Phases.create: no labels";
+  { labels; recs = Array.map (fun _ -> Recorder.create ()) labels }
+
+let index t label =
+  let n = Array.length t.labels in
+  let rec go i =
+    if i >= n then invalid_arg ("Phases: unknown label " ^ label)
+    else if String.equal t.labels.(i) label then i
+    else go (i + 1)
+  in
+  go 0
+
+let record t label v = Recorder.record t.recs.(index t label) v
+
+(* Spans are stamped in engine µs but recorded in ms, matching every
+   other latency recorder in the repo. *)
+let record_span_us t label ~from_us ~until_us =
+  record t label (float_of_int (until_us - from_us) /. 1000.0)
+
+let recorder t label = t.recs.(index t label)
+
+let labels t = Array.to_list t.labels
+
+let pairs t =
+  Array.to_list (Array.mapi (fun i l -> (l, t.recs.(i))) t.labels)

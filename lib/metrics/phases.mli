@@ -1,0 +1,28 @@
+(** A fixed, ordered set of named phase-latency recorders.
+
+    Used by protocol nodes to break end-to-end latency into its
+    pipeline phases (the paper's Fig. "anatomy of a transaction"):
+    each node stamps per-transaction milestones and records the span
+    between two milestones, in milliseconds, under a stable label. *)
+
+type t
+
+(** [create labels] — the label set and its order are fixed for the
+    lifetime of the value. Raises [Invalid_argument] on an empty
+    list. *)
+val create : string list -> t
+
+(** [record t label ms] — raises [Invalid_argument] on an unknown
+    label. *)
+val record : t -> string -> float -> unit
+
+(** [record_span_us t label ~from_us ~until_us] records
+    [(until_us - from_us) / 1000] ms. *)
+val record_span_us : t -> string -> from_us:int -> until_us:int -> unit
+
+val recorder : t -> string -> Recorder.t
+
+val labels : t -> string list
+
+(** Label/recorder pairs in creation order. *)
+val pairs : t -> (string * Recorder.t) list

@@ -17,8 +17,15 @@ let is_empty t = t.len = 0
 
 let to_array t = Array.sub t.data 0 t.len
 
+let sorted t =
+  let xs = to_array t in
+  Array.sort Float.compare xs;
+  xs
+
 let mean t = Stats.mean (to_array t)
 
 let percentile p t = Stats.percentile p (to_array t)
+
+let summary t = Stats.summary_sorted (sorted t)
 
 let clear t = t.len <- 0

@@ -15,9 +15,17 @@ val is_empty : t -> bool
 
 val to_array : t -> float array
 
+(** Sorted (ascending) snapshot — take one and report any number of
+    quantiles through {!Stats.percentile_sorted} without re-sorting. *)
+val sorted : t -> float array
+
 val mean : t -> float
 
 val percentile : float -> t -> float
+
+(** (mean, p50, p95, p99, max) from one sorted snapshot. Raises
+    [Invalid_argument] when empty. *)
+val summary : t -> float * float * float * float * float
 
 (** [clear t] discards everything recorded so far (e.g. warm-up). *)
 val clear : t -> unit

@@ -10,18 +10,26 @@ let stddev xs =
     let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
     sqrt (ss /. float_of_int (n - 1))
 
-let percentile p xs =
-  let n = Array.length xs in
+(* Shared rank interpolation over an already-sorted array; every
+   percentile entry point funnels through here so a caller holding a
+   sorted snapshot pays no copy and no re-sort per quantile. *)
+let percentile_sorted p sorted =
+  let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.percentile: empty input";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
   if lo = hi then sorted.(lo)
   else
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let sorted_copy xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  sorted
+
+let percentile p xs = percentile_sorted p (sorted_copy xs)
 
 let median xs = percentile 50.0 xs
 
@@ -32,9 +40,13 @@ let min_max xs =
     (xs.(0), xs.(0))
     xs
 
-let summary xs =
-  ( mean xs,
-    percentile 50.0 xs,
-    percentile 95.0 xs,
-    percentile 99.0 xs,
-    snd (min_max xs) )
+let summary_sorted sorted =
+  ( mean sorted,
+    percentile_sorted 50.0 sorted,
+    percentile_sorted 95.0 sorted,
+    percentile_sorted 99.0 sorted,
+    sorted.(Array.length sorted - 1) )
+
+(* One copy + one sort; mean, the three quantiles and the max all read
+   the same sorted array (the max is its last element). *)
+let summary xs = summary_sorted (sorted_copy xs)

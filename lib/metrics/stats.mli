@@ -8,9 +8,22 @@ val stddev : float array -> float
     [xs] need not be sorted. Raises [Invalid_argument] on empty input. *)
 val percentile : float -> float array -> float
 
+(** [percentile_sorted p xs] — same, but [xs] must already be sorted
+    ascending; no copy, no sort. Callers reporting several quantiles
+    should sort once (e.g. {!sorted_copy} or [Recorder.sorted]) and
+    funnel through this. *)
+val percentile_sorted : float -> float array -> float
+
+(** Sorted (ascending) copy of [xs]; the input is untouched. *)
+val sorted_copy : float array -> float array
+
 val median : float array -> float
 
 val min_max : float array -> float * float
 
-(** [summary xs] is (mean, p50, p95, p99, max). *)
+(** [summary xs] is (mean, p50, p95, p99, max), computed from a single
+    sorted copy of the input. *)
 val summary : float array -> float * float * float * float * float
+
+(** [summary_sorted xs] — same, for an already-sorted non-empty array. *)
+val summary_sorted : float array -> float * float * float * float * float

@@ -1,0 +1,33 @@
+(** Time-bucketed accumulator: a growable array of buckets of fixed
+    width (simulated µs), each summing the values charged to it. The
+    profiler uses one per CPU/NIC to turn busy time into a utilization
+    timeline; buckets never shrink and untouched buckets read 0. *)
+
+type t
+
+(** [create ~bucket_us ()] — bucket width in µs (default 100_000). *)
+val create : ?bucket_us:int -> unit -> t
+
+val bucket_us : t -> int
+
+(** [add t ~at_us v] charges [v] to the bucket containing [at_us]. *)
+val add : t -> at_us:int -> float -> unit
+
+(** [add_range t ~from_us ~until_us v] spreads [v] over the interval
+    proportionally to each bucket's overlap with it (an empty interval
+    degenerates to {!add} at [from_us]). *)
+val add_range : t -> from_us:int -> until_us:int -> float -> unit
+
+(** Number of buckets up to the highest one ever touched. *)
+val buckets : t -> int
+
+(** [get t i] — bucket [i]'s accumulated value (0 outside the range). *)
+val get : t -> int -> float
+
+val to_array : t -> float array
+
+(** Highest-valued bucket as [(index, value)]; [None] when empty. *)
+val peak : t -> (int * float) option
+
+(** Sum over all buckets. *)
+val total : t -> float

@@ -57,4 +57,11 @@ val order_giveups : t -> int
 
 val mempool_size : t -> int
 
+(** Per-phase latency breakdown of this node's own batches (ms):
+    [order] (Order_req → 2f+1 Ts_resps / Sequenced broadcast),
+    [consensus] (Sequenced → HotStuff 3-chain commit), [stable_exec]
+    (commit → stable-execution output — the wait that dominates
+    Pompē's latency gap versus Lyra), [e2e] (propose → output). *)
+val phases : t -> Metrics.Phases.t
+
 val id : t -> int

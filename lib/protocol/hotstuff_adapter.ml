@@ -39,6 +39,10 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
 
     let net_dup nt = Sim.Network.messages_duplicated nt.net
 
+    let net_cpu nt id = Sim.Network.cpu nt.net id
+
+    let net_nic nt id = Sim.Network.nic nt.net id
+
     let convert (o : Hotstuff.Smr.output) =
       {
         Node_intf.key = Node_intf.key_of_iid o.batch.Lyra.Types.iid;
@@ -68,5 +72,9 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
         mempool = Hotstuff.Smr.mempool_size t;
         committed_seq = Hotstuff.Smr.committed_height t;
         late_accepts = 0;
+        phases =
+          List.map
+            (fun (label, r) -> (label, Metrics.Recorder.to_array r))
+            (Metrics.Phases.pairs (Hotstuff.Smr.phases t));
       }
   end)

@@ -41,6 +41,10 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
 
     let net_dup nt = Sim.Network.messages_duplicated nt.net
 
+    let net_cpu nt id = Sim.Network.cpu nt.net id
+
+    let net_nic nt id = Sim.Network.nic nt.net id
+
     let convert (o : Lyra.Node.output) =
       {
         Node_intf.key = Node_intf.key_of_iid o.batch.Lyra.Types.iid;
@@ -87,5 +91,9 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
         mempool = Lyra.Node.mempool_size t.node;
         committed_seq = Lyra.Node.committed_seq t.node;
         late_accepts = Lyra.Node.late_accepts t.node;
+        phases =
+          List.map
+            (fun (label, r) -> (label, Metrics.Recorder.to_array r))
+            (Metrics.Phases.pairs (Lyra.Node.phases t.node));
       }
   end)

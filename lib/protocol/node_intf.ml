@@ -16,6 +16,7 @@ type stats = {
   mempool : int;
   committed_seq : int;
   late_accepts : int;
+  phases : (string * float array) list;
 }
 
 (* Canonical log key of a batch: mirrors Lyra.Types.pp_iid so logs are
@@ -54,6 +55,10 @@ module type NODE = sig
   val net_dropped : net -> int
 
   val net_dup : net -> int
+
+  val net_cpu : net -> int -> Sim.Cpu.t
+
+  val net_nic : net -> int -> Sim.Cpu.t
 
   val create :
     net ->

@@ -25,6 +25,10 @@ type stats = {
   mempool : int;  (** transactions waiting to be batched *)
   committed_seq : int;  (** newest committed sequence number / height *)
   late_accepts : int;  (** safety counter; must stay 0 *)
+  phases : (string * float array) list;
+      (** per-phase latency samples of own batches, ms, in pipeline
+          order (see each protocol's [phases] accessor); the label set
+          is protocol-specific but every protocol ends with [e2e] *)
 }
 
 (** Canonical log key of a batch instance (stable across protocols). *)
@@ -69,6 +73,11 @@ module type NODE = sig
 
   (** Extra copies injected by duplication windows. *)
   val net_dup : net -> int
+
+  (** Node [id]'s simulated processor / egress NIC, for the profiler. *)
+  val net_cpu : net -> int -> Sim.Cpu.t
+
+  val net_nic : net -> int -> Sim.Cpu.t
 
   (** Create and register node [id]. [on_observe] fires when a proposal
       first becomes readable at this node (the MEV observation point);

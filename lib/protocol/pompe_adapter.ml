@@ -41,6 +41,10 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
 
     let net_dup nt = Sim.Network.messages_duplicated nt.net
 
+    let net_cpu nt id = Sim.Network.cpu nt.net id
+
+    let net_nic nt id = Sim.Network.nic nt.net id
+
     let convert (o : Pompe.Node.output) =
       {
         Node_intf.key = Node_intf.key_of_iid o.batch.Lyra.Types.iid;
@@ -83,5 +87,9 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
         mempool = Pompe.Node.mempool_size t;
         committed_seq = Pompe.Node.committed_height t;
         late_accepts = 0;
+        phases =
+          List.map
+            (fun (label, r) -> (label, Metrics.Recorder.to_array r))
+            (Metrics.Phases.pairs (Pompe.Node.phases t));
       }
   end)

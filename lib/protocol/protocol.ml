@@ -23,6 +23,7 @@ type stats = Node_intf.stats = {
   mempool : int;
   committed_seq : int;
   late_accepts : int;
+  phases : (string * float array) list;
 }
 
 let key_of_iid = Node_intf.key_of_iid

@@ -25,6 +25,7 @@ type stats = Node_intf.stats = {
   mempool : int;
   committed_seq : int;
   late_accepts : int;
+  phases : (string * float array) list;
 }
 
 val key_of_iid : Lyra.Types.iid -> string

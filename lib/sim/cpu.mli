@@ -1,28 +1,38 @@
-(** Per-node CPU: a FIFO server with explicit service times.
+(** Per-node CPU: [cores] parallel FIFO servers with explicit service
+    times.
 
     Each simulated process owns one CPU. Message handling is submitted
-    as a job with a service time from the {!Costs} table; jobs queue
-    behind each other, so an overloaded node (e.g. a HotStuff leader)
-    develops real queueing delay — the mechanism behind the Fig. 3
-    saturation behaviour. *)
+    as a job with a service time from the {!Costs} table; a job runs on
+    the earliest-free core for its full service time, so up to [cores]
+    jobs overlap and the (cores+1)-th queues — an overloaded node
+    (e.g. a HotStuff leader) develops real queueing delay, the
+    mechanism behind the Fig. 3 saturation behaviour. *)
 
 type t
 
-(** [create ?cores engine] — [cores] (default 1) divides service times,
-    approximating a multi-core node as a single proportionally faster
-    server (reasonable at the utilizations the experiments run at). *)
-val create : ?cores:int -> Engine.t -> t
+(** [create ?cores ?kind engine] — [cores] (default 1) parallel
+    servers; [kind] (default [Cpu_job]) tags the completion events for
+    the profiler's {!Engine.executed_by_kind} breakdown. *)
+val create : ?cores:int -> ?kind:Engine.kind -> Engine.t -> t
 
-(** [submit t ~service_us f] runs [f] once the CPU has spent
-    [service_us] of (queued) service on the job. *)
+(** [attach_timeline t tl] mirrors every job's busy interval into [tl]
+    (µs of service per bucket, boundary-split proportionally), for
+    utilization-over-time profiles. *)
+val attach_timeline : t -> Metrics.Timeline.t -> unit
+
+(** [submit t ~service_us f] runs [f] once a core has spent
+    [service_us] of service on the job (queueing included). *)
 val submit : t -> service_us:int -> (unit -> unit) -> unit
 
-(** Cumulative busy time (µs), for utilization reports. *)
+val cores : t -> int
+
+(** Cumulative busy time across all cores (µs). *)
 val busy_us : t -> int
 
-(** [utilization t ~over_us] is busy time divided by the window. *)
+(** [utilization t ~over_us] is busy time over the window's aggregate
+    capacity ([over_us * cores]); 1.0 = all cores saturated. *)
 val utilization : t -> over_us:int -> float
 
-(** Current backlog: when the CPU would start a job submitted now,
-    relative to the present (0 = idle). *)
+(** Queueing delay a job submitted now would wait before starting:
+    earliest core-free time minus now (0 = some core is idle). *)
 val backlog_us : t -> int

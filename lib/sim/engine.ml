@@ -1,10 +1,34 @@
-type timer = { mutable cancelled : bool; action : unit -> unit }
+type kind = Timer | Wire | Cpu_job | Nic_tx
 
-type t = {
+let kind_index = function Timer -> 0 | Wire -> 1 | Cpu_job -> 2 | Nic_tx -> 3
+
+let kind_name = function
+  | Timer -> "timer"
+  | Wire -> "wire"
+  | Cpu_job -> "cpu"
+  | Nic_tx -> "nic"
+
+let all_kinds = [ Timer; Wire; Cpu_job; Nic_tx ]
+
+(* A cancelled timer stays in the heap (removing an arbitrary heap
+   element is O(n)); [live] counts the entries that will actually fire,
+   so cancellations neither inflate [pending] nor burn the
+   [run_until_idle] budget. The timer carries its owner to let [cancel]
+   maintain the count without a lookup. *)
+type timer = {
+  mutable cancelled : bool;
+  t_kind : int;
+  action : unit -> unit;
+  owner : t;
+}
+
+and t = {
   heap : timer Event_heap.t;
   mutable clock : int;
   root_rng : Crypto.Rng.t;
   mutable executed : int;
+  mutable live : int;
+  kind_counts : int array;
 }
 
 let create ?(seed = 0xC0FFEEL) () =
@@ -13,41 +37,63 @@ let create ?(seed = 0xC0FFEEL) () =
     clock = 0;
     root_rng = Crypto.Rng.create seed;
     executed = 0;
+    live = 0;
+    kind_counts = Array.make 4 0;
   }
 
 let now t = t.clock
 
 let rng t = t.root_rng
 
-let schedule_at t ~time action =
+let schedule_at ?(kind = Timer) t ~time action =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
          time t.clock);
-  let timer = { cancelled = false; action } in
+  let timer =
+    { cancelled = false; t_kind = kind_index kind; action; owner = t }
+  in
   Event_heap.push t.heap ~time timer;
+  t.live <- t.live + 1;
   timer
 
-let schedule t ~delay action =
+let schedule ?kind t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock + delay) action
+  schedule_at ?kind t ~time:(t.clock + delay) action
 
-let cancel timer = timer.cancelled <- true
+let cancel timer =
+  if not timer.cancelled then begin
+    timer.cancelled <- true;
+    timer.owner.live <- timer.owner.live - 1
+  end
 
-let step t =
+(* Discard cancelled entries sitting at the heap head, so time-bound
+   checks ([run]'s peek) never see a timestamp that nothing will fire
+   at — otherwise skipping a cancelled head inside [step] could carry
+   execution past [until]. *)
+let rec purge_cancelled t =
+  match Event_heap.peek t.heap with
+  | Some (_, timer) when timer.cancelled ->
+      ignore (Event_heap.pop t.heap : (int * timer) option);
+      purge_cancelled t
+  | Some _ | None -> ()
+
+let rec step t =
   match Event_heap.pop t.heap with
   | None -> false
+  | Some (_, timer) when timer.cancelled -> step t
   | Some (time, timer) ->
       t.clock <- time;
-      if not timer.cancelled then begin
-        t.executed <- t.executed + 1;
-        timer.action ()
-      end;
+      t.live <- t.live - 1;
+      t.executed <- t.executed + 1;
+      t.kind_counts.(timer.t_kind) <- t.kind_counts.(timer.t_kind) + 1;
+      timer.action ();
       true
 
 let run t ~until =
   let continue = ref true in
   while !continue do
+    purge_cancelled t;
     match Event_heap.peek_time t.heap with
     | Some time when time <= until -> ignore (step t : bool)
     | Some _ | None -> continue := false
@@ -56,12 +102,17 @@ let run t ~until =
 
 let run_until_idle ?(limit = 500_000_000) t =
   let budget = ref limit in
-  while (not (Event_heap.is_empty t.heap)) && !budget > 0 do
+  while t.live > 0 && !budget > 0 do
+    (* [step] skips cancelled entries without charging the budget: only
+       events that actually execute count against the limit. *)
     ignore (step t : bool);
     decr budget
   done;
-  if !budget = 0 then failwith "Engine.run_until_idle: event limit exceeded"
+  if t.live > 0 then failwith "Engine.run_until_idle: event limit exceeded"
 
 let events_executed t = t.executed
 
-let pending t = Event_heap.size t.heap
+let executed_by_kind t =
+  List.map (fun k -> (kind_name k, t.kind_counts.(kind_index k))) all_kinds
+
+let pending t = t.live

@@ -10,6 +10,13 @@ type t
 type timer
 (** Cancellable handle returned by {!schedule}. *)
 
+(** Coarse event taxonomy for the profiler: what share of the engine's
+    work is wire deliveries vs CPU job completions vs NIC transmissions
+    vs plain protocol timers. *)
+type kind = Timer | Wire | Cpu_job | Nic_tx
+
+val kind_name : kind -> string
+
 (** [create ~seed ()] returns a fresh engine with its own root RNG. *)
 val create : ?seed:int64 -> unit -> t
 
@@ -19,13 +26,16 @@ val now : t -> int
 (** The engine's root RNG; [split] it per component for isolation. *)
 val rng : t -> Crypto.Rng.t
 
-(** [schedule t ~delay f] runs [f] at [now + delay] (delay ≥ 0). *)
-val schedule : t -> delay:int -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at [now + delay] (delay ≥ 0).
+    [kind] (default [Timer]) tags the event for {!executed_by_kind}. *)
+val schedule : ?kind:kind -> t -> delay:int -> (unit -> unit) -> timer
 
 (** [schedule_at t ~time f] runs [f] at absolute [time] (≥ now). *)
-val schedule_at : t -> time:int -> (unit -> unit) -> timer
+val schedule_at : ?kind:kind -> t -> time:int -> (unit -> unit) -> timer
 
-(** [cancel timer] prevents a pending timer from firing; idempotent. *)
+(** [cancel timer] prevents a pending timer from firing; idempotent.
+    Cancelled timers stop counting towards {!pending} and are excluded
+    from {!run_until_idle}'s budget and {!events_executed}. *)
 val cancel : timer -> unit
 
 (** [run t ~until] processes events up to and including simulated time
@@ -33,11 +43,15 @@ val cancel : timer -> unit
 val run : t -> until:int -> unit
 
 (** [run_until_idle t] processes events until none remain. The optional
-    [limit] (default 500M) guards against livelock in buggy protocols. *)
+    [limit] (default 500M) guards against livelock in buggy protocols;
+    only events that actually execute are charged against it. *)
 val run_until_idle : ?limit:int -> t -> unit
 
-(** Number of events executed so far. *)
+(** Number of events executed so far (cancelled timers excluded). *)
 val events_executed : t -> int
 
-(** Number of events still pending. *)
+(** Executed-event counts broken down by {!kind}, in a fixed order. *)
+val executed_by_kind : t -> (string * int) list
+
+(** Number of live (non-cancelled) events still pending. *)
 val pending : t -> int

@@ -62,6 +62,9 @@ let pop h =
 
 let peek_time h = if h.len = 0 then None else Some h.data.(0).time
 
+let peek h =
+  if h.len = 0 then None else Some (h.data.(0).time, h.data.(0).payload)
+
 let size h = h.len
 
 let is_empty h = h.len = 0

@@ -15,6 +15,9 @@ val pop : 'a t -> (int * 'a) option
 (** [peek_time h] is the earliest timestamp without removing it. *)
 val peek_time : 'a t -> int option
 
+(** [peek h] is the earliest event without removing it. *)
+val peek : 'a t -> (int * 'a) option
+
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool

@@ -29,22 +29,26 @@ type 'msg t = {
   mutable duped : int;
 }
 
-let trace t ~node detail =
+(* The detail payload is built at the call site but only matters when
+   the Fault category is on; fault events are rare (drops, crashes), so
+   no [enabled] pre-check is needed here — [Trace.record] itself is one
+   bitmask test when the category is off. *)
+let trace_fault t ~node detail =
   match t.trace with
   | None -> ()
-  | Some tr -> Trace.record tr ~node ~category:"fault" detail
+  | Some tr -> Trace.record tr ~node Trace.Fault detail
 
 let crash t id =
   if not t.crashed.(id) then begin
     t.crashed.(id) <- true;
     t.incarnation.(id) <- t.incarnation.(id) + 1;
-    trace t ~node:id "crash"
+    trace_fault t ~node:id Trace.Crash
   end
 
 let recover t id =
   if t.crashed.(id) then begin
     t.crashed.(id) <- false;
-    trace t ~node:id "recover";
+    trace_fault t ~node:id Trace.Recover;
     match t.recover_hooks.(id) with None -> () | Some hook -> hook ()
   end
 
@@ -62,7 +66,7 @@ let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
       ns_per_byte;
       handlers = Array.make n None;
       cpus = Array.init n (fun _ -> Cpu.create ~cores engine);
-      nics = Array.init n (fun _ -> Cpu.create engine);
+      nics = Array.init n (fun _ -> Cpu.create ~kind:Engine.Nic_tx engine);
       crashed = Array.make n false;
       incarnation = Array.make n 0;
       faults;
@@ -126,8 +130,8 @@ let schedule_delivery t ~src ~dst msg =
   in
   let inc = t.incarnation.(dst) in
   ignore
-    (Engine.schedule t.engine ~delay:(latency + extra) (fun () ->
-         deliver t ~src ~dst ~inc msg)
+    (Engine.schedule ~kind:Engine.Wire t.engine ~delay:(latency + extra)
+       (fun () -> deliver t ~src ~dst ~inc msg)
       : Engine.timer)
 
 (* The fault plan acts at the moment a message enters the wire:
@@ -137,28 +141,32 @@ let wire t ~src ~dst msg =
   let now = Engine.now t.engine in
   if Faults.partitioned t.faults ~now ~src ~dst then begin
     t.dropped <- t.dropped + 1;
-    trace t ~node:dst (Printf.sprintf "partition-drop src=%d" src)
+    trace_fault t ~node:dst (Trace.Partition_drop { src })
   end
   else begin
-    let deliver_once = ref true and copies = ref 1 in
+    let copies = ref 1 in
     (match t.fault_rng with
     | None -> ()
     | Some rng ->
         let drop_p, dup_p = Faults.drop_dup t.faults ~now ~src ~dst in
+        (* Drop and duplication are sampled independently: gating the
+           dup draw on the drop not firing would make the effective
+           duplicate rate dup_p * (1 - drop_p) instead of the
+           configured dup_p. A message can lose its original and still
+           have its duplicate delivered. *)
         if drop_p > 0.0 && Crypto.Rng.float rng < drop_p then begin
-          deliver_once := false;
+          copies := !copies - 1;
           t.dropped <- t.dropped + 1;
-          trace t ~node:dst (Printf.sprintf "drop src=%d" src)
-        end
-        else if dup_p > 0.0 && Crypto.Rng.float rng < dup_p then begin
-          copies := 2;
+          trace_fault t ~node:dst (Trace.Drop { src })
+        end;
+        if dup_p > 0.0 && Crypto.Rng.float rng < dup_p then begin
+          copies := !copies + 1;
           t.duped <- t.duped + 1;
-          trace t ~node:dst (Printf.sprintf "dup src=%d" src)
+          trace_fault t ~node:dst (Trace.Dup { src })
         end);
-    if !deliver_once then
-      for _ = 1 to !copies do
-        schedule_delivery t ~src ~dst msg
-      done
+    for _ = 1 to !copies do
+      schedule_delivery t ~src ~dst msg
+    done
   end
 
 let send t ~src ~dst msg =
@@ -166,6 +174,14 @@ let send t ~src ~dst msg =
     invalid_arg "Network.send: endpoint out of range";
   if not t.crashed.(src) then begin
     t.sent <- t.sent + 1;
+    (* Per-message tracing, guarded so the disabled path costs exactly
+       one bitmask test: neither the [Send] payload nor [size msg] is
+       evaluated unless the Net category is subscribed. *)
+    (match t.trace with
+    | Some tr when Trace.enabled tr Trace.Net ->
+        Trace.record tr ~node:src Trace.Net
+          (Trace.Send { dst; bytes = t.size msg })
+    | Some _ | None -> ());
     if Int.equal src dst then deliver t ~src ~dst ~inc:t.incarnation.(dst) msg
     else begin
       let bytes = t.size msg in
@@ -192,6 +208,8 @@ let n t = t.n
 let cpu t i = t.cpus.(i)
 
 let nic t i = t.nics.(i)
+
+let trace_sink t = t.trace
 
 let messages_sent t = t.sent
 

@@ -28,8 +28,12 @@ type 'msg t
     16-vCPU machines). [faults] schedules transport/process faults
     (validated against [n]; default {!Faults.none} keeps the transport
     perfectly reliable and consumes no extra randomness). [trace]
-    records a ["fault"] event per drop, duplicate, crash and
-    recovery. *)
+    records a {!Trace.Fault} event per drop, duplicate, crash and
+    recovery, and — when the [Net] category is subscribed — a
+    {!Trace.Send} per message handed to the transport. Drop and
+    duplication windows are sampled independently, so the observed
+    drop and duplicate rates each match their configured
+    probabilities. *)
 val create :
   Engine.t ->
   n:int ->
@@ -83,6 +87,10 @@ val cpu : 'msg t -> int -> Cpu.t
 
 (** Egress NIC of a node (service times are transmission times). *)
 val nic : 'msg t -> int -> Cpu.t
+
+(** The trace installed at creation, if any — protocols record their
+    {!Trace.Phase} milestones into the same sink. *)
+val trace_sink : 'msg t -> Trace.t option
 
 (** Total messages handed to the transport so far. *)
 val messages_sent : 'msg t -> int

@@ -1,30 +1,47 @@
-type event = { at_us : int; node : int; category : string; detail : string }
+type category = Fault | Phase | Net
+
+let category_bit = function Fault -> 1 | Phase -> 2 | Net -> 4
+
+let category_name = function
+  | Fault -> "fault"
+  | Phase -> "phase"
+  | Net -> "net"
+
+let all_categories = [ Fault; Phase; Net ]
+
+let default_categories = [ Fault; Phase ]
+
+type detail =
+  | Text of string
+  | Drop of { src : int }
+  | Dup of { src : int }
+  | Partition_drop of { src : int }
+  | Crash
+  | Recover
+  | Send of { dst : int; bytes : int }
+  | Span of { span : string; from_us : int }
+  | Mark of { mark : string; proposer : int; index : int }
+
+type event = { at_us : int; node : int; category : category; detail : detail }
 
 type t = {
   engine : Engine.t;
-  categories : (string, unit) Hashtbl.t option;
+  mask : int;
   capacity : int;
   store : event Queue.t;
   mutable dropped : int;
 }
 
-let create ?categories ?(capacity = 1_000_000) engine =
-  let categories =
-    Option.map
-      (fun cats ->
-        let tbl = Hashtbl.create 8 in
-        List.iter (fun c -> Hashtbl.replace tbl c ()) cats;
-        tbl)
-      categories
-  in
-  { engine; categories; capacity; store = Queue.create (); dropped = 0 }
+let create ?(categories = default_categories) ?(capacity = 1_000_000) engine =
+  let mask = List.fold_left (fun m c -> m lor category_bit c) 0 categories in
+  { engine; mask; capacity; store = Queue.create (); dropped = 0 }
 
-let enabled t category =
-  match t.categories with
-  | None -> true
-  | Some tbl -> Hashtbl.mem tbl category
+(* A single mask test: the per-message hot path pays this and nothing
+   else when the category is off — callers build the detail payload
+   inside an [enabled] guard, so disabled tracing allocates nothing. *)
+let enabled t category = t.mask land category_bit category <> 0
 
-let record t ~node ~category detail =
+let record t ~node category detail =
   if enabled t category then begin
     if Queue.length t.store >= t.capacity then begin
       ignore (Queue.pop t.store : event);
@@ -33,13 +50,17 @@ let record t ~node ~category detail =
     Queue.push { at_us = Engine.now t.engine; node; category; detail } t.store
   end
 
+let category_equal a b = Int.equal (category_bit a) (category_bit b)
+
 let events ?node ?category ?(since_us = min_int) t =
   Queue.fold
     (fun acc e ->
       let keep =
         e.at_us >= since_us
         && (match node with None -> true | Some n -> Int.equal e.node n)
-        && match category with None -> true | Some c -> String.equal c e.category
+        && match category with
+           | None -> true
+           | Some c -> category_equal c e.category
       in
       if keep then e :: acc else acc)
     [] t.store
@@ -49,8 +70,24 @@ let count t = Queue.length t.store
 
 let dropped t = t.dropped
 
+(* Rendering happens here, at query time — never on the recording
+   path. *)
+let pp_detail fmt = function
+  | Text s -> Format.pp_print_string fmt s
+  | Drop { src } -> Format.fprintf fmt "drop src=%d" src
+  | Dup { src } -> Format.fprintf fmt "dup src=%d" src
+  | Partition_drop { src } -> Format.fprintf fmt "partition-drop src=%d" src
+  | Crash -> Format.pp_print_string fmt "crash"
+  | Recover -> Format.pp_print_string fmt "recover"
+  | Send { dst; bytes } -> Format.fprintf fmt "send dst=%d bytes=%d" dst bytes
+  | Span { span; from_us } -> Format.fprintf fmt "span %s from=%dus" span from_us
+  | Mark { mark; proposer; index } ->
+      Format.fprintf fmt "mark %s iid=%d/%d" mark proposer index
+
 let pp_event fmt e =
-  Format.fprintf fmt "%8dus n%-3d %-10s %s" e.at_us e.node e.category e.detail
+  Format.fprintf fmt "%8dus n%-3d %-6s %a" e.at_us e.node
+    (category_name e.category)
+    pp_detail e.detail
 
 let dump ?node ?category t =
   let buf = Buffer.create 256 in

@@ -93,6 +93,43 @@ let test_seeds_diverge () =
     (a.messages <> b.messages || a.dropped_msgs <> b.dropped_msgs)
 
 (* ------------------------------------------------------------------ *)
+(* Loss-window sampling: drop and duplication are independent draws,   *)
+(* so over a long window each observed rate pins to its configured     *)
+(* probability. A coupled implementation (dup gated on the drop not    *)
+(* firing) would show an effective dup rate of dup_p·(1 − drop_p) —    *)
+(* 0.12 here, far outside the tolerance around 0.15.                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_drop_dup_rates_pinned () =
+  let n_msgs = 20_000 in
+  let drop_p = 0.2 and dup_p = 0.15 in
+  let engine = Sim.Engine.create ~seed:5L () in
+  let faults =
+    Sim.Faults.(none |> loss ~from_us:0 ~until_us:1_000_000_000 ~drop_p ~dup_p)
+  in
+  let net =
+    Sim.Network.create engine ~n:2 ~latency:(Sim.Latency.constant 500) ~faults
+      ~cost:(fun ~dst:_ _ -> 1)
+      ~size:(fun _ -> 100)
+      ()
+  in
+  let delivered = ref 0 in
+  Sim.Network.register net ~id:1 (fun ~src:_ _ -> incr delivered);
+  for i = 1 to n_msgs do
+    Sim.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run_until_idle ~limit:1_000_000 engine;
+  let rate count = float_of_int count /. float_of_int n_msgs in
+  let dropped = Sim.Network.messages_dropped net in
+  let duped = Sim.Network.messages_duplicated net in
+  Alcotest.(check (float 0.015)) "observed drop rate" drop_p (rate dropped);
+  Alcotest.(check (float 0.015)) "observed dup rate" dup_p (rate duped);
+  (* Every surviving copy arrives: original unless dropped, plus the
+     duplicate when the dup draw fired (even for dropped originals). *)
+  Alcotest.(check int) "delivered = sent - dropped + duped"
+    (n_msgs - dropped + duped) !delivered
+
+(* ------------------------------------------------------------------ *)
 (* Lyra crash → recover → rejoin, at the node level: the recovered     *)
 (* node must pull the commits it missed through the sync path and end  *)
 (* with the full log.                                                  *)
@@ -167,6 +204,8 @@ let suite =
     Protocol.Registry.names
   @ [
       Alcotest.test_case "seeds diverge under faults" `Quick test_seeds_diverge;
+      Alcotest.test_case "drop/dup rates pin to configuration" `Quick
+        test_drop_dup_rates_pinned;
       Alcotest.test_case "lyra crash rejoin via sync" `Slow
         test_lyra_crash_rejoin;
     ]

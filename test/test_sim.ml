@@ -27,6 +27,39 @@ let test_heap_grows () =
   done;
   Alcotest.(check bool) "empty" true (Sim.Event_heap.is_empty h)
 
+(* Property: popping drains events in non-decreasing time order, and
+   events pushed with equal times come out in insertion order (the
+   FIFO tie-break the deterministic engine relies on). Times are drawn
+   from a tiny range so collisions are common. *)
+let prop_heap_ordering =
+  QCheck.Test.make ~name:"heap: time-ordered pops, FIFO on ties" ~count:200
+    QCheck.(list (int_bound 7))
+    (fun times ->
+      let h = Sim.Event_heap.create () in
+      List.iteri (fun seq t -> Sim.Event_heap.push h ~time:t (t, seq)) times;
+      let popped = ref [] in
+      let rec drain () =
+        match Sim.Event_heap.pop h with
+        | None -> ()
+        | Some (t, (t', seq)) ->
+            popped := (t, t', seq) :: !popped;
+            drain ()
+      in
+      drain ();
+      let popped = List.rev !popped in
+      List.length popped = List.length times
+      && Sim.Event_heap.is_empty h
+      && fst
+           (List.fold_left
+              (fun (ok, prev) (t, t', seq) ->
+                let monotone =
+                  match prev with
+                  | None -> true
+                  | Some (pt, pseq) -> pt < t || (pt = t && pseq < seq)
+                in
+                (ok && monotone && t = t', Some (t, seq)))
+              (true, None) popped))
+
 let test_engine_ordering_and_time () =
   let e = Sim.Engine.create () in
   let log = ref [] in
@@ -90,13 +123,24 @@ let test_cpu_fifo () =
   Alcotest.(check (list int)) "serialized" [ 100; 150 ] (List.rev !done_at);
   Alcotest.(check int) "busy" 150 (Sim.Cpu.busy_us cpu)
 
+(* Cores are parallel servers: each job runs for its full service time
+   on one core; extra cores add concurrency, never speed. Four 100µs
+   jobs on four cores all finish at t=100; a fifth waits for the
+   earliest core and finishes at t=200. *)
 let test_cpu_cores () =
   let e = Sim.Engine.create () in
   let cpu = Sim.Cpu.create ~cores:4 e in
-  let at = ref 0 in
-  Sim.Cpu.submit cpu ~service_us:100 (fun () -> at := Sim.Engine.now e);
+  Alcotest.(check int) "cores" 4 (Sim.Cpu.cores cpu);
+  let finished = Array.make 5 (-1) in
+  for i = 0 to 4 do
+    Sim.Cpu.submit cpu ~service_us:100 (fun () ->
+        finished.(i) <- Sim.Engine.now e)
+  done;
   Sim.Engine.run_until_idle e;
-  Alcotest.(check int) "4x faster" 25 !at
+  for i = 0 to 3 do
+    Alcotest.(check int) "parallel batch" 100 finished.(i)
+  done;
+  Alcotest.(check int) "queued job waits for a core" 200 finished.(4)
 
 let test_cpu_idle_gap () =
   let e = Sim.Engine.create () in
@@ -404,6 +448,7 @@ let suite =
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
     Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
     Alcotest.test_case "heap grows" `Quick test_heap_grows;
+    QCheck_alcotest.to_alcotest prop_heap_ordering;
     Alcotest.test_case "engine ordering" `Quick test_engine_ordering_and_time;
     Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
     Alcotest.test_case "engine run until" `Quick test_engine_run_until;

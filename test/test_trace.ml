@@ -1,14 +1,17 @@
-(* The simulation trace facility. *)
+(* The simulation trace facility: typed categories, lazily rendered
+   structured details. *)
 
 let test_record_and_filter () =
   let e = Sim.Engine.create () in
   let tr = Sim.Trace.create e in
-  Sim.Trace.record tr ~node:0 ~category:"init" "a";
-  ignore (Sim.Engine.schedule e ~delay:100 (fun () ->
-      Sim.Trace.record tr ~node:1 ~category:"vote" "b"));
+  Sim.Trace.record tr ~node:0 Sim.Trace.Fault Sim.Trace.Crash;
+  ignore
+    (Sim.Engine.schedule e ~delay:100 (fun () ->
+         Sim.Trace.record tr ~node:1 Sim.Trace.Phase
+           (Sim.Trace.Mark { mark = "decide"; proposer = 1; index = 0 })));
   Sim.Engine.run_until_idle e;
   Alcotest.(check int) "count" 2 (Sim.Trace.count tr);
-  (match Sim.Trace.events ~category:"vote" tr with
+  (match Sim.Trace.events ~category:Sim.Trace.Phase tr with
   | [ ev ] ->
       Alcotest.(check int) "timestamped" 100 ev.Sim.Trace.at_us;
       Alcotest.(check int) "node" 1 ev.Sim.Trace.node
@@ -20,38 +23,119 @@ let test_record_and_filter () =
 
 let test_category_subscription () =
   let e = Sim.Engine.create () in
-  let tr = Sim.Trace.create ~categories:[ "decide" ] e in
-  Alcotest.(check bool) "enabled" true (Sim.Trace.enabled tr "decide");
-  Alcotest.(check bool) "disabled" false (Sim.Trace.enabled tr "vote");
-  Sim.Trace.record tr ~node:0 ~category:"vote" "dropped";
-  Sim.Trace.record tr ~node:0 ~category:"decide" "kept";
+  let tr = Sim.Trace.create ~categories:[ Sim.Trace.Fault ] e in
+  Alcotest.(check bool) "enabled" true (Sim.Trace.enabled tr Sim.Trace.Fault);
+  Alcotest.(check bool) "disabled" false (Sim.Trace.enabled tr Sim.Trace.Phase);
+  Sim.Trace.record tr ~node:0 Sim.Trace.Phase
+    (Sim.Trace.Text "not subscribed");
+  Sim.Trace.record tr ~node:0 Sim.Trace.Fault (Sim.Trace.Drop { src = 3 });
   Alcotest.(check int) "only subscribed" 1 (Sim.Trace.count tr)
+
+let test_default_excludes_net () =
+  (* The per-message Net firehose is opt-in; the default category set
+     must leave the hot path disabled. *)
+  let e = Sim.Engine.create () in
+  let tr = Sim.Trace.create e in
+  Alcotest.(check bool) "net off by default" false
+    (Sim.Trace.enabled tr Sim.Trace.Net);
+  Sim.Trace.record tr ~node:0 Sim.Trace.Net
+    (Sim.Trace.Send { dst = 1; bytes = 100 });
+  Alcotest.(check int) "not stored" 0 (Sim.Trace.count tr);
+  let all = Sim.Trace.create ~categories:Sim.Trace.all_categories e in
+  Alcotest.(check bool) "opt-in works" true
+    (Sim.Trace.enabled all Sim.Trace.Net)
 
 let test_capacity_bound () =
   let e = Sim.Engine.create () in
   let tr = Sim.Trace.create ~capacity:10 e in
   for i = 1 to 25 do
-    Sim.Trace.record tr ~node:0 ~category:"c" (string_of_int i)
+    Sim.Trace.record tr ~node:0 Sim.Trace.Fault (Sim.Trace.Drop { src = i })
   done;
   Alcotest.(check int) "bounded" 10 (Sim.Trace.count tr);
   Alcotest.(check int) "dropped" 15 (Sim.Trace.dropped tr);
-  (* oldest dropped: survivors are 16..25 *)
+  (* oldest evicted: survivors are 16..25 *)
   match Sim.Trace.events tr with
-  | first :: _ -> Alcotest.(check string) "oldest kept" "16" first.Sim.Trace.detail
-  | [] -> Alcotest.fail "empty"
+  | { Sim.Trace.detail = Sim.Trace.Drop { src }; _ } :: _ ->
+      Alcotest.(check int) "oldest kept" 16 src
+  | _ -> Alcotest.fail "empty or wrong payload"
 
-let test_dump () =
+let test_lazy_rendering () =
+  (* Details are variants; strings only materialize at query time. *)
   let e = Sim.Engine.create () in
-  let tr = Sim.Trace.create e in
-  Sim.Trace.record tr ~node:2 ~category:"commit" "batch 0/1";
+  let tr = Sim.Trace.create ~categories:Sim.Trace.all_categories e in
+  Sim.Trace.record tr ~node:2 Sim.Trace.Phase
+    (Sim.Trace.Span { span = "boc"; from_us = 40 });
+  Sim.Trace.record tr ~node:2 Sim.Trace.Net
+    (Sim.Trace.Send { dst = 0; bytes = 512 });
   let s = Sim.Trace.dump tr in
-  Alcotest.(check bool) "non-empty" true (String.length s > 0);
-  Alcotest.(check bool) "one line" true (String.contains s '\n')
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.equal (String.sub s i nl) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "span rendered" true (contains "span boc");
+  Alcotest.(check bool) "send rendered" true (contains "bytes=512");
+  Alcotest.(check int) "dump filtered" 1
+    (List.length (Sim.Trace.events ~category:Sim.Trace.Net tr))
+
+(* Tracing with every category unsubscribed is behaviourally free: the
+   same seeded Lyra cluster executes the identical event schedule with
+   and without a trace installed (phase milestones and fault hooks all
+   funnel through [Trace.record], whose disabled path is one bitmask
+   test and no scheduling). *)
+let test_zero_cost_when_disabled () =
+  let run_cluster ~with_trace =
+    let n = 4 in
+    let engine = Sim.Engine.create ~seed:11L () in
+    let cfg =
+      { (Lyra.Config.default ~n) with batch_size = 4; batch_timeout_us = 20_000 }
+    in
+    let latency =
+      Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n)
+    in
+    let trace =
+      if with_trace then Some (Sim.Trace.create ~categories:[] engine) else None
+    in
+    let net =
+      Sim.Network.create engine ~n ~latency ?trace
+        ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
+        ~size:Lyra.Types.msg_size ()
+    in
+    let nodes = Array.init n (fun id -> Lyra.Node.create cfg net ~id ()) in
+    Array.iter Lyra.Node.start nodes;
+    for k = 0 to 9 do
+      ignore
+        (Sim.Engine.schedule engine
+           ~delay:(100_000 * (k + 1))
+           (fun () ->
+             Array.iter
+               (fun nd ->
+                 ignore
+                   (Lyra.Node.submit nd ~payload:(String.make 16 'z') : string))
+               nodes)
+          : Sim.Engine.timer)
+    done;
+    Sim.Engine.run engine ~until:3_000_000;
+    ( Sim.Engine.events_executed engine,
+      Sim.Network.messages_sent net,
+      List.length (Lyra.Node.output_log nodes.(0)),
+      match trace with Some tr -> Sim.Trace.count tr | None -> 0 )
+  in
+  let ev_a, msg_a, out_a, _ = run_cluster ~with_trace:false in
+  let ev_b, msg_b, out_b, stored = run_cluster ~with_trace:true in
+  Alcotest.(check bool) "cluster committed" true (out_a > 0);
+  Alcotest.(check int) "events executed identical" ev_a ev_b;
+  Alcotest.(check int) "messages identical" msg_a msg_b;
+  Alcotest.(check int) "commits identical" out_a out_b;
+  Alcotest.(check int) "nothing stored" 0 stored
 
 let suite =
   [
     Alcotest.test_case "record and filter" `Quick test_record_and_filter;
     Alcotest.test_case "category subscription" `Quick test_category_subscription;
+    Alcotest.test_case "net opt-in" `Quick test_default_excludes_net;
     Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
-    Alcotest.test_case "dump" `Quick test_dump;
+    Alcotest.test_case "lazy rendering" `Quick test_lazy_rendering;
+    Alcotest.test_case "disabled tracing is free" `Slow
+      test_zero_cost_when_disabled;
   ]

@@ -35,6 +35,7 @@ let make_env w : Lyra.Instance.env =
     broadcast = (fun body -> w.sent <- body :: w.sent);
     schedule = (fun ~delay_us fn -> w.timers <- (delay_us, fn) :: w.timers);
     observe_vote = (fun ~src ~seq_obs -> w.observed <- (src, seq_obs) :: w.observed);
+    on_vvb_deliver = (fun () -> ());
     on_decide =
       (fun ~value ~round proposal ->
         w.decided <- (value, round, proposal) :: w.decided);
