@@ -1,0 +1,58 @@
+(** One explorable execution: a protocol + symbolic knob, a seed, a
+    fault plan and a schedule perturbation. A case is pure data — it
+    serializes to the replayable repro artifact and runs through the
+    generic {!Harness.Scenario} driver, so two executions of the same
+    case are bit-for-bit identical. *)
+
+type t = {
+  protocol : string;
+  knob : string;  (** symbolic configuration, resolved by {!Knobs.make} *)
+  n : int;
+  seed : int64;
+  duration_us : int;  (** measurement window (warm-up is the protocol's) *)
+  clients : int;  (** closed-loop clients per node *)
+  faults : Sim.Faults.plan;
+  perturb : Sim.Perturb.t;
+}
+
+val make :
+  ?knob:string ->
+  ?n:int ->
+  ?seed:int64 ->
+  ?duration_us:int ->
+  ?clients:int ->
+  ?faults:Sim.Faults.plan ->
+  ?perturb:Sim.Perturb.t ->
+  string ->
+  t
+
+(** One-line description for sweep/shrink logs. *)
+val label : t -> string
+
+(** Execute the case. Raises [Invalid_argument] on an unknown
+    protocol/knob pair. *)
+val run : t -> Harness.Scenario.result
+
+(** The liveness level this case owes: [Off] under fault plans or
+    broken knobs, [Commit_only] for Pompē (bursty commit cadence),
+    [Full] otherwise. *)
+val liveness : t -> Harness.Oracle.liveness_level
+
+(** [check t result] — the oracle verdict, liveness armed per
+    {!liveness}. [] means clean. *)
+val check : t -> Harness.Scenario.result -> Harness.Oracle.finding list
+
+(** Repro artifact format version (the [version] field). *)
+val version : int
+
+val to_json : t -> Metrics.Json.t
+
+(** Parses and validates (node ranges, window sanity); [Error] carries
+    a human-readable cause. *)
+val of_json : Metrics.Json.t -> (t, string) result
+
+(** JSON round-trip as text; [of_string] composes parser and
+    {!of_json}. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result

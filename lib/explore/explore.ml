@@ -1,0 +1,3 @@
+module Knobs = Knobs
+module Case = Case
+module Search = Search

@@ -1,0 +1,8 @@
+(** Deterministic schedule-space explorer: perturbed schedules, fault
+    mutations and Byzantine knobs swept under the {!Harness.Oracle}
+    safety oracles, with greedy shrinking to minimal replayable
+    repro artifacts. *)
+
+module Knobs = Knobs
+module Case = Case
+module Search = Search

@@ -1,0 +1,75 @@
+(* The symbolic protocol-configuration catalog: a case must be
+   serializable, so protocol knobs travel as names and this module is
+   the single place that maps a name back to an adapter closure. *)
+
+let first_node_byz m i = if Int.equal i 0 then Some m else None
+
+let lyra_misbehaviors =
+  [
+    ("byz-silent", Lyra.Misbehavior.Silent);
+    ("byz-flood", Lyra.Misbehavior.Flood { batches_per_sec = 200 });
+    ("byz-future-seq", Lyra.Misbehavior.Future_seq { offset_us = 500_000 });
+    ("byz-low-status", Lyra.Misbehavior.Low_status);
+    ("byz-equivocate", Lyra.Misbehavior.Equivocate);
+    ("byz-stale-votes", Lyra.Misbehavior.Stale_votes { delay_us = 200_000 });
+  ]
+
+(* DELIBERATELY UNSOUND: disarm both of the paper's ordering guards —
+   the λ predictor check (huge λ) and the acceptance window — while
+   node 0 requests sequence numbers 900 ms in the future. With the
+   guards in place such proposals are rejected (the safe
+   [byz-future-seq] knob proves it); without them they decide above
+   the BOC-Validity upper bound, which the seq-bounds oracle flags.
+   Exists to prove the explorer catches a protocol broken exactly
+   where the paper's guard sits; never part of a default sweep. *)
+let lyra_no_window_check c =
+  { c with Lyra.Config.skip_window_check = true; lambda_us = 1_000_000_000 }
+
+let broken_future_offset_us = 900_000
+
+(* Byzantine Pompē timestamper: node 0 answers every timestamp request
+   400 ms in the future. The median over 2f+1 responses absorbs one
+   liar, so the protocol must stay safe — exactly what the sweep
+   checks. *)
+let pompe_ts_skew id =
+  if Int.equal id 0 then Some (fun _batch ~honest -> Some (honest + 400_000))
+  else None
+
+let make ~protocol ~knob : (module Protocol.NODE) option =
+  match (protocol, knob) with
+  | "lyra", "default" -> Some (Protocol.Lyra_adapter.make ())
+  | "lyra", "no-window-check" ->
+      Some
+        (Protocol.Lyra_adapter.make ~tweak:lyra_no_window_check
+           ~byz:
+             (first_node_byz
+                (Lyra.Misbehavior.Future_seq
+                   { offset_us = broken_future_offset_us }))
+           ())
+  | "lyra", _ ->
+      Option.map
+        (fun (_, m) -> Protocol.Lyra_adapter.make ~byz:(first_node_byz m) ())
+        (List.find_opt (fun (name, _) -> String.equal name knob)
+           lyra_misbehaviors)
+  | "pompe", "default" -> Some (Protocol.Pompe_adapter.make ())
+  | "pompe", "byz-ts-skew" ->
+      Some (Protocol.Pompe_adapter.make ~respond_ts:pompe_ts_skew ())
+  | "hotstuff", "default" -> Some (Protocol.Hotstuff_adapter.make ())
+  | _ -> None
+
+(* Safe knobs: runs under these on an unperturbed schedule must pass
+   every safety oracle (the smoke sweep enforces exactly that). *)
+let safe = function
+  | "lyra" -> "default" :: List.map fst lyra_misbehaviors
+  | "pompe" -> [ "default"; "byz-ts-skew" ]
+  | "hotstuff" -> [ "default" ]
+  | _ -> []
+
+let broken = [ ("lyra", "no-window-check") ]
+
+let is_broken ~protocol ~knob =
+  List.exists
+    (fun (p, k) -> String.equal p protocol && String.equal k knob)
+    broken
+
+let protocols = Protocol.Registry.names

@@ -20,6 +20,8 @@ type result = {
   trace_dropped : int;
   phases : (string * Metrics.Recorder.t) list;
   profile : Sim.Profile.t option;
+  honest_logs : (string * string) list array;
+  seq_bounds : (int * int * int) list array;
 }
 
 let wan_ns_per_byte = 40 (* ≈ 200 Mb/s effective per node over the WAN *)
@@ -72,13 +74,15 @@ let prefix_safe logs =
 let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
 let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
-    ?(faults = Sim.Faults.none) ?trace ?profile_bucket_us
+    ?(faults = Sim.Faults.none) ?perturb ?trace ?profile_bucket_us
     (module P : Protocol.NODE) ~n ~load ~duration_us () =
   let warmup_us =
     match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
   let engine = Sim.Engine.create ~seed () in
-  let net = P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?trace () in
+  let net =
+    P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?perturb ?trace ()
+  in
   let rng = Sim.Engine.rng engine in
   let latency_rec, _, committed = make_recorders ~n in
   let pools : Workload.Clients.Closed.t option array = Array.make n None in
@@ -189,13 +193,28 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     Array.of_list
       (List.filter (fun i -> P.honest nodes.(i)) (List.init n (fun i -> i)))
   in
-  let logs =
+  (* Keys identify a batch instance; the digest additionally pins its
+     transaction contents, so an equivocation that splits payloads under
+     one instance id is visible to content-aware oracles even though
+     [prefix_safe] (keys only) would not see it. Computed after the run:
+     timing-neutral. *)
+  let honest_logs =
     Array.map
       (fun i ->
-        List.map (fun (c : Protocol.committed) -> c.key)
+        List.map
+          (fun (c : Protocol.committed) ->
+            let leaves =
+              Array.to_list
+                (Array.map
+                   (fun (tx : Lyra.Types.tx) -> tx.tx_id ^ ":" ^ tx.payload)
+                   c.txs)
+            in
+            (c.key, Crypto.Merkle.root_of_leaves leaves))
           (P.output_log nodes.(i)))
       honest
   in
+  let logs = Array.map (List.map fst) honest_logs in
+  let seq_bounds = Array.map (fun i -> P.seq_bounds nodes.(i)) honest in
   let final = Array.map (fun node -> P.stats node) nodes in
   let rounds_all = Metrics.Recorder.create () in
   Array.iter
@@ -265,6 +284,8 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
       (match trace with None -> 0 | Some tr -> Sim.Trace.dropped tr);
     phases;
     profile;
+    honest_logs;
+    seq_bounds;
   }
 
 (* The LAT3R anatomy table: one row per pipeline phase, aggregated over

@@ -37,6 +37,14 @@ type result = {
           the LAT3R anatomy (every protocol ends with [e2e]) *)
   profile : Sim.Profile.t option;
       (** present when [profile_bucket_us] was passed to {!run} *)
+  honest_logs : (string * string) list array;
+      (** per honest node, the committed log as (key, content digest)
+          pairs, oldest first — the digest pins the batch's transaction
+          contents so content-level divergence under one instance key
+          is visible to the explorer's oracles *)
+  seq_bounds : (int * int * int) list array;
+      (** per honest node, the adapter's per-output (seq, low, high)
+          admissibility bounds ([] for height-based protocols) *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -56,13 +64,17 @@ val phase_table : result -> string
     network for fault-event recording; its eviction count is surfaced
     as [trace_dropped]. [profile_bucket_us] attaches a {!Sim.Profile}
     to the run (opt-in: sampling adds engine events, though never
-    changes protocol behaviour); it lands in [profile]. *)
+    changes protocol behaviour); it lands in [profile]. [perturb]
+    injects deterministic extra wire delays ({!Sim.Perturb}) — the
+    schedule-space explorer's lever; omitted or empty, the run is
+    bit-identical to an unperturbed one. *)
 val run :
   ?seed:int64 ->
   ?warmup_us:int ->
   ?jitter:float ->
   ?ns_per_byte:int ->
   ?faults:Sim.Faults.plan ->
+  ?perturb:Sim.Perturb.t ->
   ?trace:Sim.Trace.t ->
   ?profile_bucket_us:int ->
   (module Protocol.NODE) ->

@@ -5,8 +5,8 @@
 let scanned_dirs = [ "bench"; "bin"; "examples"; "lib"; "test" ]
 
 let deterministic_dirs =
-  [ "lib/dbft"; "lib/harness"; "lib/hotstuff"; "lib/lyra"; "lib/pompe";
-    "lib/protocol"; "lib/sim" ]
+  [ "lib/dbft"; "lib/explore"; "lib/harness"; "lib/hotstuff"; "lib/lyra";
+    "lib/pompe"; "lib/protocol"; "lib/sim" ]
 
 let under dir path = String.length path > String.length dir && String.starts_with ~prefix:(dir ^ "/") path
 

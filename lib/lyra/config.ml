@@ -20,6 +20,7 @@ type t = {
   isolation_gap_us : int;
   retransmit_after_us : int;
   retransmit_interval_us : int;
+  skip_window_check : bool;
 }
 
 let default ~n =
@@ -45,6 +46,7 @@ let default ~n =
     isolation_gap_us = 250_000;
     retransmit_after_us = 2_000_000;
     retransmit_interval_us = 500_000;
+    skip_window_check = false;
   }
 
 let l_us t = 3 * t.delta_us

@@ -34,6 +34,13 @@ type t = {
       (** instances still undecided after this long get a periodic
           [Nudge] + state rebroadcast (lossy-link repair) *)
   retransmit_interval_us : int;  (** sweep period for the above *)
+  skip_window_check : bool;
+      (** DELIBERATELY UNSOUND (default false): drop the acceptance
+          window check of Alg. 4 line 52, the guard ordering
+          linearizability rests on. Exists solely so the schedule-space
+          explorer can prove its oracles catch a protocol broken in
+          exactly the way the paper defends against; never enable it in
+          an experiment *)
 }
 
 (** [default ~n] — paper defaults: λ = 5 ms, Δ = 160 ms, batch 800. *)

@@ -117,6 +117,8 @@ let phase_labels =
 
 let id t = t.id
 
+let config t = t.config
+
 let proposals_made t = t.proposals_made
 
 let output_log t = List.rev t.outputs_rev
@@ -130,6 +132,12 @@ let pending_count t = Hashtbl.length t.pending
 let mempool_size t = t.mempool_count
 
 let late_accepts t = t.late_accepts
+
+(* Oracle-facing: the lowest sequence number this node's validation
+   window would currently admit (Alg. 4 line 52 reads seq_obs - L). *)
+let predicted_low t = Ordering_clock.peek t.clock - Config.l_us t.config
+
+let accepted_seqs t = Commit_state.accepted_all t.commit
 
 let synced_entries t = t.synced_entries
 
@@ -473,8 +481,12 @@ let validate t (proposal : Types.proposal) ~seq_obs =
         | None -> incr reject_other; false
         | Some s ->
             (* Acceptance window: not locally locked, not too far in
-               the future (§VI-D). *)
-            if s > seq_obs - Config.l_us cfg && s < seq_obs + cfg.future_bound_us
+               the future (§VI-D). [skip_window_check] bypasses the
+               guard — deliberately unsound, explorer self-test only. *)
+            if
+              cfg.skip_window_check
+              || (s > seq_obs - Config.l_us cfg
+                 && s < seq_obs + cfg.future_bound_us)
             then true
             else (incr reject_window; false))
   in

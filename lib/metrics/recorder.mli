@@ -23,8 +23,8 @@ val mean : t -> float
 
 val percentile : float -> t -> float
 
-(** (mean, p50, p95, p99, max) from one sorted snapshot. Raises
-    [Invalid_argument] when empty. *)
+(** (mean, p50, p95, p99, max) from one sorted snapshot. All-zero when
+    the recorder is empty. *)
 val summary : t -> float * float * float * float * float
 
 (** [clear t] discards everything recorded so far (e.g. warm-up). *)

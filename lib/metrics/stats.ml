@@ -15,8 +15,9 @@ let stddev xs =
    sorted snapshot pays no copy and no re-sort per quantile. *)
 let percentile_sorted p sorted =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty input";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if n = 0 then 0.0
+  else
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
   if lo = hi then sorted.(lo)
@@ -40,12 +41,18 @@ let min_max xs =
     (xs.(0), xs.(0))
     xs
 
+(* The empty summary is all zeros rather than an exception: recorders
+   legitimately end a run empty (warm-up ate every sample, a crashed
+   node committed nothing) and every report site would otherwise need
+   its own emptiness guard. *)
 let summary_sorted sorted =
-  ( mean sorted,
-    percentile_sorted 50.0 sorted,
-    percentile_sorted 95.0 sorted,
-    percentile_sorted 99.0 sorted,
-    sorted.(Array.length sorted - 1) )
+  if Array.length sorted = 0 then (0.0, 0.0, 0.0, 0.0, 0.0)
+  else
+    ( mean sorted,
+      percentile_sorted 50.0 sorted,
+      percentile_sorted 95.0 sorted,
+      percentile_sorted 99.0 sorted,
+      sorted.(Array.length sorted - 1) )
 
 (* One copy + one sort; mean, the three quantiles and the max all read
    the same sorted array (the max is its last element). *)

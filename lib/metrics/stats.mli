@@ -5,7 +5,9 @@ val mean : float array -> float
 val stddev : float array -> float
 
 (** [percentile p xs] for p in [\[0, 100\]] with linear interpolation;
-    [xs] need not be sorted. Raises [Invalid_argument] on empty input. *)
+    [xs] need not be sorted. 0.0 on empty input (matching the empty
+    {!summary}); raises [Invalid_argument] only when [p] is out of
+    range. *)
 val percentile : float -> float array -> float
 
 (** [percentile_sorted p xs] — same, but [xs] must already be sorted
@@ -22,8 +24,9 @@ val median : float array -> float
 val min_max : float array -> float * float
 
 (** [summary xs] is (mean, p50, p95, p99, max), computed from a single
-    sorted copy of the input. *)
+    sorted copy of the input. The empty summary is well-defined:
+    all-zero, so callers need no emptiness guard. *)
 val summary : float array -> float * float * float * float * float
 
-(** [summary_sorted xs] — same, for an already-sorted non-empty array. *)
+(** [summary_sorted xs] — same, for an already-sorted array. *)
 val summary_sorted : float array -> float * float * float * float * float

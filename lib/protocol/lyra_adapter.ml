@@ -15,7 +15,7 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
     type t = { node : Lyra.Node.t; honest : bool }
 
     let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
-        ?trace () =
+        ?perturb ?trace () =
       let cfg = tweak (Lyra.Config.default ~n) in
       let regions =
         match regions with
@@ -25,7 +25,8 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?trace
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?perturb
+          ?trace
           ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost costs m)
           ~size:Lyra.Types.msg_size ()
       in
@@ -81,6 +82,21 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
     let honest t = t.honest
 
     let output_log t = List.map convert (Lyra.Node.output_log t.node)
+
+    (* BOC-Validity (Def. 6): each decided seq is within λ of the
+       batch's creation time on the low side and within the acceptance
+       window L on the high side; unsynchronized clocks add at most the
+       configured offset spread on each end. *)
+    let seq_bounds t =
+      let cfg = Lyra.Node.config t.node in
+      let slack = cfg.Lyra.Config.clock_offset_max_us in
+      List.map
+        (fun (o : Lyra.Node.output) ->
+          let created = o.batch.Lyra.Types.created_at in
+          ( o.seq,
+            created - cfg.Lyra.Config.lambda_us - slack,
+            created + Lyra.Config.l_us cfg + slack ))
+        (Lyra.Node.output_log t.node)
 
     let stats t =
       {

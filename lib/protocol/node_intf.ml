@@ -42,6 +42,7 @@ module type NODE = sig
     jitter:float ->
     ?ns_per_byte:int ->
     ?faults:Sim.Faults.plan ->
+    ?perturb:Sim.Perturb.t ->
     ?trace:Sim.Trace.t ->
     unit ->
     net
@@ -75,6 +76,11 @@ module type NODE = sig
   val honest : t -> bool
 
   val output_log : t -> committed list
+
+  (* Per-output (seq, low, high) admissibility bounds for protocols
+     whose decided sequence numbers carry a validity guarantee (Lyra's
+     BOC-Validity); [] where seqs are plain heights. *)
+  val seq_bounds : t -> (int * int * int) list
 
   val stats : t -> stats
 end

@@ -50,13 +50,17 @@ module type NODE = sig
       rate (≈ 1 Gb/s); the WAN harness passes its own. [faults]
       executes a {!Sim.Faults} plan on the transport (per-node clock
       skews are additionally applied by adapters that model local
-      clocks); [trace] receives the network's fault events. *)
+      clocks); [trace] receives the network's fault events. [perturb]
+      adds deterministic extra wire delays ({!Sim.Perturb}) — the
+      schedule-space explorer's lever; the default empty spec leaves
+      the schedule bit-identical. *)
   val make_net :
     Sim.Engine.t ->
     n:int ->
     jitter:float ->
     ?ns_per_byte:int ->
     ?faults:Sim.Faults.plan ->
+    ?perturb:Sim.Perturb.t ->
     ?trace:Sim.Trace.t ->
     unit ->
     net
@@ -99,6 +103,14 @@ module type NODE = sig
   val honest : t -> bool
 
   val output_log : t -> committed list
+
+  (** Per-output [(seq, low, high)] admissibility bounds, aligned with
+      {!output_log}, for protocols whose decided sequence numbers carry
+      a validity guarantee (Lyra's BOC-Validity, Def. 6: each decided
+      seq stays within λ + clock offsets of the batch's creation time).
+      Protocols whose seqs are plain heights return []. The explorer's
+      seq-lower-bound oracle checks [low <= seq <= high]. *)
+  val seq_bounds : t -> (int * int * int) list
 
   val stats : t -> stats
 end

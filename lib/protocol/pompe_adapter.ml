@@ -15,7 +15,7 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
     type t = Pompe.Node.t
 
     let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
-        ?trace () =
+        ?perturb ?trace () =
       let cfg = tweak (Pompe.Config.default ~n) in
       let regions =
         match regions with
@@ -25,7 +25,8 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?trace
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?perturb
+          ?trace
           ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost costs ~n b)
           ~size:Pompe.Types.msg_size ()
       in
@@ -76,6 +77,10 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
     let honest _ = true
 
     let output_log t = List.map convert (Pompe.Node.output_log t)
+
+    (* Pompē's seqs are median timestamps with no per-batch validity
+       window comparable to BOC's; the oracle has nothing to bound. *)
+    let seq_bounds _ = []
 
     let stats t =
       {

@@ -19,6 +19,12 @@ type 'msg t = {
      [link_rng] so a plan with no loss windows leaves the latency
      sampling stream untouched. *)
   fault_rng : Crypto.Rng.t option;
+  perturb : Perturb.t;
+  (* Position of the next message to enter the wire, counted across all
+     links before drop/duplication — the [nth] coordinate that
+     [Perturb.Delay_nth] addresses. Self-deliveries never touch the wire
+     and are not counted. *)
+  mutable wire_seq : int;
   trace : Trace.t option;
   recover_hooks : (unit -> unit) option array;
   link_rng : Crypto.Rng.t;
@@ -53,8 +59,10 @@ let recover t id =
   end
 
 let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
-    ?(cores = 8) ?(faults = Faults.none) ?trace:trace_sink ~cost ~size () =
+    ?(cores = 8) ?(faults = Faults.none) ?(perturb = Perturb.none)
+    ?trace:trace_sink ~cost ~size () =
   Faults.validate faults ~n;
+  Perturb.validate perturb ~n;
   let t =
     {
       engine;
@@ -76,6 +84,8 @@ let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
            breaking golden fault-free runs. *)
         (if faults.Faults.losses = [] then None
          else Some (Crypto.Rng.split (Engine.rng engine)));
+      perturb;
+      wire_seq = 0;
       trace = trace_sink;
       recover_hooks = Array.make n None;
       link_rng = Crypto.Rng.split (Engine.rng engine);
@@ -122,7 +132,7 @@ let deliver t ~src ~dst ~inc msg =
               handler ~src msg
             end)
 
-let schedule_delivery t ~src ~dst msg =
+let schedule_delivery t ~src ~dst ~perturb_us msg =
   let latency = Latency.sample t.latency t.link_rng ~src ~dst in
   let extra =
     Adversary.extra_delay t.adversary t.link_rng ~now:(Engine.now t.engine)
@@ -130,15 +140,28 @@ let schedule_delivery t ~src ~dst msg =
   in
   let inc = t.incarnation.(dst) in
   ignore
-    (Engine.schedule ~kind:Engine.Wire t.engine ~delay:(latency + extra)
+    (Engine.schedule ~kind:Engine.Wire t.engine
+       ~delay:(latency + extra + perturb_us)
        (fun () -> deliver t ~src ~dst ~inc msg)
       : Engine.timer)
 
 (* The fault plan acts at the moment a message enters the wire:
    partitions silently cut the link, then loss windows may drop or
-   duplicate. Self-delivery never touches the wire and is immune. *)
+   duplicate. Self-delivery never touches the wire and is immune.
+   Perturbations address the wire-entry position ([wire_seq]), so the
+   counter must advance for every wired message — including ones a
+   partition or loss window then kills — to keep [nth] stable whether
+   or not a fault plan is active. The extra delay is computed once per
+   logical message; duplicate copies share it. *)
 let wire t ~src ~dst msg =
   let now = Engine.now t.engine in
+  let nth = t.wire_seq in
+  t.wire_seq <- nth + 1;
+  let perturb_us =
+    match t.perturb with
+    | [] -> 0
+    | ops -> Perturb.extra_us ops ~now ~src ~dst ~nth
+  in
   if Faults.partitioned t.faults ~now ~src ~dst then begin
     t.dropped <- t.dropped + 1;
     trace_fault t ~node:dst (Trace.Partition_drop { src })
@@ -165,7 +188,7 @@ let wire t ~src ~dst msg =
           trace_fault t ~node:dst (Trace.Dup { src })
         end);
     for _ = 1 to !copies do
-      schedule_delivery t ~src ~dst msg
+      schedule_delivery t ~src ~dst ~perturb_us msg
     done
   end
 

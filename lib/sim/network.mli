@@ -16,7 +16,12 @@
     plan may drop or duplicate messages inside loss windows, cut links
     across a partition, and crash/recover nodes on schedule — all
     deterministically in the engine seed. Messages are never tampered
-    with or reordered beyond their sampled delays in any plan. *)
+    with or reordered beyond their sampled delays in any plan.
+
+    Orthogonally, a {!Perturb} spec adds deterministic extra delay to
+    selected wire messages — the schedule-space explorer's lever for
+    forcing adversarial interleavings without touching the RNG
+    streams. *)
 
 type 'msg t
 
@@ -33,7 +38,13 @@ type 'msg t
     {!Trace.Send} per message handed to the transport. Drop and
     duplication windows are sampled independently, so the observed
     drop and duplicate rates each match their configured
-    probabilities. *)
+    probabilities. [perturb] (default {!Perturb.none}) adds
+    deterministic extra delays to matching wire messages; the empty
+    spec draws no randomness and schedules nothing, so it leaves the
+    event schedule bit-identical. The wire-entry counter that
+    [Perturb.Delay_nth] addresses advances for every non-self message
+    handed to the wire, even ones a partition or loss window then
+    drops. *)
 val create :
   Engine.t ->
   n:int ->
@@ -42,6 +53,7 @@ val create :
   ?ns_per_byte:int ->
   ?cores:int ->
   ?faults:Faults.plan ->
+  ?perturb:Perturb.t ->
   ?trace:Trace.t ->
   cost:(dst:int -> 'msg -> int) ->
   size:('msg -> int) ->

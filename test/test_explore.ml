@@ -1,0 +1,298 @@
+(* The schedule-space explorer: repro-artifact round-trips, the
+   zero-cost guarantee of a disabled perturbation, oracle verdicts on
+   healthy and deliberately broken protocols, the smoke sweep that
+   runs under `dune runtest`, and the checked-in repro regression. *)
+
+let findings_equal a b =
+  List.equal
+    (fun (x : Harness.Oracle.finding) (y : Harness.Oracle.finding) ->
+      String.equal x.oracle y.oracle && String.equal x.detail y.detail)
+    a b
+
+let oracle_names fs =
+  List.map (fun (f : Harness.Oracle.finding) -> f.oracle) fs
+
+(* ------------------------------------------------------------------ *)
+(* Repro artifact (de)serialization.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rich_case =
+  {
+    (Explore.Case.make ~knob:"byz-silent" ~n:4 ~seed:99L
+       ~duration_us:2_000_000 ~clients:3 "lyra")
+    with
+    Explore.Case.faults =
+      Sim.Faults.(
+        none
+        |> loss ~from_us:1_600_000 ~until_us:1_900_000 ~drop_p:0.05
+             ~dup_p:0.01 ~src:1
+        |> partition ~from_us:2_000_000 ~heal_us:2_200_000 ~island:[ 2 ]
+        |> crash ~node:3 ~at_us:2_400_000 ~recover_us:2_700_000
+        |> skew ~node:1 ~skew_us:500);
+    perturb =
+      [
+        Sim.Perturb.Delay_nth { nth = 41; extra_us = 250_000 };
+        Sim.Perturb.Delay_window
+          {
+            from_us = 1_700_000;
+            until_us = 1_800_000;
+            src = Some 0;
+            dst = None;
+            extra_us = 120_000;
+          };
+        Sim.Perturb.Reverse_window
+          {
+            from_us = 2_000_000;
+            until_us = 2_050_000;
+            src = None;
+            dst = Some 2;
+          };
+      ];
+  }
+
+let test_case_roundtrip () =
+  let s = Explore.Case.to_string rich_case in
+  match Explore.Case.of_string s with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok c ->
+      Alcotest.(check string) "identical serialization" s
+        (Explore.Case.to_string c);
+      Alcotest.(check string) "protocol" "lyra" c.Explore.Case.protocol;
+      Alcotest.(check int)
+        "perturb ops" 3
+        (List.length c.Explore.Case.perturb);
+      Alcotest.(check bool) "faults survive" false
+        (Sim.Faults.is_none c.Explore.Case.faults)
+
+let test_case_rejects_garbage () =
+  let reject label s =
+    match Explore.Case.of_string s with
+    | Ok _ -> Alcotest.failf "%s: accepted invalid artifact" label
+    | Error _ -> ()
+  in
+  reject "not json" "][";
+  reject "wrong version" "{ \"version\": 99 }";
+  (* out-of-range perturbation endpoint must fail validation on load *)
+  let bad =
+    {
+      rich_case with
+      Explore.Case.perturb =
+        [
+          Sim.Perturb.Delay_window
+            {
+              from_us = 0;
+              until_us = 1;
+              src = Some 9;
+              dst = None;
+              extra_us = 1;
+            };
+        ];
+    }
+  in
+  reject "src out of range" (Explore.Case.to_string bad)
+
+(* ------------------------------------------------------------------ *)
+(* Disabled perturbation is free: a run with [Perturb.none] must be    *)
+(* indistinguishable from one that never mentions perturbations.       *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_perturb_bit_identical () =
+  let plain =
+    Testutil.run_scenario ~seed:13L "lyra" ~duration_us:1_500_000
+  in
+  let with_none =
+    Testutil.run_scenario ~seed:13L "lyra" ~perturb:Sim.Perturb.none
+      ~duration_us:1_500_000
+  in
+  Alcotest.(check int) "committed" plain.committed_txs with_none.committed_txs;
+  Alcotest.(check int) "messages" plain.messages with_none.messages;
+  Alcotest.(check int) "bytes" plain.bytes with_none.bytes;
+  Alcotest.(check int)
+    "latency samples"
+    (Metrics.Recorder.count plain.latency_ms)
+    (Metrics.Recorder.count with_none.latency_ms);
+  Alcotest.(check (float 0.0))
+    "latency mean"
+    (Metrics.Recorder.mean plain.latency_ms)
+    (Metrics.Recorder.mean with_none.latency_ms);
+  Alcotest.(check bool) "honest logs identical" true
+    (Array.for_all2
+       (List.equal (fun (k1, d1) (k2, d2) ->
+            String.equal k1 k2 && String.equal d1 d2))
+       plain.honest_logs with_none.honest_logs);
+  Alcotest.(check bool) "seq bounds identical" true
+    (Array.for_all2
+       (List.equal (fun (a, b, c) (x, y, z) ->
+            Int.equal a x && Int.equal b y && Int.equal c z))
+       plain.seq_bounds with_none.seq_bounds)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle verdicts.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracles_clean_on_healthy () =
+  List.iter
+    (fun protocol ->
+      let case =
+        Explore.Case.make
+          ~duration_us:(Explore.Search.duration_for protocol)
+          protocol
+      in
+      let findings = Explore.Case.check case (Explore.Case.run case) in
+      Alcotest.(check (list string))
+        (protocol ^ " clean") [] (oracle_names findings))
+    Explore.Knobs.protocols
+
+(* A perturbed-but-sound schedule must also be clean: perturbations
+   reorder, they do not corrupt. *)
+let test_oracles_clean_under_perturbation () =
+  let case =
+    {
+      (Explore.Case.make ~duration_us:1_500_000 "lyra") with
+      Explore.Case.perturb =
+        [
+          Sim.Perturb.Delay_window
+            {
+              from_us = 1_800_000;
+              until_us = 2_100_000;
+              src = Some 1;
+              dst = None;
+              extra_us = 300_000;
+            };
+          Sim.Perturb.Reverse_window
+            {
+              from_us = 2_200_000;
+              until_us = 2_260_000;
+              src = None;
+              dst = None;
+            };
+        ];
+    }
+  in
+  let findings = Explore.Case.check case (Explore.Case.run case) in
+  Alcotest.(check (list string)) "clean" [] (oracle_names findings)
+
+(* ------------------------------------------------------------------ *)
+(* The explorer self-test: a protocol broken exactly where the paper's *)
+(* ordering guards sit must be found, shrunk to a minimal case, and    *)
+(* replayed deterministically.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_finds_and_shrinks_broken_protocol () =
+  match
+    Explore.Search.sweep ~seed:3L ~runs:3
+      ~pairs:[ ("lyra", "no-window-check") ]
+      ()
+  with
+  | Explore.Search.Clean _ ->
+      Alcotest.fail "explorer missed the deliberately broken protocol"
+  | Explore.Search.Violating { first; minimal; _ } ->
+      Alcotest.(check bool) "found seq-bounds violation" true
+        (List.mem "seq-lower-bound" (oracle_names first.findings));
+      Alcotest.(check bool) "minimal still violates" true
+        (minimal.findings <> []);
+      (* the violation is schedule-independent, so shrinking must strip
+         every perturbation op and fault from the reproducer *)
+      Alcotest.(check int) "no perturb ops left" 0
+        (List.length minimal.case.Explore.Case.perturb);
+      Alcotest.(check bool) "no faults left" true
+        (Sim.Faults.is_none minimal.case.Explore.Case.faults);
+      (* replay the minimal case twice: bit-for-bit the same verdict *)
+      let run1 =
+        Explore.Case.check minimal.case (Explore.Case.run minimal.case)
+      in
+      let run2 =
+        Explore.Case.check minimal.case (Explore.Case.run minimal.case)
+      in
+      Alcotest.(check bool) "replay deterministic" true
+        (findings_equal run1 run2 && findings_equal run1 minimal.findings)
+
+(* Shrinking strips noise that does not contribute to the violation. *)
+let test_shrink_strips_noise () =
+  let noisy =
+    {
+      (Explore.Case.make ~knob:"no-window-check" ~duration_us:1_500_000
+         "lyra")
+      with
+      Explore.Case.clients = 2;
+      faults =
+        Sim.Faults.(
+          none |> loss ~from_us:1_600_000 ~until_us:1_700_000 ~drop_p:0.02);
+      perturb =
+        [
+          Sim.Perturb.Delay_nth { nth = 10; extra_us = 40_000 };
+          Sim.Perturb.Delay_nth { nth = 60; extra_us = 90_000 };
+        ];
+    }
+  in
+  let findings = Explore.Case.check noisy (Explore.Case.run noisy) in
+  Alcotest.(check bool) "noisy case violates" true (findings <> []);
+  let minimal, _ = Explore.Search.shrink noisy findings in
+  Alcotest.(check int) "ops stripped" 0
+    (List.length minimal.case.Explore.Case.perturb);
+  Alcotest.(check bool) "faults stripped" true
+    (Sim.Faults.is_none minimal.case.Explore.Case.faults);
+  Alcotest.(check int) "clients reduced" 1 minimal.case.Explore.Case.clients;
+  Alcotest.(check bool) "still violates" true (minimal.findings <> [])
+
+(* ------------------------------------------------------------------ *)
+(* The smoke sweep `dune runtest` depends on: one pass over the whole  *)
+(* safe-knob catalog plus a handful of perturbed cases, all clean.     *)
+(* ------------------------------------------------------------------ *)
+
+let test_smoke_sweep () =
+  match Explore.Search.sweep ~seed:5L ~runs:15 () with
+  | Explore.Search.Clean runs -> Alcotest.(check int) "all runs" 15 runs
+  | Explore.Search.Violating { first; _ } ->
+      Alcotest.failf "smoke sweep violated %s on %s"
+        (String.concat "," (oracle_names first.findings))
+        (Explore.Case.label first.case)
+
+(* ------------------------------------------------------------------ *)
+(* Checked-in repro artifact: the known-good reproducer must keep      *)
+(* reproducing its violation, deterministically, forever.              *)
+(* ------------------------------------------------------------------ *)
+
+let load_checked_in_repro () =
+  let candidates =
+    [
+      "repro_no_window_check.json";
+      "test/repro_no_window_check.json";
+      "../test/repro_no_window_check.json";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail "could not locate repro_no_window_check.json"
+  | Some path -> (
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      match Explore.Case.of_string contents with
+      | Ok case -> case
+      | Error e -> Alcotest.failf "checked-in repro does not parse: %s" e)
+
+let test_checked_in_repro_regression () =
+  let case = load_checked_in_repro () in
+  let first = Explore.Case.check case (Explore.Case.run case) in
+  let second = Explore.Case.check case (Explore.Case.run case) in
+  Alcotest.(check bool) "replays identically" true (findings_equal first second);
+  Alcotest.(check (list string))
+    "reproduces the seq-bounds violation" [ "seq-lower-bound" ]
+    (oracle_names first)
+
+let suite =
+  [
+    Alcotest.test_case "case json round-trip" `Quick test_case_roundtrip;
+    Alcotest.test_case "case json rejects garbage" `Quick
+      test_case_rejects_garbage;
+    Alcotest.test_case "disabled perturbation is free" `Quick
+      test_disabled_perturb_bit_identical;
+    Alcotest.test_case "oracles clean on healthy protocols" `Quick
+      test_oracles_clean_on_healthy;
+    Alcotest.test_case "oracles clean under sound perturbation" `Quick
+      test_oracles_clean_under_perturbation;
+    Alcotest.test_case "finds and shrinks broken protocol" `Quick
+      test_finds_and_shrinks_broken_protocol;
+    Alcotest.test_case "shrink strips noise" `Quick test_shrink_strips_noise;
+    Alcotest.test_case "smoke sweep clean" `Slow test_smoke_sweep;
+    Alcotest.test_case "checked-in repro regression" `Quick
+      test_checked_in_repro_regression;
+  ]

@@ -5,11 +5,6 @@
    same seed is run twice. A node-level Lyra test exercises the
    crash-rejoin committed-log sync directly. *)
 
-let get name =
-  match Protocol.Registry.get name with
-  | Some p -> p
-  | None -> Alcotest.failf "protocol %s not registered" name
-
 (* One plan per protocol, phased so every fault lands inside the
    measurement window (warm-ups differ) while the pipeline has traffic
    to lose, and heals with enough runway left to catch back up. *)
@@ -48,10 +43,9 @@ let duration_for = function
   | _ -> 4_000_000
 
 let run ?seed protocol =
-  Harness.Scenario.run ?seed (get protocol) ~n:4
-    ~load:(Harness.Scenario.Closed 2)
+  Testutil.run_scenario ?seed protocol
     ~faults:(plan_for protocol ~n:4)
-    ~duration_us:(duration_for protocol) ()
+    ~duration_us:(duration_for protocol)
 
 let check_healthy protocol (r : Harness.Scenario.result) =
   let tag s = protocol ^ " " ^ s in

@@ -2,82 +2,10 @@
    safety, liveness, lower-bounded sequence numbers, commit-reveal,
    Byzantine resilience, and behaviour under pre-GST asynchrony. *)
 
-type cluster = {
-  engine : Sim.Engine.t;
-  nodes : Lyra.Node.t array;
-  cfg : Lyra.Config.t;
-}
+(* Cluster setup, submission and prefix-safety helpers live in
+   Testutil, shared with the fault, protocol and explorer suites. *)
+open Testutil
 
-let make_cluster ?(seed = 11L) ?(tweak = fun c -> c) ?(byz = fun _ -> None)
-    ?(real_crypto = false) ?adversary ?(on_output = fun _ _ -> ()) n =
-  let engine = Sim.Engine.create ~seed () in
-  let base =
-    {
-      (Lyra.Config.default ~n) with
-      batch_size = 5;
-      batch_timeout_us = 20_000;
-      real_crypto;
-    }
-  in
-  let cfg = tweak base in
-  let latency = Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n) in
-  let net =
-    Sim.Network.create engine ~n ~latency ?adversary
-      ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost Sim.Costs.default m)
-      ~size:Lyra.Types.msg_size ()
-  in
-  let rng = Sim.Engine.rng engine in
-  let keypairs, dir =
-    if real_crypto then
-      let kps, dir = Crypto.Keys.setup rng n in
-      (Some kps, Some dir)
-    else (None, None)
-  in
-  let nodes =
-    Array.init n (fun id ->
-        Lyra.Node.create cfg net ~id
-          ?keys:(Option.map (fun k -> k.(id)) keypairs)
-          ?dir
-          ~clock_offset_us:(Crypto.Rng.int rng 2_000)
-          ?misbehavior:(byz id)
-          ~on_output:(on_output id) ())
-  in
-  Array.iter Lyra.Node.start nodes;
-  { engine; nodes; cfg }
-
-let submit_round c ~per_node =
-  Array.iter
-    (fun node ->
-      for _ = 1 to per_node do
-        ignore (Lyra.Node.submit node ~payload:(String.make 32 'x') : string)
-      done)
-    c.nodes
-
-let logs c =
-  Array.map
-    (fun node ->
-      List.map (fun (o : Lyra.Node.output) -> o.batch.iid) (Lyra.Node.output_log node))
-    c.nodes
-
-let is_prefix la lb =
-  let rec go = function
-    | [], _ -> true
-    | _, [] -> false
-    | x :: xs, y :: ys -> x = y && go (xs, ys)
-  in
-  go (la, lb)
-
-let check_prefix_safety ls =
-  Array.iteri
-    (fun i la ->
-      Array.iteri
-        (fun j lb ->
-          Alcotest.(check bool)
-            (Printf.sprintf "prefix %d/%d" i j)
-            true
-            (is_prefix la lb || is_prefix lb la))
-        ls)
-    ls
 
 let test_basic_commit_and_agreement () =
   let c = make_cluster 4 in

@@ -13,6 +13,7 @@ let () =
       ("trace", Test_trace.suite);
       ("dbft", Test_dbft.suite);
       ("lyra-units", Test_lyra_units.suite);
+      ("predictor", Test_predictor.suite);
       ("vvb-instance", Test_vvb.suite);
       ("commit-model", Test_commit_model.suite);
       ("lyra-cluster", Test_lyra_cluster.suite);
@@ -20,6 +21,7 @@ let () =
       ("pompe", Test_pompe.suite);
       ("protocol-runtime", Test_protocol.suite);
       ("faults", Test_faults.suite);
+      ("explore", Test_explore.suite);
       ("apps", Test_apps.suite);
       ("metrics-workload", Test_metrics_workload.suite);
       ("attacks", Test_attacks.suite);

@@ -8,14 +8,10 @@
    - determinism: for every registered protocol, two runs from the same
      seed are identical down to the per-transaction latency samples. *)
 
-let get name =
-  match Protocol.Registry.get name with
-  | Some p -> p
-  | None -> Alcotest.failf "protocol %s not registered" name
+let get = Testutil.get_protocol
 
 let run ?seed protocol ~duration_us =
-  Harness.Scenario.run ?seed (get protocol) ~n:4
-    ~load:(Harness.Scenario.Closed 2) ~duration_us ()
+  Testutil.run_scenario ?seed protocol ~duration_us
 
 (* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)

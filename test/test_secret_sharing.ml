@@ -109,6 +109,67 @@ let test_vss_tag_distinct () =
   (* fresh randomness ⇒ distinct ciphers and tags *)
   Alcotest.(check bool) "tags differ" true (not (String.equal (Vss.tag c1) (Vss.tag c2)))
 
+(* ------------------------------------------------------------------ *)
+(* Property sweep over the obfuscation layer in BFT framing: n = 3f+1  *)
+(* holders, threshold 2f+1. Any honest quorum must recover the         *)
+(* payload, any f+1-smaller coalition must not, and tampering must be  *)
+(* detected.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vss_setup (s1, s2) =
+  let r = Rng.create (Int64.of_int ((s1 * 7919) + s2 + 1)) in
+  let f = 1 + Rng.int r 3 in
+  let n = (3 * f) + 1 in
+  let scheme = if Rng.bool r then Vss.Hashed else Vss.Feldman in
+  let payload = Rng.bytes r (1 + Rng.int r 200) in
+  let cipher, ds = Vss.encrypt ~scheme r ~n ~threshold:((2 * f) + 1) payload in
+  let idx = Array.init n (fun i -> i) in
+  Rng.shuffle r idx;
+  (r, f, payload, cipher, ds, idx)
+
+let seed_gen = QCheck.(pair (int_bound 1000) (int_bound 1000))
+
+let prop_vss_any_quorum =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vss: any 2f+1 subset decrypts" ~count:60 seed_gen
+       (fun seeds ->
+         let _, f, payload, cipher, ds, idx = vss_setup seeds in
+         let subset = List.init ((2 * f) + 1) (fun i -> ds.(idx.(i))) in
+         match Vss.decrypt cipher subset with
+         | Some p -> String.equal p payload
+         | None -> false))
+
+let prop_vss_below_quorum =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vss: 2f shares decrypt nothing" ~count:60 seed_gen
+       (fun seeds ->
+         let _, f, _, cipher, ds, idx = vss_setup seeds in
+         let subset = List.init (2 * f) (fun i -> ds.(idx.(i))) in
+         Option.is_none (Vss.decrypt cipher subset)))
+
+let prop_vss_tamper_detected =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vss: tampered share detected and ignored"
+       ~count:60 seed_gen (fun seeds ->
+         let _, f, _, cipher, ds, idx = vss_setup seeds in
+         let victim = ds.(idx.(0)) in
+         let corrupt =
+           {
+             victim with
+             Vss.share =
+               {
+                 victim.Vss.share with
+                 Feldman.Sharing.y =
+                   Group.Scalar.add victim.Vss.share.y Group.Scalar.one;
+               };
+           }
+         in
+         (* 2f honest shares + the tampered one: a quorum by count, but
+            the forgery must be rejected, leaving too few to decrypt. *)
+         let honest = List.init (2 * f) (fun i -> ds.(idx.(i + 1))) in
+         (not (Vss.verify_share cipher corrupt))
+         && Option.is_none (Vss.decrypt cipher (corrupt :: honest))))
+
 let test_commitment () =
   let c, opening = Commitment.commit rng "the deal" in
   Alcotest.(check bool) "opens" true (Commitment.verify c opening);
@@ -132,5 +193,8 @@ let suite =
     Alcotest.test_case "vss hashed shares" `Quick (vss_share_validation Vss.Hashed);
     Alcotest.test_case "vss feldman shares" `Quick (vss_share_validation Vss.Feldman);
     Alcotest.test_case "vss tags distinct" `Quick test_vss_tag_distinct;
+    prop_vss_any_quorum;
+    prop_vss_below_quorum;
+    prop_vss_tamper_detected;
     Alcotest.test_case "hash commitment" `Quick test_commitment;
   ]

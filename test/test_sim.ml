@@ -425,6 +425,155 @@ let test_partition_heal () =
   Alcotest.(check (list (pair int int))) "cut is bidirectional" [] got.(0);
   Alcotest.(check int) "two dropped" 2 (Sim.Network.messages_dropped net)
 
+(* ------------------------------------------------------------------ *)
+(* Schedule perturbations (Sim.Perturb executed by Sim.Network).       *)
+(* ------------------------------------------------------------------ *)
+
+let make_perturbed_net ?(latency = 1_000) e n perturb =
+  Sim.Network.create e ~n ~latency:(Sim.Latency.constant latency) ~perturb
+    ~cost:(fun ~dst:_ _ -> 1)
+    ~size:(fun (Ping _) -> 100)
+    ()
+
+let test_perturb_delay_nth () =
+  let e = Sim.Engine.create () in
+  let net =
+    make_perturbed_net e 2 [ Sim.Perturb.Delay_nth { nth = 1; extra_us = 5_000 } ]
+  in
+  let got = ref [] in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping k) ->
+      got := (k, Sim.Engine.now e) :: !got);
+  (* Three back-to-back sends; only the second wire message is held. *)
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 2);
+  Sim.Network.send net ~src:0 ~dst:1 (Ping 3);
+  Sim.Engine.run_until_idle e;
+  (match List.rev !got with
+  | [ (1, t1); (3, t3); (2, t2) ] ->
+      Alcotest.(check bool) "first on time" true (t1 < 2_000);
+      Alcotest.(check bool) "third on time" true (t3 < 2_000);
+      Alcotest.(check bool) "second held past the others" true (t2 >= 6_000)
+  | order ->
+      Alcotest.failf "unexpected order: %s"
+        (String.concat ","
+           (List.map (fun (k, t) -> Printf.sprintf "%d@%d" k t) order)))
+
+let test_perturb_window_filters () =
+  let e = Sim.Engine.create () in
+  let net =
+    make_perturbed_net e 3
+      [
+        Sim.Perturb.Delay_window
+          {
+            from_us = 1_000;
+            until_us = 2_000;
+            src = Some 0;
+            dst = Some 2;
+            extra_us = 10_000;
+          };
+      ]
+  in
+  let at = Array.make 3 (-1) in
+  for i = 1 to 2 do
+    Sim.Network.register net ~id:i (fun ~src:_ (Ping _) ->
+        at.(i) <- Sim.Engine.now e)
+  done;
+  ignore
+    (Sim.Engine.schedule e ~delay:1_500 (fun () ->
+         Sim.Network.send net ~src:0 ~dst:1 (Ping 1);
+         Sim.Network.send net ~src:0 ~dst:2 (Ping 2)));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check bool) "unmatched dst on time" true (at.(1) < 3_000);
+  Alcotest.(check bool) "matched link held" true (at.(2) >= 11_000)
+
+let test_perturb_reverse_window () =
+  let e = Sim.Engine.create () in
+  let net =
+    make_perturbed_net ~latency:10 e 2
+      [
+        Sim.Perturb.Reverse_window
+          { from_us = 0; until_us = 10_000; src = None; dst = None };
+      ]
+  in
+  let got = ref [] in
+  Sim.Network.register net ~id:1 (fun ~src:_ (Ping k) -> got := k :: !got);
+  List.iter
+    (fun (delay, k) ->
+      ignore
+        (Sim.Engine.schedule e ~delay (fun () ->
+             Sim.Network.send net ~src:0 ~dst:1 (Ping k))))
+    [ (1_000, 1); (4_000, 2); (8_000, 3) ];
+  Sim.Engine.run_until_idle e;
+  (* Extra delay is 2x the remaining window: sent at 1/4/8ms, delivered
+     around 19/16/12ms — arrival order flips. *)
+  Alcotest.(check (list int)) "order reversed" [ 3; 2; 1 ] (List.rev !got)
+
+(* The empty spec must leave the run bit-identical: same event count,
+   same delivery times, no RNG split at creation. *)
+let test_perturb_empty_is_free () =
+  let run perturb =
+    let e = Sim.Engine.create ~seed:9L () in
+    let net =
+      Sim.Network.create e ~n:3
+        ~latency:(Sim.Latency.uniform ~lo:100 ~hi:900)
+        ?perturb
+        ~cost:(fun ~dst:_ _ -> 5)
+        ~size:(fun (Ping _) -> 100)
+        ()
+    in
+    let log = ref [] in
+    for i = 0 to 2 do
+      Sim.Network.register net ~id:i (fun ~src (Ping k) ->
+          log := (i, src, k, Sim.Engine.now e) :: !log)
+    done;
+    for k = 0 to 9 do
+      ignore
+        (Sim.Engine.schedule e
+           ~delay:(50 * (k + 1))
+           (fun () -> Sim.Network.broadcast net ~src:(k mod 3) (Ping k)))
+    done;
+    Sim.Engine.run_until_idle e;
+    (Sim.Engine.events_executed e, List.rev !log)
+  in
+  let ev_a, log_a = run None in
+  let ev_b, log_b = run (Some Sim.Perturb.none) in
+  Alcotest.(check int) "events identical" ev_a ev_b;
+  Alcotest.(check bool) "deliveries identical" true
+    (List.equal
+       (fun (a, b, c, d) (a', b', c', d') ->
+         Int.equal a a' && Int.equal b b' && Int.equal c c' && Int.equal d d')
+       log_a log_b)
+
+let test_perturb_validate () =
+  let bad p =
+    try
+      Sim.Perturb.validate p ~n:3;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative delay" true
+    (bad [ Sim.Perturb.Delay_nth { nth = 0; extra_us = -1 } ]);
+  Alcotest.(check bool) "empty window" true
+    (bad
+       [
+         Sim.Perturb.Delay_window
+           { from_us = 10; until_us = 10; src = None; dst = None; extra_us = 1 };
+       ]);
+  Alcotest.(check bool) "bad endpoint" true
+    (bad
+       [
+         Sim.Perturb.Reverse_window
+           { from_us = 0; until_us = 10; src = Some 7; dst = None };
+       ]);
+  Sim.Perturb.validate
+    [
+      Sim.Perturb.Delay_nth { nth = 3; extra_us = 100 };
+      Sim.Perturb.Reverse_window
+        { from_us = 0; until_us = 10; src = Some 2; dst = None };
+    ]
+    ~n:3;
+  Alcotest.(check bool) "none is none" true (Sim.Perturb.is_none Sim.Perturb.none)
+
 let test_fault_plan_validate () =
   let bad p =
     try
@@ -476,4 +625,9 @@ let suite =
     Alcotest.test_case "dup window" `Quick test_dup_window;
     Alcotest.test_case "partition heal" `Quick test_partition_heal;
     Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validate;
+    Alcotest.test_case "perturb delay-nth" `Quick test_perturb_delay_nth;
+    Alcotest.test_case "perturb window filters" `Quick test_perturb_window_filters;
+    Alcotest.test_case "perturb reverse window" `Quick test_perturb_reverse_window;
+    Alcotest.test_case "perturb empty is free" `Quick test_perturb_empty_is_free;
+    Alcotest.test_case "perturb validation" `Quick test_perturb_validate;
   ]
