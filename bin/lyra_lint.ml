@@ -4,7 +4,7 @@
    Exit codes: 0 no findings, 1 findings, 2 usage / IO / parse error. *)
 
 let usage =
-  "lyra_lint [--root DIR] [--rules R1,R2] [--format human|json] [--allow FILE]\n\
+  "lyra_lint [--root DIR] [--rules R1,R2] [--format human|json] [--allow FILE] [--out FILE]\n\
    Lints the OCaml sources under DIR (default .) for determinism and\n\
    protocol-safety violations. Rules: "
   ^ String.concat ", " (List.map Lint.Rules.to_string Lint.Rules.all)
@@ -27,12 +27,16 @@ let () =
   let rules = ref "" in
   let format = ref "human" in
   let allow = ref "" in
+  let out = ref "" in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
       ("--rules", Arg.Set_string rules, "LIST comma-separated rule ids (default: all)");
       ("--format", Arg.Set_string format, "FMT human or json (default human)");
       ("--allow", Arg.Set_string allow, "FILE allowlist (default ROOT/lint.allow if present)");
+      ( "--out",
+        Arg.Set_string out,
+        "FILE also write the schema-checked JSON report object to FILE" );
     ]
   in
   Arg.parse spec (fun a -> die ("unexpected argument " ^ a ^ "\n" ^ usage)) usage;
@@ -57,9 +61,11 @@ let () =
   in
   match Lint.Scanner.scan_root ~rules ~allowlist ~root:!root with
   | exception Lint.Scanner.Error msg -> die msg
-  | [] ->
-      Lint.Reporter.print format stdout [];
-      exit 0
-  | findings ->
+  | findings -> (
+      if !out <> "" then begin
+        match Lint.Reporter.write_json_file ~file:!out findings with
+        | () -> ()
+        | exception Failure msg -> die msg
+      end;
       Lint.Reporter.print format stdout findings;
-      exit 1
+      match findings with [] -> exit 0 | _ -> exit 1)

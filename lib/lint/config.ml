@@ -8,11 +8,53 @@ let deterministic_dirs =
   [ "lib/dbft"; "lib/explore"; "lib/harness"; "lib/hotstuff"; "lib/lyra";
     "lib/pompe"; "lib/protocol"; "lib/sim" ]
 
+(* P001 (handler totality) applies where protocol messages are
+   dispatched: the protocol implementations and their adapters. *)
+let totality_dirs =
+  [ "lib/dbft"; "lib/hotstuff"; "lib/lyra"; "lib/pompe"; "lib/protocol" ]
+
 let under dir path = String.length path > String.length dir && String.starts_with ~prefix:(dir ^ "/") path
 
 let is_deterministic path = List.exists (fun d -> under d path) deterministic_dirs
 
 let in_lib path = under "lib" path
+
+let in_totality_scope path = List.exists (fun d -> under d path) totality_dirs
+
+(* How strictly a file is held to the determinism rules:
+   - [Strict]: the deterministic dirs — everything applies, including
+     bare (=) bans and the interprocedural D102 global-state reach.
+   - [Lib]: the rest of lib/ — interface hygiene and the universal
+     bans, but unordered traversal and bare (=) are locally legal
+     (callers in Strict scope still see them through D101).
+   - [Tool]: bin/ and bench/ — their stdout and JSON artifacts are
+     golden-checked, so unordered traversal (D001) and the
+     interprocedural D101 reach apply, but not the lib-only hygiene
+     rules or the bare (=) ban.
+   - [Test]: test/ and examples/ — only the universal bans (D002
+     ambient entropy, S001 Obj). *)
+type scope = Strict | Lib | Tool | Test
+
+let scope_of_path path =
+  if is_deterministic path then Strict
+  else if in_lib path then Lib
+  else if under "bin" path || under "bench" path then Tool
+  else Test
+
+(* Scopes whose functions must stay free of interprocedural
+   nondeterminism taint (D101 roots). *)
+let taint_root path =
+  match scope_of_path path with Strict | Tool -> true | Lib | Test -> false
+
+(* Scopes whose functions must not reach module-toplevel mutable state
+   (D102 roots). bin/bench keep their CLI-flag refs, so only the
+   deterministic dirs are held to this. *)
+let global_root path = scope_of_path path = Strict
+
+(* D001 applies where traversal order can leak into protocol decisions
+   (Strict) or golden-checked artifacts (Tool). *)
+let unordered_traversal_banned path =
+  match scope_of_path path with Strict | Tool -> true | Lib | Test -> false
 
 (* The seeded generator itself is the one module allowed to *define*
    randomness; everything else must thread a Crypto.Rng.t through. *)
@@ -24,7 +66,7 @@ let is_rng_module path = path = "lib/crypto/rng.ml" || path = "lib/crypto/rng.ml
    file.                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type entry = { rule : string; path : string; line : int option }
+type entry = { rule : string; path : string; line : int option; lnum : int }
 
 type allowlist = entry list
 
@@ -45,12 +87,13 @@ let parse content =
             if Rules.of_string rule = None then err lnum ("unknown rule id " ^ rule)
             else
               match String.index_opt target ':' with
-              | None -> Ok ({ rule; path = target; line = None } :: entries)
+              | None -> Ok ({ rule; path = target; line = None; lnum } :: entries)
               | Some i -> (
                   let path = String.sub target 0 i in
                   let ln = String.sub target (i + 1) (String.length target - i - 1) in
                   match int_of_string_opt ln with
-                  | Some n when n > 0 -> Ok ({ rule; path; line = Some n } :: entries)
+                  | Some n when n > 0 ->
+                      Ok ({ rule; path; line = Some n; lnum } :: entries)
                   | _ -> err lnum ("bad line number " ^ ln)))
         | _ -> err lnum "expected \"RULE path[:line]\"")
   in
@@ -64,12 +107,12 @@ let load file =
   | content -> parse content
   | exception Sys_error msg -> Error msg
 
+let entry_allows e ~rule ~path ~line =
+  e.rule = Rules.to_string rule && e.path = path
+  && match e.line with None -> true | Some n -> n = line
+
 let allows entries ~rule ~path ~line =
-  List.exists
-    (fun e ->
-      e.rule = Rules.to_string rule && e.path = path
-      && match e.line with None -> true | Some n -> n = line)
-    entries
+  List.exists (fun e -> entry_allows e ~rule ~path ~line) entries
 
 (* ------------------------------------------------------------------ *)
 (* Inline allows: a comment containing "lint: allow R1 R2 ..." exempts

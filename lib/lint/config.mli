@@ -6,16 +6,39 @@
 (** Top-level directories the linter walks, in scan order. *)
 val scanned_dirs : string list
 
-(** Directories whose code must be bit-for-bit deterministic; {!Rules.D001}
-    only applies here. *)
+(** Directories whose code must be bit-for-bit deterministic. *)
 val deterministic_dirs : string list
+
+(** Directories where P001 (handler totality) applies: protocol
+    implementations and their adapters. *)
+val totality_dirs : string list
 
 val is_deterministic : string -> bool
 
 val in_lib : string -> bool
 
+val in_totality_scope : string -> bool
+
+(** How strictly a file is held to the determinism rules; see the
+    implementation for the per-scope rule matrix. *)
+type scope = Strict | Lib | Tool | Test
+
+val scope_of_path : string -> scope
+
+(** Files whose functions are D101 roots (must not transitively reach
+    a nondeterministic source): [Strict] and [Tool] scopes. *)
+val taint_root : string -> bool
+
+(** Files whose functions are D102 roots (must not transitively reach
+    module-toplevel mutable state): [Strict] scope only. *)
+val global_root : string -> bool
+
+(** Where the direct D001 traversal ban applies ([Strict] and [Tool]). *)
+val unordered_traversal_banned : string -> bool
+
 (** [lib/crypto/rng] is the sanctioned source of (seeded) randomness and
-    exempt from the [Random] bans of {!Rules.D002}. *)
+    exempt from the [Random] bans of {!Rules.D002} (and never seeds
+    D101 taint). *)
 val is_rng_module : string -> bool
 
 (** {1 The [lint.allow] file}
@@ -23,7 +46,12 @@ val is_rng_module : string -> bool
     One entry per line: ["RULE path[:line]"]. ['#'] starts a comment.
     An entry without [:line] allows the rule anywhere in that file. *)
 
-type entry = { rule : string; path : string; line : int option }
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  lnum : int;  (** line of the entry inside lint.allow, for S004 *)
+}
 
 type allowlist = entry list
 
@@ -31,6 +59,8 @@ val parse : string -> (allowlist, string) result
 
 (** [load file] reads and parses [file]. *)
 val load : string -> (allowlist, string) result
+
+val entry_allows : entry -> rule:Rules.id -> path:string -> line:int -> bool
 
 val allows : allowlist -> rule:Rules.id -> path:string -> line:int -> bool
 

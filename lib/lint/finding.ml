@@ -1,0 +1,23 @@
+(* A single diagnostic. [chain] is empty for the per-file rules; the
+   interprocedural rules (D101/D102) fill it with one entry per hop,
+   caller first, nondeterministic source last, each formatted as
+   "path:line what". *)
+
+type t = {
+  rule : Rules.id;
+  file : string;
+  line : int;
+  message : string;
+  chain : string list;
+}
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare (Rules.to_string a.rule) (Rules.to_string b.rule)
+      | c -> c)
+  | c -> c
+
+let make ?(chain = []) rule ~file ~line message =
+  { rule; file; line; message; chain }

@@ -1,0 +1,16 @@
+(** The diagnostic record shared by every analysis pass. *)
+
+type t = {
+  rule : Rules.id;
+  file : string;  (** repo-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  message : string;
+  chain : string list;
+      (** interprocedural call chain, caller first, source last; empty
+          for per-file rules *)
+}
+
+(** Stable ordering: by file, then line, then rule id. *)
+val compare : t -> t -> int
+
+val make : ?chain:string list -> Rules.id -> file:string -> line:int -> string -> t

@@ -1,3 +1,9 @@
+(* Diagnostic output. The machine-readable form is a single report
+   object (not a bare findings array) built on Metrics.Json, so the CI
+   artifact is schema-checked by the same machinery as the bench JSON:
+   {tool, version, findings:[{rule,file,line,message,chain}],
+    counts:[{rule,count} for the whole catalog], total}. *)
+
 type format = Human | Json
 
 let format_of_string = function
@@ -5,37 +11,88 @@ let format_of_string = function
   | "json" -> Some Json
   | _ -> None
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let version = 1
 
-let print_human out (findings : Scanner.finding list) =
+let schema =
+  Metrics.Json.(
+    Obj_of
+      [
+        ("tool", Str_s);
+        ("version", Int_s);
+        ( "findings",
+          List_of
+            (Obj_of
+               [
+                 ("rule", Str_s);
+                 ("file", Str_s);
+                 ("line", Int_s);
+                 ("message", Str_s);
+                 ("chain", List_of Str_s);
+               ]) );
+        ("counts", List_of (Obj_of [ ("rule", Str_s); ("count", Int_s) ]));
+        ("total", Int_s);
+      ])
+
+let to_json (findings : Finding.t list) =
+  let finding (f : Finding.t) =
+    Metrics.Json.Obj
+      [
+        ("rule", Metrics.Json.Str (Rules.to_string f.rule));
+        ("file", Metrics.Json.Str f.file);
+        ("line", Metrics.Json.Int f.line);
+        ("message", Metrics.Json.Str f.message);
+        ("chain", Metrics.Json.List (List.map (fun h -> Metrics.Json.Str h) f.chain));
+      ]
+  in
+  let count rule =
+    Metrics.Json.Obj
+      [
+        ("rule", Metrics.Json.Str (Rules.to_string rule));
+        ( "count",
+          Metrics.Json.Int (List.length (List.filter (fun (f : Finding.t) -> f.rule = rule) findings))
+        );
+      ]
+  in
+  Metrics.Json.Obj
+    [
+      ("tool", Metrics.Json.Str "lyra_lint");
+      ("version", Metrics.Json.Int version);
+      ("findings", Metrics.Json.List (List.map finding findings));
+      ("counts", Metrics.Json.List (List.map count Rules.all));
+      ("total", Metrics.Json.Int (List.length findings));
+    ]
+
+let print_human out (findings : Finding.t list) =
   List.iter
-    (fun (f : Scanner.finding) ->
-      Printf.fprintf out "%s:%d: [%s] %s\n" f.file f.line (Rules.to_string f.rule) f.message)
+    (fun (f : Finding.t) ->
+      Printf.fprintf out "%s:%d: [%s] %s\n" f.file f.line (Rules.to_string f.rule) f.message;
+      List.iteri
+        (fun i hop ->
+          Printf.fprintf out "    %s %s\n" (if i = 0 then "chain:" else "    ->") hop)
+        f.chain)
     findings;
   match List.length findings with
   | 0 -> Printf.fprintf out "lyra_lint: no findings\n"
   | n -> Printf.fprintf out "lyra_lint: %d finding%s\n" n (if n = 1 then "" else "s")
 
-let print_json out (findings : Scanner.finding list) =
-  let item (f : Scanner.finding) =
-    Printf.sprintf "  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"message\": \"%s\"}"
-      (Rules.to_string f.rule) (json_escape f.file) f.line (json_escape f.message)
-  in
-  match findings with
-  | [] -> Printf.fprintf out "[]\n"
-  | _ -> Printf.fprintf out "[\n%s\n]\n" (String.concat ",\n" (List.map item findings))
-
 let print format out findings =
-  match format with Human -> print_human out findings | Json -> print_json out findings
+  match format with
+  | Human -> print_human out findings
+  | Json -> output_string out (Metrics.Json.to_string (to_json findings))
+
+(* Write the report, then read it back, re-parse and re-validate: the
+   artifact a CI job picks up is guaranteed well-formed or the linter
+   itself fails. *)
+let write_json_file ~file findings =
+  let doc = to_json findings in
+  (match Metrics.Json.check schema doc with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "lint report does not match its own schema at %s" e));
+  Out_channel.with_open_text file (fun oc -> output_string oc (Metrics.Json.to_string doc));
+  let content = In_channel.with_open_text file In_channel.input_all in
+  match Metrics.Json.of_string content with
+  | Error e -> failwith (Printf.sprintf "re-reading %s failed: %s" file e)
+  | Ok doc' -> (
+      match Metrics.Json.check schema doc' with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "re-read %s violates the report schema at %s" file e))

@@ -1,38 +1,23 @@
-(* The analysis pass proper: parse each .ml with compiler-libs, walk
-   the Parsetree with Ast_iterator, and match banned identifiers and
-   attributes against the scope policy in Config. *)
+(* The analysis driver: parse each .ml with compiler-libs, run the
+   per-file Parsetree pass, then (for project scans) build the
+   whole-program call graph and run the interprocedural rules.
 
-type finding = { rule : Rules.id; file : string; line : int; message : string }
+   Suppression is applied uniformly *after* finding generation: every
+   raw finding (and every taint seed) is checked against the file's
+   inline "lint: allow" directives and the lint.allow file, and each
+   consulted allow is recorded so S004 can flag the stale ones. *)
+
+type finding = Finding.t = {
+  rule : Rules.id;
+  file : string;
+  line : int;
+  message : string;
+  chain : string list;
+}
 
 exception Error of string
 
-let compare_findings a b =
-  match String.compare a.file b.file with
-  | 0 -> (
-      match Int.compare a.line b.line with
-      | 0 -> String.compare (Rules.to_string a.rule) (Rules.to_string b.rule)
-      | c -> c)
-  | c -> c
-
-(* ------------------------------------------------------------------ *)
-(* Banned identifier tables.                                           *)
-(* ------------------------------------------------------------------ *)
-
-(* Hashtbl entry points whose visit order is unspecified. *)
-let d001_traversals = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
-
-(* Host time sources. *)
-let d002_clocks = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Unix", "times"); ("Sys", "time") ]
-
-(* Ambient-state generator functions; Random.State.* (explicitly seeded)
-   stays legal, Crypto.Rng is the house generator. *)
-let d002_random =
-  [ "self_init"; "int"; "full_int"; "bits"; "bits32"; "bits64"; "int32"; "int64"; "nativeint"; "float"; "bool" ]
-
-(* Structural ops that inspect runtime representation. *)
-let d003_stdlib = [ "compare"; "="; "<>" ]
-
-let s001_obj = [ "magic"; "repr"; "obj" ]
+let compare_findings = Finding.compare
 
 (* ------------------------------------------------------------------ *)
 (* Per-file pass.                                                      *)
@@ -46,6 +31,11 @@ let parse_implementation ~path source =
   | exception _ ->
       let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
       raise (Error (Printf.sprintf "%s:%d: syntax error while parsing for lint" path line))
+
+(* Structural ops that inspect runtime representation. *)
+let d003_stdlib = [ "compare"; "="; "<>" ]
+
+let s001_obj = [ "magic"; "repr"; "obj" ]
 
 (* A module that defines its own [compare] (e.g. Crypto.Field) may use
    the name unqualified; D003 targets the Stdlib fallback. *)
@@ -63,31 +53,32 @@ let defines_compare structure =
       | _ -> false)
     structure
 
-let scan_source ~rules ~path source =
-  let structure = parse_implementation ~path source in
-  let inline = Config.inline_allows source in
+(* Raw per-file findings: no inline/allowlist filtering here — the
+   caller owns suppression (and its bookkeeping). *)
+let file_findings ~rules ~path structure =
+  let traversal_banned = Config.unordered_traversal_banned path in
   let deterministic = Config.is_deterministic path in
   let in_lib = Config.in_lib path in
   let local_compare = defines_compare structure in
   let findings = ref [] in
   let emit rule loc message =
-    if List.mem rule rules then begin
+    if List.mem rule rules then
       let line = loc.Location.loc_start.Lexing.pos_lnum in
-      if not (Config.inline_allowed inline ~rule ~line) then
-        findings := { rule; file = path; line; message } :: !findings
-    end
+      findings := Finding.make rule ~file:path ~line message :: !findings
   in
   let check_ident lid loc =
     match lid with
-    | Longident.Ldot (Longident.Lident "Hashtbl", f) when deterministic && List.mem f d001_traversals ->
+    | Longident.Ldot (Longident.Lident "Hashtbl", f)
+      when traversal_banned && List.mem f Callgraph.d001_traversals ->
         emit Rules.D001 loc
           (Printf.sprintf
              "Hashtbl.%s visits bindings in unspecified order; use Sim.Det.sorted_bindings (or collect, sort by key, then fold)"
              f)
-    | Longident.Ldot (Longident.Lident m, f) when List.mem (m, f) d002_clocks ->
+    | Longident.Ldot (Longident.Lident m, f) when List.mem (m, f) Callgraph.d002_clocks ->
         emit Rules.D002 loc
           (Printf.sprintf "%s.%s reads the host wall clock; simulated time is Sim.Engine.now" m f)
-    | Longident.Ldot (Longident.Lident "Random", f) when List.mem f d002_random && not (Config.is_rng_module path) ->
+    | Longident.Ldot (Longident.Lident "Random", f)
+      when List.mem f Callgraph.d002_random && not (Config.is_rng_module path) ->
         emit Rules.D002 loc
           (Printf.sprintf "Random.%s draws from the ambient global generator; thread a seeded Crypto.Rng.t instead" f)
     | Longident.Ldot (Longident.Lident "Hashtbl", ("hash" | "hash_param")) when in_lib ->
@@ -149,7 +140,133 @@ let scan_source ~rules ~path source =
     }
   in
   iterator.structure iterator structure;
-  List.sort compare_findings !findings
+  List.rev !findings
+
+let scan_source ~rules ~path source =
+  let structure = parse_implementation ~path source in
+  let inline = Config.inline_allows source in
+  file_findings ~rules ~path structure
+  |> List.filter (fun (f : finding) ->
+         not (Config.inline_allowed inline ~rule:f.rule ~line:f.line))
+  |> List.sort Finding.compare
+
+(* ------------------------------------------------------------------ *)
+(* Project-wide pass.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let scan_project ~rules ?(allowlist = []) ?(extra = []) files =
+  let parsed =
+    List.map (fun (path, source) -> (path, source, parse_implementation ~path source)) files
+  in
+  (* Per-file inline directives, and usage tracking for S004. *)
+  let inline_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (path, source, _) -> Hashtbl.replace inline_tbl path (Config.inline_allows source))
+    parsed;
+  let inline_used = Hashtbl.create 16 in
+  let entries = Array.of_list allowlist in
+  let entry_used = Array.make (Array.length entries) false in
+  let suppressed ~rule ~path ~line =
+    let directives = try Hashtbl.find inline_tbl path with Not_found -> [] in
+    let rs = Rules.to_string rule in
+    let inline_hit =
+      List.find_opt
+        (fun (l, rulenames) -> (line = l || line = l + 1) && List.mem rs rulenames)
+        directives
+    in
+    match inline_hit with
+    | Some (l, _) ->
+        Hashtbl.replace inline_used (path, l) ();
+        true
+    | None ->
+        let n = Array.length entries in
+        let rec go i =
+          if i >= n then false
+          else if Config.entry_allows entries.(i) ~rule ~path ~line then begin
+            entry_used.(i) <- true;
+            true
+          end
+          else go (i + 1)
+        in
+        go 0
+  in
+  (* Per-file rules + externally computed findings (S002). *)
+  let base =
+    extra
+    @ List.concat_map (fun (path, _, structure) -> file_findings ~rules ~path structure) parsed
+  in
+  (* Interprocedural rules over the shared call graph. *)
+  let wants r = List.mem r rules in
+  let interproc =
+    if wants Rules.D101 || wants Rules.D102 || wants Rules.P001 then begin
+      let cg = Callgraph.build (List.map (fun (path, _, s) -> (path, s)) parsed) in
+      let taint =
+        if wants Rules.D101 || wants Rules.D102 then
+          List.filter (fun (f : finding) -> wants f.rule) (Taint.analyze cg ~suppressed)
+        else []
+      in
+      let total = if wants Rules.P001 then Totality.analyze cg else [] in
+      taint @ total
+    end
+    else []
+  in
+  let kept =
+    List.filter
+      (fun (f : finding) -> not (suppressed ~rule:f.rule ~path:f.file ~line:f.line))
+      (base @ interproc)
+  in
+  (* S004: every allow must still earn its keep — the ratchet only
+     tightens. Only meaningful for rules enabled this run. *)
+  let stale =
+    if not (wants Rules.S004) then []
+    else begin
+      let stale_entries =
+        List.concat
+          (List.mapi
+             (fun i (e : Config.entry) ->
+               if entry_used.(i) || not (List.exists (fun r -> Rules.to_string r = e.rule) rules)
+               then []
+               else
+                 [
+                   Finding.make Rules.S004 ~file:"lint.allow" ~line:e.lnum
+                     (Printf.sprintf
+                        "stale allow entry '%s %s%s' suppresses nothing; remove it (the allowlist may only shrink)"
+                        e.rule e.path
+                        (match e.line with None -> "" | Some n -> ":" ^ string_of_int n));
+                 ])
+             (Array.to_list entries))
+      in
+      let stale_inline =
+        List.concat_map
+          (fun (path, _, _) ->
+            (* Test/example sources embed lint fixtures as string
+               literals; a line-based scan can't tell those directives
+               from live ones, so Test scope is exempt from inline
+               staleness. *)
+            let directives =
+              if Config.scope_of_path path = Config.Test then []
+              else try Hashtbl.find inline_tbl path with Not_found -> []
+            in
+            List.filter_map
+              (fun (l, rulenames) ->
+                let all_enabled =
+                  List.for_all
+                    (fun rs -> List.exists (fun r -> Rules.to_string r = rs) rules)
+                    rulenames
+                in
+                if (not all_enabled) || Hashtbl.mem inline_used (path, l) then None
+                else
+                  Some
+                    (Finding.make Rules.S004 ~file:path ~line:l
+                       (Printf.sprintf "stale inline 'lint: allow %s' suppresses nothing; remove it"
+                          (String.concat " " rulenames))))
+              directives)
+          parsed
+      in
+      stale_entries @ stale_inline
+    end
+  in
+  List.sort Finding.compare (kept @ stale)
 
 (* ------------------------------------------------------------------ *)
 (* Directory walk.                                                     *)
@@ -189,21 +306,17 @@ let missing_mli ~root path =
 
 let scan_root ~rules ~allowlist ~root =
   let files = source_files root in
-  let per_file path =
-    let findings = scan_source ~rules ~path (read_file (Filename.concat root path)) in
-    let findings =
-      if List.mem Rules.S002 rules && missing_mli ~root path then
-        {
-          rule = Rules.S002;
-          file = path;
-          line = 1;
-          message = "lib/ module has no .mli; declare its public surface";
-        }
-        :: findings
-      else findings
-    in
-    List.filter
-      (fun f -> not (Config.allows allowlist ~rule:f.rule ~path:f.file ~line:f.line))
-      findings
+  let sources = List.map (fun path -> (path, read_file (Filename.concat root path))) files in
+  let extra =
+    if List.mem Rules.S002 rules then
+      List.filter_map
+        (fun path ->
+          if missing_mli ~root path then
+            Some
+              (Finding.make Rules.S002 ~file:path ~line:1
+                 "lib/ module has no .mli; declare its public surface")
+          else None)
+        files
+    else []
   in
-  List.concat_map per_file files |> List.sort compare_findings
+  scan_project ~rules ~allowlist ~extra sources

@@ -1,12 +1,14 @@
-(** The static-analysis pass: parses [.ml] sources with
-    [compiler-libs.common] and walks the Parsetree for violations of
-    the {!Rules} catalog. *)
+(** The static-analysis driver: parses [.ml] sources with
+    [compiler-libs.common], runs the per-file Parsetree pass, and — for
+    project scans — builds the whole-program {!Callgraph} and runs the
+    interprocedural rules ({!Taint}, {!Totality}). *)
 
-type finding = {
+type finding = Finding.t = {
   rule : Rules.id;
   file : string;  (** repo-relative, '/'-separated *)
   line : int;  (** 1-based *)
   message : string;
+  chain : string list;  (** call chain for D101/D102, else empty *)
 }
 
 (** Raised on unreadable or syntactically invalid input. *)
@@ -16,18 +18,38 @@ exception Error of string
 val compare_findings : finding -> finding -> int
 
 (** [scan_source ~rules ~path source] lints one compilation unit given
-    as a string. [path] determines scoping (see {!Config}) and is
-    echoed in findings; inline ["lint: allow"] directives in [source]
-    are honoured. File-level checks (S002) are not applied here. *)
+    as a string — the per-file rules only (interprocedural rules need a
+    project). [path] determines scoping (see {!Config}) and is echoed
+    in findings; inline ["lint: allow"] directives in [source] are
+    honoured. File-level checks (S002) are not applied here. *)
 val scan_source : rules:Rules.id list -> path:string -> string -> finding list
+
+(** [scan_project ~rules files] lints a whole program given as
+    [(path, source)] pairs: per-file rules on each unit plus the
+    interprocedural D101/D102/P001 passes over the shared call graph.
+
+    [allowlist] and inline directives suppress findings *and* taint
+    seeds; every allow consulted is tracked, and with {!Rules.S004}
+    enabled each allow that suppressed nothing (restricted to rules
+    enabled this run) becomes a finding — at its [lint.allow] line for
+    file entries, at the directive line for inline allows. S004
+    findings are themselves never allowlistable: the ratchet only
+    tightens. [extra] merges externally computed findings (S002) into
+    the stream before suppression. *)
+val scan_project :
+  rules:Rules.id list ->
+  ?allowlist:Config.allowlist ->
+  ?extra:finding list ->
+  (string * string) list ->
+  finding list
 
 (** All [.ml] files the linter would examine under [root]
     (repo-relative, sorted). *)
 val source_files : string -> string list
 
 (** [scan_root ~rules ~allowlist ~root] walks {!Config.scanned_dirs}
-    under [root], lints every [.ml], applies the S002 interface check
-    and filters through [allowlist]. The result is sorted with
+    under [root], adds the S002 interface check, and runs
+    {!scan_project} on the result. The result is sorted with
     {!compare_findings}. *)
 val scan_root :
   rules:Rules.id list -> allowlist:Config.allowlist -> root:string -> finding list

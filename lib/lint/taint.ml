@@ -1,0 +1,158 @@
+(* Interprocedural determinism taint (D101) and shared-mutable-state
+   reach (D102).
+
+   Both rules run the same machinery: seed a set of definitions (those
+   that directly touch a nondeterministic primitive, or module-toplevel
+   mutable state), propagate backwards over call edges with a BFS, and
+   report each *root-territory* definition sitting on the boundary —
+   i.e. whose next hop towards the seed is already outside root
+   territory. Reporting only the boundary keeps one finding per leak
+   instead of one per transitive caller, and leaves in-territory direct
+   uses to the per-file rules (D001/D002) that already cover them.
+
+   The BFS is deterministic: seeds and adjacency lists are built in
+   {!Callgraph.defs} order, so "shortest chain" ties always break the
+   same way and reports are stable across runs. *)
+
+type origin = { o_file : string; o_line : int; o_what : string; o_desc : string }
+
+type node = { n_toward : Callgraph.def option; n_origin : origin }
+
+(* Backwards BFS from [seeds]; returns def_key -> next hop (None at a
+   seed) + which primitive the chain bottoms out in. *)
+let propagate cg seeds =
+  let rev = Hashtbl.create 256 in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      List.iter
+        (fun ((callee : Callgraph.def), _line) ->
+          let key = Callgraph.def_key callee in
+          Hashtbl.replace rev key (d :: (try Hashtbl.find rev key with Not_found -> [])))
+        d.d_calls)
+    (Callgraph.defs cg);
+  let state = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun ((d : Callgraph.def), origin) ->
+      let key = Callgraph.def_key d in
+      if not (Hashtbl.mem state key) then begin
+        Hashtbl.replace state key { n_toward = None; n_origin = origin };
+        Queue.add d queue
+      end)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let d = Queue.pop queue in
+    let n = Hashtbl.find state (Callgraph.def_key d) in
+    List.iter
+      (fun (caller : Callgraph.def) ->
+        let key = Callgraph.def_key caller in
+        if not (Hashtbl.mem state key) then begin
+          Hashtbl.replace state key { n_toward = Some d; n_origin = n.n_origin };
+          Queue.add caller queue
+        end)
+      (List.rev (try Hashtbl.find rev (Callgraph.def_key d) with Not_found -> []))
+  done;
+  state
+
+let chain_of state (d : Callgraph.def) =
+  let rec go (d : Callgraph.def) acc =
+    let acc = Printf.sprintf "%s:%d %s" d.d_path d.d_line d.d_name :: acc in
+    let n = Hashtbl.find state (Callgraph.def_key d) in
+    match n.n_toward with
+    | Some next -> go next acc
+    | None ->
+        let o = n.n_origin in
+        Printf.sprintf "%s:%d %s" o.o_file o.o_line o.o_what :: acc
+  in
+  List.rev (go d [])
+
+(* Emit one boundary finding per tainted root-territory def. A seed
+   that is itself in root territory is only reported when
+   [include_direct] (D102 has no per-file rule backing it up; for D101
+   the direct use is already a D001/D002 finding). *)
+let boundary_findings cg state ~rule ~root ~include_direct ~message =
+  List.filter_map
+    (fun (d : Callgraph.def) ->
+      match Hashtbl.find_opt state (Callgraph.def_key d) with
+      | None -> None
+      | Some n ->
+          if not (root d.d_path) then None
+          else
+            let report =
+              match n.n_toward with
+              | None -> include_direct
+              | Some next -> not (root next.d_path)
+            in
+            if not report then None
+            else
+              Some
+                (Finding.make rule ~file:d.d_path ~line:d.d_line
+                   ~chain:(chain_of state d)
+                   (message d n.n_origin)))
+    (Callgraph.defs cg)
+
+let kind_desc = function
+  | Callgraph.Unordered_traversal -> "unordered hash traversal"
+  | Callgraph.Wall_clock -> "wall-clock time"
+  | Callgraph.Ambient_entropy -> "ambient randomness"
+
+(* [suppressed] is consulted at each *seed site* so that an inline
+   allow directive for D001/D002/D102 (or a lint.allow entry) on the
+   primitive also stops the taint it would otherwise radiate. *)
+let analyze cg ~suppressed =
+  let d101 =
+    let seeds =
+      List.filter_map
+        (fun (d : Callgraph.def) ->
+          let live =
+            List.filter
+              (fun (s : Callgraph.source) ->
+                not
+                  (suppressed ~rule:(Callgraph.base_rule s.s_kind) ~path:d.d_path
+                     ~line:s.s_line))
+              d.d_sources
+          in
+          match live with
+          | [] -> None
+          | s :: _ ->
+              Some
+                ( d,
+                  { o_file = d.d_path; o_line = s.s_line; o_what = s.s_what;
+                    o_desc = kind_desc s.s_kind } ))
+        (Callgraph.defs cg)
+    in
+    let state = propagate cg seeds in
+    boundary_findings cg state ~rule:Rules.D101 ~root:Config.taint_root
+      ~include_direct:false ~message:(fun d o ->
+        Printf.sprintf "'%s' can reach %s (%s) defined outside deterministic scope at %s:%d"
+          d.d_name o.o_what o.o_desc o.o_file o.o_line)
+  in
+  let d102 =
+    let seeds =
+      List.filter_map
+        (fun (d : Callgraph.def) ->
+          let live =
+            List.filter
+              (fun ((g : Callgraph.global), ref_line) ->
+                (not (suppressed ~rule:Rules.D102 ~path:g.g_path ~line:g.g_line))
+                && not (suppressed ~rule:Rules.D102 ~path:d.d_path ~line:ref_line))
+              d.d_globals
+          in
+          match live with
+          | [] -> None
+          | (g, _) :: _ ->
+              Some
+                ( d,
+                  { o_file = g.g_path; o_line = g.g_line;
+                    o_what = Printf.sprintf "%s (%s)" g.g_name g.g_kind;
+                    o_desc = "module-toplevel mutable state" } ))
+        (Callgraph.defs cg)
+    in
+    let state = propagate cg seeds in
+    boundary_findings cg state ~rule:Rules.D102 ~root:Config.global_root
+      ~include_direct:true ~message:(fun d o ->
+        Printf.sprintf
+          "'%s' can reach module-toplevel mutable state %s at %s:%d; protocol state must live in the node record"
+          d.d_name o.o_what o.o_file o.o_line)
+  in
+  d101 @ d102

@@ -1,0 +1,18 @@
+(** Interprocedural rules D101 (nondeterminism reach) and D102
+    (module-toplevel mutable state reach), as a backwards BFS over
+    {!Callgraph} call edges from the seed sites.
+
+    Only the *boundary* definition is reported: a root-territory
+    function whose next hop towards the seed is already outside root
+    territory (for D102, possibly the seed itself). Findings carry the
+    full call chain, caller first, primitive last. *)
+
+val analyze :
+  Callgraph.t ->
+  suppressed:(rule:Rules.id -> path:string -> line:int -> bool) ->
+  Finding.t list
+(** [suppressed] is consulted at every seed site (for D101 with the
+    governing per-file rule, D001 or D002; for D102 with [D102] at both
+    the global's definition site and the reference site) so existing
+    allows also stop the taint they would radiate. Report-site
+    filtering is the caller's job. *)

@@ -1,0 +1,155 @@
+(* P001: handler totality over protocol message types.
+
+   A protocol's wire type is whatever it instantiates the simulator
+   with, so we seed from every [ty Sim.Network.t] (or [ty Network.t])
+   type expression in the program, resolve [ty], and transitively close
+   over the type declarations it references (a message record
+   referencing a body variant referencing a vote variant, etc.). The
+   union of the variant constructor names reached this way is the
+   "message constructor" set.
+
+   Inside {!Config.totality_dirs} we then flag any [match]/[function]
+   with a catch-all [_] arm alongside an arm headed by a message
+   constructor: a wildcard there silently drops every constructor added
+   later, which is exactly how reordering-defense messages get ignored.
+   Binding the scrutinee to a *named* variable is not flagged (that is
+   a deliberate "all messages" handler), and constructor *arguments*
+   are never inspected, so [Some {msg = _}] style wildcards over
+   internal state stay legal. *)
+
+let ends_with_network_t parts =
+  match List.rev parts with
+  | "t" :: "Network" :: _ -> true
+  | _ -> false
+
+(* Every (unit, type-path) instantiating the network functor-free
+   simulator channel. *)
+let network_seeds (u : Callgraph.unit_info) =
+  let seeds = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      typ =
+        (fun it ty ->
+          (match ty.Parsetree.ptyp_desc with
+          | Parsetree.Ptyp_constr ({ txt; _ }, arg0 :: _) -> (
+              match Callgraph.flatten txt with
+              | Some parts when ends_with_network_t parts -> (
+                  match arg0.Parsetree.ptyp_desc with
+                  | Parsetree.Ptyp_constr ({ txt = t; _ }, _) -> (
+                      match Callgraph.flatten t with
+                      | Some tparts -> seeds := tparts :: !seeds
+                      | None -> ())
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.typ it ty);
+    }
+  in
+  it.structure it u.u_structure;
+  List.rev !seeds
+
+(* Transitive closure over referenced type declarations, collecting
+   variant constructor names. *)
+let message_ctors cg =
+  let ctors = Hashtbl.create 64 in
+  let visited = ref [] in
+  let rec close u parts =
+    match Callgraph.resolve_type cg u parts with
+    | None -> ()
+    | Some (u', (td : Callgraph.tydecl)) ->
+        if not (List.memq td !visited) then begin
+          visited := td :: !visited;
+          List.iter (fun c -> Hashtbl.replace ctors c ()) td.ty_ctors;
+          List.iter
+            (fun lid ->
+              match Callgraph.flatten lid with
+              | Some p -> close u' p
+              | None -> ())
+            td.ty_refs
+        end
+  in
+  List.iter
+    (fun (u : Callgraph.unit_info) ->
+      List.iter (fun parts -> close u parts) (network_seeds u))
+    (Callgraph.units cg);
+  ctors
+
+(* A pattern that matches *everything*: a bare [_], possibly behind
+   alias/constraint/open, or an or-pattern with such a branch. Named
+   variables are deliberate and not counted. *)
+let rec is_catch_all (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any -> true
+  | Parsetree.Ppat_alias (p, _)
+  | Parsetree.Ppat_constraint (p, _)
+  | Parsetree.Ppat_open (_, p) ->
+      is_catch_all p
+  | Parsetree.Ppat_or (a, b) -> is_catch_all a || is_catch_all b
+  | _ -> false
+
+(* Head constructor names of a pattern; tuple components each
+   contribute a head, constructor arguments are not descended into. *)
+let rec ctor_heads (p : Parsetree.pattern) acc =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_construct ({ txt; _ }, _) -> (
+      match Callgraph.flatten txt with
+      | Some parts -> (List.nth parts (List.length parts - 1), line_of_pat p) :: acc
+      | None -> acc)
+  | Parsetree.Ppat_alias (p, _)
+  | Parsetree.Ppat_constraint (p, _)
+  | Parsetree.Ppat_open (_, p) ->
+      ctor_heads p acc
+  | Parsetree.Ppat_or (a, b) -> ctor_heads a (ctor_heads b acc)
+  | Parsetree.Ppat_tuple ps -> List.fold_left (fun acc p -> ctor_heads p acc) acc ps
+  | _ -> acc
+
+and line_of_pat (p : Parsetree.pattern) =
+  p.Parsetree.ppat_loc.Location.loc_start.Lexing.pos_lnum
+
+let scan_matches ctors (u : Callgraph.unit_info) =
+  let findings = ref [] in
+  let check_cases (cases : Parsetree.case list) =
+    let msg_ctor =
+      List.find_map
+        (fun (c : Parsetree.case) ->
+          List.find_opt (fun (name, _) -> Hashtbl.mem ctors name) (ctor_heads c.Parsetree.pc_lhs []))
+        cases
+    in
+    match msg_ctor with
+    | None -> ()
+    | Some (name, _) ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            if is_catch_all c.Parsetree.pc_lhs then
+              findings :=
+                Finding.make Rules.P001 ~file:u.u_path
+                  ~line:(line_of_pat c.Parsetree.pc_lhs)
+                  (Printf.sprintf
+                     "catch-all '_' arm in a match over message constructors (saw %s); \
+                      new constructors would be silently dropped — enumerate the arms or bind a variable"
+                     name)
+                :: !findings)
+          cases
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_match (_, cases) | Parsetree.Pexp_function cases ->
+              check_cases cases
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it u.u_structure;
+  List.rev !findings
+
+let analyze cg =
+  let ctors = message_ctors cg in
+  List.concat_map
+    (fun (u : Callgraph.unit_info) ->
+      if Config.in_totality_scope u.u_path then scan_matches ctors u else [])
+    (Callgraph.units cg)

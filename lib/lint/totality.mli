@@ -1,0 +1,10 @@
+(** P001: no catch-all [_] arms in matches over protocol message
+    constructors (inside {!Config.totality_dirs}).
+
+    Message types are discovered from [ty Sim.Network.t] instantiations
+    and closed transitively over the type declarations they reference;
+    the flagged arm is the wildcard itself. Binding a variable instead
+    of [_] is not flagged, and constructor arguments are never
+    inspected. *)
+
+val analyze : Callgraph.t -> Finding.t list

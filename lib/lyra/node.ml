@@ -458,11 +458,6 @@ let try_commit t =
 (* Validation function (Alg. 4 line 62, Eq. 1).                        *)
 (* ------------------------------------------------------------------ *)
 
-let reject_pred = ref 0
-let reject_window = ref 0
-let reject_other = ref 0
-let pred_err = ref 0
-
 let validate t (proposal : Types.proposal) ~seq_obs =
   let cfg = t.config in
   let n = cfg.n and fv = f t in
@@ -471,24 +466,20 @@ let validate t (proposal : Types.proposal) ~seq_obs =
     && Array.length proposal.batch.txs <= 4 * cfg.batch_size
     &&
     match proposal.st.(t.id) with
-    | None -> incr reject_other; false
+    | None -> false
     | Some prediction -> (
         let perr = abs (seq_obs - prediction) in
-        pred_err := max !pred_err perr;
-        if perr > cfg.lambda_us then (incr reject_pred; false)
+        if perr > cfg.lambda_us then false
         else
         match Types.requested_seq ~n ~f:fv proposal.st with
-        | None -> incr reject_other; false
+        | None -> false
         | Some s ->
             (* Acceptance window: not locally locked, not too far in
                the future (§VI-D). [skip_window_check] bypasses the
                guard — deliberately unsound, explorer self-test only. *)
-            if
-              cfg.skip_window_check
-              || (s > seq_obs - Config.l_us cfg
-                 && s < seq_obs + cfg.future_bound_us)
-            then true
-            else (incr reject_window; false))
+            cfg.skip_window_check
+            || (s > seq_obs - Config.l_us cfg
+               && s < seq_obs + cfg.future_bound_us))
   in
   (* A slow INIT can arrive after the instance already decided from the
      other processes' messages; booking it as pending then would leave a
@@ -523,7 +514,9 @@ let validate t (proposal : Types.proposal) ~seq_obs =
 (* ------------------------------------------------------------------ *)
 
 (* Forward declaration: re-proposal of rejected client batches needs
-   maybe_propose, defined later. *)
+   maybe_propose, defined later. Assigned exactly once at module init
+   and never mutated after; it carries no per-run state, so sharing it
+   across node instances is sound. lint: allow D102 *)
 let reproposal_hook : (t -> Types.tx list -> unit) ref =
   ref (fun _ _ -> ())
 
@@ -662,7 +655,7 @@ let make_env t iid : Instance.env =
               (Sim.Engine.schedule t.engine ~delay:delay_us (fun () ->
                    broadcast_body t body)
                 : Sim.Engine.timer)
-        | _ -> broadcast_body t body);
+        | _, body -> broadcast_body t body);
     schedule =
       (fun ~delay_us fn ->
         ignore (Sim.Engine.schedule t.engine ~delay:delay_us fn : Sim.Engine.timer));

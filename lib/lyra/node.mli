@@ -125,15 +125,3 @@ val pending_entries : t -> (Types.iid * int * bool * int option * int) list
 
 (** Debug dump of one instance's internal state, if it exists here. *)
 val instance_debug : t -> Types.iid -> string option
-
-(**/**)
-
-(* Diagnostic counters (validation rejections by cause); used by the
-   calibration tooling and the λ experiments. *)
-val reject_pred : int ref
-
-val reject_window : int ref
-
-val reject_other : int ref
-
-val pred_err : int ref

@@ -267,6 +267,271 @@ let test_shipped_allowlist_parses () =
       | Ok entries ->
           Alcotest.(check bool) "shipped allowlist is non-empty" true (entries <> []))
 
+(* ------------------------------------------------------------------ *)
+(* Tool scope (bin/, bench/): D001 applies there too.                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_d001_tool_scope () =
+  check "iter in bench" [ "bench/fix.ml:2:D001" ] "bench/fix.ml" d001_bad;
+  check "iter in bin" [ "bin/fix.ml:2:D001" ] "bin/fix.ml" d001_bad;
+  (* but the lib-only hygiene rules still skip tools *)
+  check "bare compare in bin stays legal" [] "bin/fix.ml"
+    "let sort xs = List.sort compare xs\n"
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural fixtures run through scan_project.                  *)
+(* ------------------------------------------------------------------ *)
+
+let project ?(rules = Lint.Rules.all) ?(allow = "") files =
+  let allowlist =
+    match Lint.Config.parse allow with Ok a -> a | Error e -> Alcotest.fail e
+  in
+  Lint.Scanner.scan_project ~rules ~allowlist files
+
+let check_project ?rules ?allow msg expected files =
+  Alcotest.(check (list string)) msg expected (List.map render (project ?rules ?allow files))
+
+(* D101: the nondeterministic source sits two modules away from the
+   deterministic-scope caller; the finding lands on the caller and
+   carries the full chain. *)
+let d101_fixture =
+  [
+    ("lib/lyra/fix.ml", "let commit tbl = Metrics.Snap.snapshot tbl\n");
+    ("lib/metrics/snap.ml", "let snapshot tbl = Helper.walk tbl\n");
+    ("lib/metrics/helper.ml", "let walk tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n");
+  ]
+
+let test_d101_cross_module () =
+  match project d101_fixture with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "D101" (Lint.Rules.to_string f.Lint.Scanner.rule);
+      Alcotest.(check string) "boundary file" "lib/lyra/fix.ml" f.Lint.Scanner.file;
+      Alcotest.(check (list string))
+        "full interprocedural chain, caller first, primitive last"
+        [
+          "lib/lyra/fix.ml:1 commit";
+          "lib/metrics/snap.ml:1 snapshot";
+          "lib/metrics/helper.ml:1 walk";
+          "lib/metrics/helper.ml:1 Hashtbl.iter";
+        ]
+        f.Lint.Scanner.chain
+  | got ->
+      Alcotest.failf "expected exactly one D101 finding, got [%s]"
+        (String.concat "; " (List.map render got))
+
+let test_d101_boundary_only () =
+  (* a longer strict-side chain still yields ONE finding, at the
+     strict function that steps outside — not at every caller above *)
+  check_project "single boundary finding on a 4-hop chain"
+    [ "lib/lyra/entry.ml:1:D101" ]
+    [
+      ("lib/lyra/top.ml", "let run tbl = Entry.go tbl\n");
+      ("lib/lyra/entry.ml", "let go tbl = Metrics.Snap.snapshot tbl\n");
+      ("lib/metrics/snap.ml", "let snapshot tbl = Helper.walk tbl\n");
+      ("lib/metrics/helper.ml", "let walk tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n");
+    ]
+
+let test_d101_tool_root () =
+  (* bin entry blocks are roots too, via their synthetic defs *)
+  check_project "bin toplevel reaching a lib source"
+    [ "bin/fix.ml:1:D101" ]
+    [
+      ("bin/fix.ml", "let () = Metrics.Snap.snapshot (Hashtbl.create 1)\n");
+      ("lib/metrics/snap.ml", "let snapshot tbl = Helper.walk tbl\n");
+      ("lib/metrics/helper.ml", "let walk tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n");
+    ]
+
+let test_d101_seed_suppression () =
+  (* allowing the primitive (inline or via lint.allow) also stops the
+     taint it would radiate *)
+  check_project "inline allow at the source kills the taint" []
+    [
+      ("lib/lyra/fix.ml", "let commit tbl = Metrics.Snap.snapshot tbl\n");
+      ("lib/metrics/snap.ml", "let snapshot tbl = Helper.walk tbl\n");
+      ( "lib/metrics/helper.ml",
+        "(* single-entry table, order immaterial; lint: allow D001 *)\n\
+         let walk tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n" );
+    ];
+  check_project
+    ~allow:"D001 lib/metrics/helper.ml:1\n"
+    "allowlist entry at the source kills the taint" [] d101_fixture
+
+let test_d101_untainted () =
+  check_project "sorted traversal does not taint" []
+    [
+      ("lib/lyra/fix.ml", "let commit tbl = Metrics.Snap.snapshot tbl\n");
+      ( "lib/metrics/snap.ml",
+        "let snapshot tbl = List.length (Sim.Det.sorted_bindings ~cmp:Int.compare tbl)\n" );
+    ]
+
+(* D102: module-toplevel mutable state reachable from strict scope. *)
+let test_d102_direct () =
+  check_project "toplevel ref touched in the same module"
+    [ "lib/lyra/fix.ml:2:D102" ]
+    [ ("lib/lyra/fix.ml", "let counter = ref 0\nlet bump () = incr counter\n") ]
+
+let test_d102_cross_module () =
+  match
+    project
+      [
+        ("lib/lyra/fix.ml", "let on_commit () = Metrics.Stats.bump ()\n");
+        ("lib/metrics/stats.ml", "let total = ref 0\nlet bump () = incr total\n");
+      ]
+  with
+  | [ f ] ->
+      Alcotest.(check string) "rendered" "lib/lyra/fix.ml:1:D102" (render f);
+      Alcotest.(check (list string)) "chain ends at the global"
+        [
+          "lib/lyra/fix.ml:1 on_commit";
+          "lib/metrics/stats.ml:2 bump";
+          "lib/metrics/stats.ml:1 total (ref)";
+        ]
+        f.Lint.Scanner.chain
+  | got ->
+      Alcotest.failf "expected exactly one D102 finding, got [%s]"
+        (String.concat "; " (List.map render got))
+
+let test_d102_scoped () =
+  (* the same escape wholly outside strict scope is not D102's business *)
+  check_project "toplevel ref in lib/metrics alone" []
+    [ ("lib/metrics/stats.ml", "let total = ref 0\nlet bump () = incr total\n") ];
+  (* and an inline allow at the global's definition silences all reach *)
+  check_project "allow at the global's definition" []
+    [
+      ( "lib/lyra/fix.ml",
+        "(* lint: allow D102 *)\n\
+         let counter = ref 0\n\
+         let bump () = incr counter\n" );
+    ]
+
+(* P001: wildcard arms over protocol message constructors. *)
+let p001_types = "type msg = Init of int | Vote of int | Decide of int\n"
+
+let test_p001_fires () =
+  check_project "wildcard dispatch over a network message type"
+    [ "lib/lyra/node.ml:4:P001" ]
+    [
+      ("lib/lyra/types.ml", p001_types);
+      ( "lib/lyra/node.ml",
+        "let handle (_net : Types.msg Sim.Network.t) (m : Types.msg) =\n\
+        \  match m with\n\
+        \  | Types.Init _ -> ()\n\
+        \  | _ -> ()\n" );
+    ]
+
+let test_p001_silent () =
+  let types_unit = ("lib/lyra/types.ml", p001_types) in
+  check_project "total match is fine" []
+    [
+      types_unit;
+      ( "lib/lyra/node.ml",
+        "let handle (_net : Types.msg Sim.Network.t) (m : Types.msg) =\n\
+        \  match m with\n\
+        \  | Types.Init _ -> ()\n\
+        \  | Types.Vote _ -> ()\n\
+        \  | Types.Decide _ -> ()\n" );
+    ];
+  check_project "binding a variable instead of _ is deliberate" []
+    [
+      types_unit;
+      ( "lib/lyra/node.ml",
+        "let handle (_net : Types.msg Sim.Network.t) (m : Types.msg) =\n\
+        \  match m with\n\
+        \  | Types.Init _ -> ()\n\
+        \  | other -> ignore other\n" );
+    ];
+  check_project "wildcard over a non-message type is fine" []
+    [
+      types_unit;
+      ( "lib/lyra/node.ml",
+        "let _use (_net : Types.msg Sim.Network.t) = ()\n\
+         let f (o : int option) = match o with Some _ -> 1 | _ -> 0\n" );
+    ];
+  (* outside totality scope the same wildcard is legal *)
+  check_project "wildcard dispatch outside totality dirs" []
+    [
+      ("lib/sim/types.ml", p001_types);
+      ( "lib/sim/node.ml",
+        "let handle (_net : Types.msg Sim.Network.t) (m : Types.msg) =\n\
+        \  match m with\n\
+        \  | Types.Init _ -> ()\n\
+        \  | _ -> ()\n" );
+    ]
+
+(* S004: allows must keep suppressing something. *)
+let test_s004_stale_entries () =
+  check_project ~allow:"D001 lib/lyra/ghost.ml\n" "stale lint.allow entry"
+    [ "lint.allow:1:S004" ]
+    [ ("lib/lyra/fix.ml", "let f x = Int.succ x\n") ];
+  check_project "stale inline directive"
+    [ "lib/lyra/fix.ml:1:S004" ]
+    [ ("lib/lyra/fix.ml", "(* lint: allow D001 *)\nlet f x = Int.succ x\n") ];
+  (* a used allow is not stale *)
+  check_project "used inline directive is not stale" []
+    [
+      ( "lib/lyra/fix.ml",
+        "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl (* lint: allow D001 *)\n" );
+    ];
+  (* directives inside test sources are fixture text, never stale *)
+  check_project "test-scope directives are exempt" []
+    [ ("test/fix.ml", "(* lint: allow D001 *)\nlet f x = Int.succ x\n") ]
+
+(* ------------------------------------------------------------------ *)
+(* The JSON report artifact.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_report () =
+  let findings = project d101_fixture in
+  let doc = Lint.Reporter.to_json findings in
+  (match Metrics.Json.check Lint.Reporter.schema doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "report violates its schema at %s" e);
+  (* byte round-trip *)
+  (match Metrics.Json.of_string (Metrics.Json.to_string doc) with
+  | Error e -> Alcotest.failf "report does not re-parse: %s" e
+  | Ok doc' ->
+      Alcotest.(check bool) "round-trip preserves the document" true (doc' = doc));
+  (* counts cover the whole catalog, in order, and sum to total *)
+  let members k d = match Metrics.Json.member k d with Some v -> v | None -> Alcotest.failf "missing %s" k in
+  (match members "counts" doc with
+  | Metrics.Json.List counts ->
+      let rules =
+        List.map
+          (fun c ->
+            match Metrics.Json.member "rule" c with
+            | Some (Metrics.Json.Str r) -> r
+            | _ -> Alcotest.fail "count without rule")
+          counts
+      in
+      Alcotest.(check (list string))
+        "counts enumerate the catalog"
+        (List.map Lint.Rules.to_string Lint.Rules.all)
+        rules;
+      let sum =
+        List.fold_left
+          (fun acc c ->
+            match Metrics.Json.member "count" c with
+            | Some (Metrics.Json.Int n) -> acc + n
+            | _ -> Alcotest.fail "count without count")
+          0 counts
+      in
+      Alcotest.(check int) "counts sum to total" (List.length findings) sum
+  | _ -> Alcotest.fail "counts is not a list");
+  (match members "total" doc with
+  | Metrics.Json.Int n -> Alcotest.(check int) "total" (List.length findings) n
+  | _ -> Alcotest.fail "total is not an int");
+  (* the write-validate path *)
+  let file = Filename.temp_file "lint_report" ".json" in
+  Lint.Reporter.write_json_file ~file findings;
+  let content = In_channel.with_open_text file In_channel.input_all in
+  Sys.remove file;
+  match Metrics.Json.of_string content with
+  | Error e -> Alcotest.failf "written artifact does not parse: %s" e
+  | Ok doc' -> (
+      match Metrics.Json.check Lint.Reporter.schema doc' with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "written artifact violates the schema at %s" e)
+
 let suite =
   [
     Alcotest.test_case "D001 fires" `Quick test_d001_fires;
@@ -283,4 +548,17 @@ let suite =
     Alcotest.test_case "S002 + allowlist" `Quick test_s002_and_allowlist;
     Alcotest.test_case "allowlist parsing" `Quick test_allow_parsing;
     Alcotest.test_case "shipped allowlist parses" `Quick test_shipped_allowlist_parses;
+    Alcotest.test_case "D001 in tool scope" `Quick test_d001_tool_scope;
+    Alcotest.test_case "D101 cross-module chain" `Quick test_d101_cross_module;
+    Alcotest.test_case "D101 boundary only" `Quick test_d101_boundary_only;
+    Alcotest.test_case "D101 tool root" `Quick test_d101_tool_root;
+    Alcotest.test_case "D101 seed suppression" `Quick test_d101_seed_suppression;
+    Alcotest.test_case "D101 untainted" `Quick test_d101_untainted;
+    Alcotest.test_case "D102 direct" `Quick test_d102_direct;
+    Alcotest.test_case "D102 cross-module" `Quick test_d102_cross_module;
+    Alcotest.test_case "D102 scoped" `Quick test_d102_scoped;
+    Alcotest.test_case "P001 fires" `Quick test_p001_fires;
+    Alcotest.test_case "P001 silent" `Quick test_p001_silent;
+    Alcotest.test_case "S004 staleness" `Quick test_s004_stale_entries;
+    Alcotest.test_case "JSON report" `Quick test_json_report;
   ]
