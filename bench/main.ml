@@ -33,6 +33,35 @@ let pct p r =
   if Metrics.Recorder.is_empty r then Float.nan
   else Metrics.Recorder.percentile p r
 
+(* Wall-clock time of the *host* machine, used only to report how long
+   each experiment takes to run and to measure simulator events/sec. It
+   never feeds simulated time, seeds or results — everything observable
+   in the paper figures derives from Sim.Engine.now — so this is exempt
+   from determinism rule D002.
+   lint: allow D002 *)
+let now_wall () = Unix.gettimeofday ()
+
+(* Peak resident set (VmHWM, kB) from /proc/self/status; 0 where the
+   proc filesystem is unavailable. Reported, never fed back into any
+   simulation. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.equal (String.sub line 0 6) "VmHWM:"
+            then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+                (fun kb -> kb)
+            else scan ()
+      in
+      let kb = scan () in
+      close_in ic;
+      kb
+
 (* Write a JSON artifact, then read it back, re-parse and validate it
    against its schema: a schema drift (or writer bug) fails the smoke
    run in CI instead of silently changing the artifact consumers see. *)
@@ -152,21 +181,60 @@ let fig2 () =
     | "lyra" -> if !smoke then 1_400_000 else 0
     | _ -> if !smoke then 5_400_000 else 3_000_000
   in
+  (* Smoke also runs one paper-scale row: n=100 for every protocol, so
+     the scale the timing-wheel scheduler exists for rides `dune
+     runtest` (bench --smoke) and cannot silently rot between full
+     bench runs. The row is tuned for cost, not for the figure (the
+     artifact is marked smoke): Lyra runs a trickle of open load with
+     warmup proposals off — every batch is a full n^2 VSS + consensus
+     wave, ~85k messages at n=100, so the row's budget is set by how
+     few batches the protocol can be driven at; the leader-based
+     pipelines are message-cheap but need a window past their n=100
+     closed-loop turnaround (~20 s for Pompe, whose stable-execution
+     margin scales with the commit lag it observes at this n). *)
+  let smoke_100_specs () =
+    [
+      ( Protocol.Lyra_adapter.make
+          ~tweak:(fun c ->
+            {
+              c with
+              Lyra.Config.warmup_proposals = 0;
+              status_interval_us = 100_000;
+            })
+          (),
+        Harness.Scenario.Open_rate 0.05,
+        Some 300_000,
+        2_500_000 );
+      (Protocol.Pompe_adapter.make (), Harness.Scenario.Closed 2, None, 30_000_000);
+      ( Protocol.Hotstuff_adapter.make (),
+        Harness.Scenario.Closed 2,
+        None,
+        6_000_000 );
+    ]
+  in
+  let ns = if !smoke then [ 4; 100 ] else [ 5; 10; 16; 31; 61; 100 ] in
   let data =
     List.concat_map
       (fun n ->
         let dur = scale_dur (if n >= 61 then 1_500_000 else 3_000_000) in
+        let specs =
+          if !smoke && Int.equal n 100 then smoke_100_specs ()
+          else
+            List.map
+              (fun (name, p) ->
+                (p, Harness.Scenario.Closed 2, None, dur + extra name))
+              (Protocol.Registry.all ())
+        in
         let results =
           List.map
-            (fun (name, p) ->
+            (fun (p, load, warmup_us, duration_us) ->
               let r =
-                Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 2)
-                  ~duration_us:(dur + extra name) ()
+                Harness.Scenario.run p ~n ~load ?warmup_us ~duration_us ()
               in
               check_safety "fig2" r;
               check_smoke_commits "fig2" r;
               r)
-            (Protocol.Registry.all ())
+            specs
         in
         let lyra_mean =
           match results with
@@ -174,7 +242,7 @@ let fig2 () =
           | [] -> Float.nan
         in
         List.map (fun r -> (n, lyra_mean, r)) results)
-      (fig_ns ())
+      ns
   in
   Metrics.Table.print
     ~title:
@@ -765,6 +833,200 @@ let ablate () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* SIMSPEED — self-benchmark of the simulator substrate.               *)
+(*                                                                     *)
+(* Two measurements, tracked as a schema-stable artifact so the perf   *)
+(* trajectory is visible across PRs and regressions fail loudly:       *)
+(*                                                                     *)
+(* 1. Scheduler: the identical synthetic schedule (seeded fill, then   *)
+(*    pop-and-reschedule under a large pending population) driven      *)
+(*    through the retired binary heap and through the timing wheel     *)
+(*    that replaced it inside Sim.Engine — the in-PR pre-refactor      *)
+(*    baseline for the wheel's speedup.                                *)
+(* 2. Engine: a synthetic broadcast storm through the full             *)
+(*    engine/NIC/wire/CPU stack, reporting events/sec, per-layer       *)
+(*    event counts (the Sim.Profile taxonomy) and peak RSS.            *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass of the synthetic schedule: [pending] seeded pushes, then
+   [ops] pop-and-reschedules (each popped entry is re-pushed at a
+   seeded offset from its pop time — the engine contract), then a full
+   drain. Returns (elapsed seconds, events processed). Both structures
+   consume the identical delta sequence; the RNG draws happen outside
+   the timed region so only scheduler cost is measured. *)
+let sched_workload ~pending ~ops ~push ~pop q =
+  let rng = Crypto.Rng.create 0xD15CL in
+  (* Fill range scales with the population (1 entry/µs) so the schedule
+     density — what the wheel's bucket sizes depend on — stays constant
+     across bench sizes; only the population depth grows. *)
+  let fill = Array.init pending (fun _ -> Crypto.Rng.int rng pending) in
+  let deltas = Array.init ops (fun _ -> Crypto.Rng.int rng pending) in
+  let t0 = now_wall () in
+  for i = 0 to pending - 1 do
+    push q ~time:fill.(i) i
+  done;
+  for i = 0 to ops - 1 do
+    match pop q with
+    | Some (t, _) -> push q ~time:(t + deltas.(i)) i
+    | None -> ()
+  done;
+  let rec drain () = match pop q with Some _ -> drain () | None -> () in
+  drain ();
+  (now_wall () -. t0, (2 * pending) + (2 * ops))
+
+let simspeed () =
+  let pending = if !smoke then 50_000 else 1_000_000 in
+  let ops = if !smoke then 200_000 else 2_000_000 in
+  (* Best of three passes per structure, each from a fresh structure
+     and a settled heap, so one badly-timed major collection cannot
+     swing the ratio. *)
+  let best_of run =
+    let best = ref infinity and events = ref 0 in
+    for _ = 1 to 3 do
+      Gc.full_major ();
+      let s, ev = run () in
+      events := ev;
+      if s < !best then best := s
+    done;
+    (!best, !events)
+  in
+  let heap_s, events =
+    best_of (fun () ->
+        sched_workload ~pending ~ops ~push:Sim.Event_heap.push
+          ~pop:Sim.Event_heap.pop
+          (Sim.Event_heap.create ()))
+  in
+  let wheel_s, _ =
+    best_of (fun () ->
+        sched_workload ~pending ~ops ~push:Sim.Timing_wheel.push
+          ~pop:Sim.Timing_wheel.pop
+          (Sim.Timing_wheel.create ()))
+  in
+  let heap_eps = float_of_int events /. heap_s in
+  let wheel_eps = float_of_int events /. wheel_s in
+  let speedup = wheel_eps /. heap_eps in
+  (* Engine storm: n nodes, each broadcasting every millisecond on the
+     paper's regional latency model — every message pays NIC, wire and
+     receiver-CPU events, so all engine layers show up in the counts. *)
+  let n = if !smoke then 16 else 100 in
+  let duration_us = if !smoke then 200_000 else 400_000 in
+  let engine = Sim.Engine.create () in
+  let latency =
+    Sim.Latency.regional ~jitter:0.01 (Sim.Regions.paper_placement n)
+  in
+  let net =
+    Sim.Network.create engine ~n ~latency
+      ~cost:(fun ~dst:_ _ -> 2)
+      ~size:(fun _ -> 256)
+      ()
+  in
+  let received = ref 0 in
+  for i = 0 to n - 1 do
+    Sim.Network.register net ~id:i (fun ~src:_ () -> incr received)
+  done;
+  for i = 0 to n - 1 do
+    let rec tick () =
+      Sim.Network.broadcast net ~src:i ();
+      if Sim.Engine.now engine < duration_us then
+        ignore (Sim.Engine.schedule engine ~delay:1_000 tick : Sim.Engine.timer)
+    in
+    ignore (Sim.Engine.schedule engine ~delay:(1 + i) tick : Sim.Engine.timer)
+  done;
+  let t0 = now_wall () in
+  Sim.Engine.run_until_idle engine;
+  let engine_s = now_wall () -. t0 in
+  let engine_events = Sim.Engine.events_executed engine in
+  let engine_eps = float_of_int engine_events /. engine_s in
+  let by_kind = Sim.Engine.executed_by_kind engine in
+  let rss = peak_rss_kb () in
+  Metrics.Table.print
+    ~title:
+      (Printf.sprintf
+         "SIMSPEED  scheduler microbench (%d pending, %d reschedule ops) and \
+          engine storm (n=%d)"
+         pending ops n)
+    ~header:[ "metric"; "value" ]
+    ([
+       [ "heap events/s"; Printf.sprintf "%.0f" heap_eps ];
+       [ "wheel events/s"; Printf.sprintf "%.0f" wheel_eps ];
+       [ "wheel/heap speedup"; Printf.sprintf "%.2fx" speedup ];
+       [ "engine events"; string_of_int engine_events ];
+       [ "engine events/s"; Printf.sprintf "%.0f" engine_eps ];
+       [ "deliveries"; string_of_int !received ];
+       [ "peak RSS kB"; string_of_int rss ];
+     ]
+    @ List.map (fun (k, c) -> [ "events:" ^ k; string_of_int c ]) by_kind);
+  if speedup < 5.0 then
+    Printf.printf
+      "SIMSPEED WARNING: wheel speedup %.2fx below the 5x floor — scheduler \
+       regression?\n%!"
+      speedup;
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_SIMSPEED.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ( "scheduler",
+               Obj_of
+                 [
+                   ("pending", Int_s);
+                   ("ops", Int_s);
+                   ("events", Int_s);
+                   ("heap_events_per_sec", Num_s);
+                   ("wheel_events_per_sec", Num_s);
+                   ("speedup", Num_s);
+                 ] );
+             ( "engine",
+               Obj_of
+                 [
+                   ("n", Int_s);
+                   ("duration_us", Int_s);
+                   ("events", Int_s);
+                   ("wall_s", Num_s);
+                   ("events_per_sec", Num_s);
+                   ("deliveries", Int_s);
+                   ( "by_kind",
+                     List_of (Obj_of [ ("kind", Str_s); ("count", Int_s) ]) );
+                 ] );
+             ("peak_rss_kb", Int_s);
+           ])
+      (Obj
+         [
+           ("experiment", Str "simspeed");
+           ("smoke", Bool !smoke);
+           ( "scheduler",
+             Obj
+               [
+                 ("pending", Int pending);
+                 ("ops", Int ops);
+                 ("events", Int events);
+                 ("heap_events_per_sec", num heap_eps);
+                 ("wheel_events_per_sec", num wheel_eps);
+                 ("speedup", num speedup);
+               ] );
+           ( "engine",
+             Obj
+               [
+                 ("n", Int n);
+                 ("duration_us", Int duration_us);
+                 ("events", Int engine_events);
+                 ("wall_s", num engine_s);
+                 ("events_per_sec", num engine_eps);
+                 ("deliveries", Int !received);
+                 ( "by_kind",
+                   List
+                     (List.map
+                        (fun (k, c) ->
+                          Obj [ ("kind", Str k); ("count", Int c) ])
+                        by_kind) );
+               ] );
+           ("peak_rss_kb", Int rss);
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* MICRO — Bechamel microbenchmarks of the crypto substrate.           *)
 (* ------------------------------------------------------------------ *)
 
@@ -840,15 +1102,9 @@ let all =
     ("censor", censor);
     ("faults", faults);
     ("ablate", ablate);
+    ("simspeed", simspeed);
     ("micro", micro);
   ]
-
-(* Wall-clock time of the *host* machine, used only to report how long
-   each experiment takes to run. It never feeds simulated time, seeds
-   or results — everything observable in the paper figures derives from
-   Sim.Engine.now — so this is exempt from determinism rule D002.
-   lint: allow D002 *)
-let now_wall () = Unix.gettimeofday ()
 
 let () =
   let args =

@@ -1,0 +1,65 @@
+(* Amortized signature verification.
+
+   Protocol nodes see the same signature many times: a quorum
+   certificate carries 2f+1 shares and is relayed to all n nodes, a
+   proposal signature rides every retransmission. The cache
+   deduplicates by the full verification input (pubkey, msg, sig), so
+   each distinct triple costs one [Schnorr.verify] per node for the
+   lifetime of the node instead of one per arrival.
+
+   The cache is an explicit value threaded through each node (never a
+   module-global), so concurrent simulated nodes stay independent and
+   a seeded run is reproducible: lookups consume no randomness and the
+   table is never traversed, only probed. Verification results are
+   pure, so memoization is observationally equivalent to direct
+   verification — pinned by a QCheck property in test_crypto.ml. *)
+
+type t = {
+  table : (string, bool) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 256; hits = 0; misses = 0 }
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+(* Keys are length-prefixed so (pk, msg, sig) triples never collide
+   across field boundaries. *)
+let key ~pk msg (sg : Schnorr.signature) =
+  let sigs = Schnorr.to_string sg in
+  Printf.sprintf "%d|%d:%s%s" (Field.to_int pk) (String.length msg) msg sigs
+
+let verify t ~pk msg sg =
+  let k = key ~pk msg sg in
+  match Hashtbl.find_opt t.table k with
+  | Some ok ->
+      t.hits <- t.hits + 1;
+      ok
+  | None ->
+      t.misses <- t.misses + 1;
+      let ok = Schnorr.verify ~pk msg sg in
+      Hashtbl.replace t.table k ok;
+      ok
+
+let verify_by t ~dir ~signer msg sg =
+  verify t ~pk:(Keys.public_key dir signer) msg sg
+
+let share_verify t ~dir msg (sh : Threshold.share) =
+  verify_by t ~dir ~signer:sh.signer msg sh.sigma
+
+(* Batch entry point for quorum certificates: same acceptance predicate
+   as [Threshold.verify_combined] (>= threshold distinct signers, every
+   distinct share valid), with each share going through the cache. A
+   certificate assembled from shares this node already verified one by
+   one costs no crypto at all. *)
+let verify_combined t ~dir ~threshold msg (c : Threshold.combined) =
+  let distinct =
+    Array.to_list c.shares
+    |> List.sort_uniq (fun (a : Threshold.share) b ->
+           Int.compare a.signer b.signer)
+  in
+  List.length distinct >= threshold
+  && List.for_all (share_verify t ~dir msg) distinct

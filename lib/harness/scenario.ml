@@ -74,14 +74,15 @@ let prefix_safe logs =
 let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
 let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
-    ?(faults = Sim.Faults.none) ?perturb ?trace ?profile_bucket_us
+    ?(faults = Sim.Faults.none) ?perturb ?trace ?dissemination ?profile_bucket_us
     (module P : Protocol.NODE) ~n ~load ~duration_us () =
   let warmup_us =
     match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
   let engine = Sim.Engine.create ~seed () in
   let net =
-    P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?perturb ?trace ()
+    P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?perturb ?trace
+      ?dissemination ()
   in
   let rng = Sim.Engine.rng engine in
   let latency_rec, _, committed = make_recorders ~n in

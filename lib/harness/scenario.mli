@@ -76,6 +76,7 @@ val run :
   ?faults:Sim.Faults.plan ->
   ?perturb:Sim.Perturb.t ->
   ?trace:Sim.Trace.t ->
+  ?dissemination:Sim.Network.dissemination ->
   ?profile_bucket_us:int ->
   (module Protocol.NODE) ->
   n:int ->

@@ -8,6 +8,15 @@ let deterministic_dirs =
   [ "lib/dbft"; "lib/explore"; "lib/harness"; "lib/hotstuff"; "lib/lyra";
     "lib/pompe"; "lib/protocol"; "lib/sim" ]
 
+(* Individual files held to Strict scope when their directory is not.
+   lib/crypto as a whole cannot be Strict (field.ml and rng.ml *are*
+   the repo's randomness and bignum kernels, full of bare (=) on
+   ints), but verify_cache sits on every protocol's hot path and its
+   hit/miss behavior feeds golden-checked message counts, so it gets
+   the full determinism treatment file by file. *)
+let deterministic_files =
+  [ "lib/crypto/verify_cache.ml"; "lib/crypto/verify_cache.mli" ]
+
 (* P001 (handler totality) applies where protocol messages are
    dispatched: the protocol implementations and their adapters. *)
 let totality_dirs =
@@ -15,7 +24,9 @@ let totality_dirs =
 
 let under dir path = String.length path > String.length dir && String.starts_with ~prefix:(dir ^ "/") path
 
-let is_deterministic path = List.exists (fun d -> under d path) deterministic_dirs
+let is_deterministic path =
+  List.exists (fun d -> under d path) deterministic_dirs
+  || List.exists (String.equal path) deterministic_files
 
 let in_lib path = under "lib" path
 

@@ -9,6 +9,12 @@ val scanned_dirs : string list
 (** Directories whose code must be bit-for-bit deterministic. *)
 val deterministic_dirs : string list
 
+(** Individual files held to [Strict] scope although their directory is
+    not (e.g. [lib/crypto/verify_cache.ml], whose hit/miss behavior
+    feeds golden-checked counts while the rest of lib/crypto hosts the
+    randomness and bignum kernels). *)
+val deterministic_files : string list
+
 (** Directories where P001 (handler totality) applies: protocol
     implementations and their adapters. *)
 val totality_dirs : string list

@@ -61,6 +61,7 @@ type t = {
   commit : Commit_state.t;
   keys : Crypto.Keys.keypair option;
   dir : Crypto.Keys.directory option;
+  vcache : Crypto.Verify_cache.t;  (** amortizes repeat verifications *)
   rng : Crypto.Rng.t;
   misbehavior : Misbehavior.t option;
   on_observe : Types.batch -> unit;
@@ -612,7 +613,8 @@ let make_env t iid : Instance.env =
         else
           match (sigma, t.dir) with
           | Some sg, Some dir ->
-              Crypto.Schnorr.verify_by ~dir ~signer:iid.Types.proposer
+              Crypto.Verify_cache.verify_by t.vcache ~dir
+                ~signer:iid.Types.proposer
                 (Types.proposal_digest proposal)
                 sg
           | _ -> false);
@@ -623,7 +625,7 @@ let make_env t iid : Instance.env =
           match (share, t.dir) with
           | Some sh, Some dir ->
               Int.equal sh.Crypto.Threshold.signer src
-              && Crypto.Threshold.share_verify ~dir digest sh
+              && Crypto.Verify_cache.share_verify t.vcache ~dir digest sh
           | _ -> false);
     make_vote_share =
       (fun ~digest ->
@@ -642,7 +644,7 @@ let make_env t iid : Instance.env =
         else
           match (proof, t.dir) with
           | Some pf, Some dir ->
-              Crypto.Threshold.verify_combined ~dir
+              Crypto.Verify_cache.verify_combined t.vcache ~dir
                 ~threshold:(supermajority t)
                 (Types.proposal_digest proposal)
                 pf
@@ -1278,6 +1280,7 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       commit = Commit_state.create ~n:config.Config.n ~f:(Dbft.Quorums.max_faulty config.Config.n);
       keys;
       dir;
+      vcache = Crypto.Verify_cache.create ();
       rng = Crypto.Rng.split (Sim.Engine.rng engine);
       misbehavior;
       on_observe;

@@ -28,6 +28,7 @@ type t = {
   clock : Lyra.Ordering_clock.t;
   keys : Crypto.Keys.keypair option;
   dir : Crypto.Keys.directory option;
+  vcache : Crypto.Verify_cache.t;  (** amortizes repeat verifications *)
   on_observe : Lyra.Types.batch -> unit;
   on_output : output -> unit;
   censor : Lyra.Types.iid -> bool;
@@ -42,6 +43,9 @@ type t = {
   mutable order_giveups : int;
   mutable exec_buffer : (int * Lyra.Types.iid) list;  (** ascending *)
   mutable max_committed_seq : int;
+  mutable max_commit_lag_us : int;
+      (** worst observed (commit arrival − sequence number): how far
+          behind wall clock the ordering+consensus pipeline runs *)
   mutable outputs_rev : output list;
   mutable output_n : int;
   mutable mempool : Lyra.Types.tx list;
@@ -128,10 +132,19 @@ let flush_exec t =
      long past s. This stable wait is intrinsic to Pompē and is part
      of its latency gap versus Lyra (Fig. 2). *)
   if not (Sim.Network.is_crashed t.net t.id) then begin
+    let idle_margin_us =
+      (* The wall-clock arm is only safe when no lower sequence number
+         can still be in consensus flight. A fixed 16Δ margin holds at
+         small n, but the pipeline lag grows with n (ordering collects
+         n responses, the leader batches n proposers), so scale the
+         margin to twice the worst lag this replica has ever observed
+         between a sequence number and its commit arriving here. *)
+      max (16 * t.config.delta_us) (2 * t.max_commit_lag_us)
+    in
     let horizon =
       max
         (t.max_committed_seq - t.config.exec_window_us)
-        (Lyra.Ordering_clock.peek t.clock - (16 * t.config.delta_us))
+        (Lyra.Ordering_clock.peek t.clock - idle_margin_us)
     in
     let rec go = function
       | (seq, iid) :: rest when seq <= horizon -> (
@@ -176,6 +189,8 @@ let on_hotstuff_commit t ~height:_ cmds =
   List.iter
     (fun (cmd : Types.cmd) ->
       t.max_committed_seq <- max t.max_committed_seq cmd.c_seq;
+      t.max_commit_lag_us <-
+        max t.max_commit_lag_us (Sim.Engine.now t.engine - cmd.c_seq);
       (if Int.equal cmd.c_iid.Lyra.Types.proposer t.id then
          match Hashtbl.find_opt t.phase_marks cmd.c_iid.Lyra.Types.index with
          | Some m when m.q_seq >= 0 && m.q_commit < 0 ->
@@ -207,7 +222,7 @@ let verify_ts t iid (p : Types.timestamp_proof) =
   else
     match (p.sigma, t.dir) with
     | Some sg, Some dir ->
-        Crypto.Schnorr.verify_by ~dir ~signer:p.signer
+        Crypto.Verify_cache.verify_by t.vcache ~dir ~signer:p.signer
           (Types.ts_message iid p.ts) sg
     | _ -> false
 
@@ -449,6 +464,7 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       clock = Lyra.Ordering_clock.create engine ~offset_us:clock_offset_us;
       keys;
       dir;
+      vcache = Crypto.Verify_cache.create ();
       on_observe;
       on_output;
       censor;
@@ -463,6 +479,7 @@ let create config net ~id ?keys ?dir ?(clock_offset_us = 0)
       order_giveups = 0;
       exec_buffer = [];
       max_committed_seq = 0;
+      max_commit_lag_us = 0;
       outputs_rev = [];
       output_n = 0;
       mempool = [];

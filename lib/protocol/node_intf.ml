@@ -44,6 +44,7 @@ module type NODE = sig
     ?faults:Sim.Faults.plan ->
     ?perturb:Sim.Perturb.t ->
     ?trace:Sim.Trace.t ->
+    ?dissemination:Sim.Network.dissemination ->
     unit ->
     net
 

@@ -53,7 +53,9 @@ module type NODE = sig
       clocks); [trace] receives the network's fault events. [perturb]
       adds deterministic extra wire delays ({!Sim.Perturb}) — the
       schedule-space explorer's lever; the default empty spec leaves
-      the schedule bit-identical. *)
+      the schedule bit-identical. [dissemination] selects how
+      broadcasts spread (default all-to-all; gossip bounds the origin's
+      fanout, see {!Sim.Network.dissemination}). *)
   val make_net :
     Sim.Engine.t ->
     n:int ->
@@ -62,6 +64,7 @@ module type NODE = sig
     ?faults:Sim.Faults.plan ->
     ?perturb:Sim.Perturb.t ->
     ?trace:Sim.Trace.t ->
+    ?dissemination:Sim.Network.dissemination ->
     unit ->
     net
 

@@ -10,8 +10,9 @@ let kind_name = function
 
 let all_kinds = [ Timer; Wire; Cpu_job; Nic_tx ]
 
-(* A cancelled timer stays in the heap (removing an arbitrary heap
-   element is O(n)); [live] counts the entries that will actually fire,
+(* A cancelled timer stays in the wheel (removing an arbitrary queued
+   entry would mean hunting through its bucket); [live] counts the
+   entries that will actually fire,
    so cancellations neither inflate [pending] nor burn the
    [run_until_idle] budget. The timer carries its owner to let [cancel]
    maintain the count without a lookup. *)
@@ -23,7 +24,7 @@ type timer = {
 }
 
 and t = {
-  heap : timer Event_heap.t;
+  wheel : timer Timing_wheel.t;
   mutable clock : int;
   root_rng : Crypto.Rng.t;
   mutable executed : int;
@@ -33,7 +34,7 @@ and t = {
 
 let create ?(seed = 0xC0FFEEL) () =
   {
-    heap = Event_heap.create ();
+    wheel = Timing_wheel.create ();
     clock = 0;
     root_rng = Crypto.Rng.create seed;
     executed = 0;
@@ -53,7 +54,7 @@ let schedule_at ?(kind = Timer) t ~time action =
   let timer =
     { cancelled = false; t_kind = kind_index kind; action; owner = t }
   in
-  Event_heap.push t.heap ~time timer;
+  Timing_wheel.push t.wheel ~time timer;
   t.live <- t.live + 1;
   timer
 
@@ -67,19 +68,19 @@ let cancel timer =
     timer.owner.live <- timer.owner.live - 1
   end
 
-(* Discard cancelled entries sitting at the heap head, so time-bound
+(* Discard cancelled entries sitting at the wheel head, so time-bound
    checks ([run]'s peek) never see a timestamp that nothing will fire
    at — otherwise skipping a cancelled head inside [step] could carry
    execution past [until]. *)
 let rec purge_cancelled t =
-  match Event_heap.peek t.heap with
+  match Timing_wheel.peek t.wheel with
   | Some (_, timer) when timer.cancelled ->
-      ignore (Event_heap.pop t.heap : (int * timer) option);
+      ignore (Timing_wheel.pop t.wheel : (int * timer) option);
       purge_cancelled t
   | Some _ | None -> ()
 
 let rec step t =
-  match Event_heap.pop t.heap with
+  match Timing_wheel.pop t.wheel with
   | None -> false
   | Some (_, timer) when timer.cancelled -> step t
   | Some (time, timer) ->
@@ -94,7 +95,7 @@ let run t ~until =
   let continue = ref true in
   while !continue do
     purge_cancelled t;
-    match Event_heap.peek_time t.heap with
+    match Timing_wheel.peek_time t.wheel with
     | Some time when time <= until -> ignore (step t : bool)
     | Some _ | None -> continue := false
   done;

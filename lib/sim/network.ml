@@ -1,3 +1,11 @@
+type dissemination = All_to_all | Gossip of { fanout : int }
+
+(* How a wired message is consumed at the receiver: handed straight to
+   the protocol handler, or run through the gossip relay (dedup by
+   broadcast id, deliver once, re-forward to the receiver's
+   neighbors). *)
+type rx_kind = Direct | Relay of { origin : int; gid : int }
+
 type 'msg t = {
   engine : Engine.t;
   n : int;
@@ -28,11 +36,22 @@ type 'msg t = {
   trace : Trace.t option;
   recover_hooks : (unit -> unit) option array;
   link_rng : Crypto.Rng.t;
+  dissemination : dissemination;
+  (* Per-node neighbor sets of the gossip overlay; [| |] under
+     all-to-all. Seeded at creation: a ring edge i → i+1 keeps the
+     directed overlay strongly connected, the remaining fanout−1 picks
+     are uniform. *)
+  neighbors : int array array;
+  (* Per-node set of broadcast ids already relayed; probed and updated,
+     never traversed. *)
+  seen : (int, unit) Hashtbl.t array;
+  mutable gossip_ctr : int;  (** globally unique broadcast ids *)
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
   mutable dropped : int;
   mutable duped : int;
+  mutable suppressed : int;  (** gossip copies discarded by dedup *)
 }
 
 (* The detail payload is built at the call site but only matters when
@@ -58,11 +77,38 @@ let recover t id =
     match t.recover_hooks.(id) with None -> () | Some hook -> hook ()
   end
 
+(* Neighbor sets: one deterministic ring edge for strong connectivity,
+   then fanout − 1 uniform extras (distinct, never self). *)
+let build_neighbors rng ~n ~fanout =
+  Array.init n (fun i ->
+      let ring = (i + 1) mod n in
+      let chosen = Hashtbl.create 8 in
+      Hashtbl.replace chosen ring ();
+      let want = min (fanout - 1) (max 0 (n - 2)) in
+      let picked = ref 0 in
+      while !picked < want do
+        let c = Crypto.Rng.int rng n in
+        if (not (Int.equal c i)) && not (Hashtbl.mem chosen c) then begin
+          Hashtbl.replace chosen c ();
+          incr picked
+        end
+      done;
+      (* Order the set by draw-independent index so the send order is a
+         function of the set, not of Hashtbl internals. *)
+      Array.init n (fun j -> j)
+      |> Array.to_list
+      |> List.filter (Hashtbl.mem chosen)
+      |> Array.of_list)
+
 let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
     ?(cores = 8) ?(faults = Faults.none) ?(perturb = Perturb.none)
-    ?trace:trace_sink ~cost ~size () =
+    ?trace:trace_sink ?(dissemination = All_to_all) ~cost ~size () =
   Faults.validate faults ~n;
   Perturb.validate perturb ~n;
+  (match dissemination with
+  | All_to_all -> ()
+  | Gossip { fanout } ->
+      if fanout < 1 then invalid_arg "Network.create: gossip fanout < 1");
   let t =
     {
       engine;
@@ -89,11 +135,26 @@ let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
       trace = trace_sink;
       recover_hooks = Array.make n None;
       link_rng = Crypto.Rng.split (Engine.rng engine);
+      dissemination;
+      neighbors =
+        (* Conditional split, like [fault_rng]: building the overlay
+           only when gossip is on leaves the RNG streams of all-to-all
+           runs untouched, so goldens don't shift. *)
+        (match dissemination with
+        | All_to_all -> [||]
+        | Gossip { fanout } ->
+            build_neighbors (Crypto.Rng.split (Engine.rng engine)) ~n ~fanout);
+      seen =
+        (match dissemination with
+        | All_to_all -> [||]
+        | Gossip _ -> Array.init n (fun _ -> Hashtbl.create 64));
+      gossip_ctr = 0;
       sent = 0;
       delivered = 0;
       bytes = 0;
       dropped = 0;
       duped = 0;
+      suppressed = 0;
     }
   in
   (* Plan-scheduled process faults. The handler survives a crash, so a
@@ -118,21 +179,49 @@ let on_recover t ~id hook = t.recover_hooks.(id) <- Some hook
 
 (* [inc] is the receiver's incarnation when the message entered the
    wire (or, for self-delivery, when it was sent): if the receiver
-   crashed since, the delivery is tombstoned even after recovery. *)
-let deliver t ~src ~dst ~inc msg =
-  if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc then
-    match t.handlers.(dst) with
-    | None -> ()
-    | Some handler ->
-        let service = t.cost ~dst msg in
-        Cpu.submit t.cpus.(dst) ~service_us:service (fun () ->
-            if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc
-            then begin
-              t.delivered <- t.delivered + 1;
-              handler ~src msg
-            end)
+   crashed since, the delivery is tombstoned even after recovery.
 
-let schedule_delivery t ~src ~dst ~perturb_us msg =
+   Relayed (gossip) arrivals dedup on the broadcast id at wire arrival,
+   before any CPU charge — receivers recognize an already-seen
+   broadcast from its id without reprocessing the payload. A fresh id
+   is marked, handed to the handler as coming from its origin, and
+   re-forwarded to the receiver's neighbors. *)
+let rec deliver t ~src ~dst ~inc ~rx msg =
+  if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc then
+    match rx with
+    | Direct -> deliver_local t ~src ~dst ~inc msg
+    | Relay { origin; gid } ->
+        if Hashtbl.mem t.seen.(dst) gid then
+          t.suppressed <- t.suppressed + 1
+        else begin
+          Hashtbl.replace t.seen.(dst) gid ();
+          deliver_local t ~src:origin ~dst ~inc msg;
+          forward t ~relayer:dst ~from:src ~origin ~gid msg
+        end
+
+and deliver_local t ~src ~dst ~inc msg =
+  match t.handlers.(dst) with
+  | None -> ()
+  | Some handler ->
+      let service = t.cost ~dst msg in
+      Cpu.submit t.cpus.(dst) ~service_us:service (fun () ->
+          if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc
+          then begin
+            t.delivered <- t.delivered + 1;
+            handler ~src msg
+          end)
+
+(* Relay a fresh broadcast onward, skipping the link it arrived on and
+   its origin; the per-node seen set bounds the flood to one relay per
+   node, so a broadcast costs O(n * fanout) messages in total. *)
+and forward t ~relayer ~from ~origin ~gid msg =
+  Array.iter
+    (fun nb ->
+      if not (Int.equal nb from || Int.equal nb origin || Int.equal nb relayer)
+      then transmit t ~src:relayer ~dst:nb ~rx:(Relay { origin; gid }) msg)
+    t.neighbors.(relayer)
+
+and schedule_delivery t ~src ~dst ~perturb_us ~rx msg =
   let latency = Latency.sample t.latency t.link_rng ~src ~dst in
   let extra =
     Adversary.extra_delay t.adversary t.link_rng ~now:(Engine.now t.engine)
@@ -142,7 +231,7 @@ let schedule_delivery t ~src ~dst ~perturb_us msg =
   ignore
     (Engine.schedule ~kind:Engine.Wire t.engine
        ~delay:(latency + extra + perturb_us)
-       (fun () -> deliver t ~src ~dst ~inc msg)
+       (fun () -> deliver t ~src ~dst ~inc ~rx msg)
       : Engine.timer)
 
 (* The fault plan acts at the moment a message enters the wire:
@@ -153,7 +242,7 @@ let schedule_delivery t ~src ~dst ~perturb_us msg =
    partition or loss window then kills — to keep [nth] stable whether
    or not a fault plan is active. The extra delay is computed once per
    logical message; duplicate copies share it. *)
-let wire t ~src ~dst msg =
+and wire t ~src ~dst ~rx msg =
   let now = Engine.now t.engine in
   let nth = t.wire_seq in
   t.wire_seq <- nth + 1;
@@ -188,11 +277,11 @@ let wire t ~src ~dst msg =
           trace_fault t ~node:dst (Trace.Dup { src })
         end);
     for _ = 1 to !copies do
-      schedule_delivery t ~src ~dst ~perturb_us msg
+      schedule_delivery t ~src ~dst ~perturb_us ~rx msg
     done
   end
 
-let send t ~src ~dst msg =
+and transmit t ~src ~dst ~rx msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: endpoint out of range";
   if not t.crashed.(src) then begin
@@ -205,7 +294,8 @@ let send t ~src ~dst msg =
         Trace.record tr ~node:src Trace.Net
           (Trace.Send { dst; bytes = t.size msg })
     | Some _ | None -> ());
-    if Int.equal src dst then deliver t ~src ~dst ~inc:t.incarnation.(dst) msg
+    if Int.equal src dst then
+      deliver t ~src ~dst ~inc:t.incarnation.(dst) ~rx msg
     else begin
       let bytes = t.size msg in
       t.bytes <- t.bytes + bytes;
@@ -213,14 +303,30 @@ let send t ~src ~dst msg =
       let src_inc = t.incarnation.(src) in
       Cpu.submit t.nics.(src) ~service_us:tx_us (fun () ->
           if (not t.crashed.(src)) && Int.equal t.incarnation.(src) src_inc
-          then wire t ~src ~dst msg)
+          then wire t ~src ~dst ~rx msg)
     end
   end
 
+let send t ~src ~dst msg = transmit t ~src ~dst ~rx:Direct msg
+
+(* Under gossip, a broadcast leaves the origin on only [fanout] links
+   (the origin's NIC serializes fanout transmissions instead of n − 1)
+   and floods via relay-with-dedup; total traffic grows to O(n *
+   fanout) but the per-node egress bottleneck disappears. *)
 let broadcast t ~src msg =
-  for dst = 0 to t.n - 1 do
-    send t ~src ~dst msg
-  done
+  match t.dissemination with
+  | All_to_all ->
+      for dst = 0 to t.n - 1 do
+        send t ~src ~dst msg
+      done
+  | Gossip _ ->
+      if not t.crashed.(src) then begin
+        let gid = t.gossip_ctr in
+        t.gossip_ctr <- gid + 1;
+        Hashtbl.replace t.seen.(src) gid ();
+        transmit t ~src ~dst:src ~rx:Direct msg;
+        forward t ~relayer:src ~from:src ~origin:src ~gid msg
+      end
 
 let is_crashed t id = t.crashed.(id)
 
@@ -243,3 +349,12 @@ let bytes_sent t = t.bytes
 let messages_dropped t = t.dropped
 
 let messages_duplicated t = t.duped
+
+let messages_suppressed t = t.suppressed
+
+let dissemination t = t.dissemination
+
+let neighbors t i =
+  match t.dissemination with
+  | All_to_all -> []
+  | Gossip _ -> Array.to_list t.neighbors.(i)

@@ -25,6 +25,22 @@
 
 type 'msg t
 
+(** How {!broadcast} spreads a message. [All_to_all] (the default) has
+    the origin transmit to every node — n serialized NIC transmissions.
+    [Gossip] sends on a seeded bounded-fanout overlay instead: the
+    origin transmits only to its [fanout] neighbors, every node relays
+    a broadcast it has not seen before to its own neighbors, and a
+    per-node seen-set suppresses duplicates at wire arrival (before any
+    CPU charge). Each node's neighbor set contains the ring successor
+    (keeping the directed overlay strongly connected, so a fault-free
+    broadcast still reaches everyone) plus [fanout − 1] seeded uniform
+    picks. Total traffic grows to O(n · fanout) messages, but the
+    origin's O(n) egress serialization — the leader bottleneck —
+    disappears. Handlers observe relayed messages with [~src] equal to
+    the original broadcaster, preserving the authenticated-channel
+    abstraction. Point-to-point {!send} is unaffected. *)
+type dissemination = All_to_all | Gossip of { fanout : int }
+
 (** [create engine ~n ~latency ~cost ~size ()] builds a network of [n]
     endpoints. [cost ~dst msg] is the CPU service time (µs) node [dst]
     pays to process [msg]; [size msg] its wire size in bytes.
@@ -55,6 +71,7 @@ val create :
   ?faults:Faults.plan ->
   ?perturb:Perturb.t ->
   ?trace:Trace.t ->
+  ?dissemination:dissemination ->
   cost:(dst:int -> 'msg -> int) ->
   size:('msg -> int) ->
   unit ->
@@ -68,9 +85,11 @@ val register : 'msg t -> id:int -> (src:int -> 'msg -> unit) -> unit
 (** [send t ~src ~dst msg] transmits one message. *)
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
-(** [broadcast t ~src msg] sends to every node, including [src] itself
-    (self-delivery skips NIC and wire but pays CPU; it is also immune
-    to loss windows and partitions). *)
+(** [broadcast t ~src msg] delivers to every node, including [src]
+    itself (self-delivery skips NIC and wire but pays CPU; it is also
+    immune to loss windows and partitions). Under [All_to_all] the
+    origin sends n point-to-point copies; under [Gossip] the message
+    floods the overlay with relay-and-dedup (see {!dissemination}). *)
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 
 (** [crash t id] makes node [id] silently drop everything from now on
@@ -118,3 +137,14 @@ val messages_dropped : 'msg t -> int
 
 (** Extra copies injected by duplication windows. *)
 val messages_duplicated : 'msg t -> int
+
+(** Gossip copies discarded by the receiver's dedup (0 under
+    [All_to_all]). *)
+val messages_suppressed : 'msg t -> int
+
+(** The dissemination mode the network was created with. *)
+val dissemination : 'msg t -> dissemination
+
+(** [neighbors t i] is node [i]'s overlay neighbor set, ascending
+    (empty under [All_to_all]). *)
+val neighbors : 'msg t -> int -> int list

@@ -1,0 +1,303 @@
+(* Hierarchical timing wheel with a calendar-style overflow list, a
+   drop-in replacement for the binary [Event_heap] inside [Engine].
+
+   Entries are bucketed by the first 8-bit digit of their timestamp
+   that differs from [cur] (the prefix scheme): level 0 buckets are
+   exact timestamps within the current 256 µs page, level 1 buckets
+   span 256 µs, and so on up to level 3 (~71 min). Times beyond the
+   level-3 horizon go to the [overflow] list and are folded back in
+   when the wheel drains — the calendar-queue fallback for far-future
+   timers. Push and pop are O(1) amortized (each entry cascades at
+   most [levels - 1] times), against the heap's O(log n).
+
+   Buckets are growable arrays whose storage is recycled: a cascade
+   empties a bucket by resetting its length, and draining a level-0
+   slot swaps the slot's array with the spent ready buffer, so the
+   steady state allocates one entry record per push — the same as the
+   heap — instead of a cons cell per entry per level.
+
+   Every insertion path appends in increasing [e_seq] order (pushes
+   carry monotone seqs; a cascade walks its source bucket in array
+   order; a page's lower-level buckets are empty until its cascade
+   runs, so cascaded entries always precede later direct pushes), and
+   a level-0 slot holds exactly one timestamp, so the drained bucket
+   is already in (time, seq) order — no sort.
+
+   The observable order is the exact (time, seq) lexicographic total
+   order the engine's determinism contract requires: FIFO within a
+   timestamp, globally sorted by timestamp. The equivalence property
+   test in test_sim.ml drains random schedules through this structure
+   and the heap side by side and asserts identical output.
+
+   Contract (engine-shaped): a push's [time] must be no earlier than
+   the time of the most recently popped entry. [Engine.schedule_at]
+   already enforces the stronger [time >= clock]. *)
+
+let bits = 8
+
+let slots = 256 (* 1 lsl bits *)
+
+let mask = slots - 1
+
+let levels = 4 (* horizon: 2^32 µs, ~71 simulated minutes *)
+
+type 'a entry = { e_time : int; e_seq : int; payload : 'a }
+
+(* Unordered-by-time, seq-ordered growable bucket; [arr] is valid on
+   [0, len). Spent slots keep their storage for reuse. *)
+type 'a bucket = { mutable arr : 'a entry array; mutable len : int }
+
+type 'a t = {
+  (* Floor on every live entry's time; advanced by [pop] to the popped
+     entry's timestamp and by cascades to the cascaded page's base. *)
+  mutable cur : int;
+  buckets : 'a bucket array array; (* levels x slots *)
+  occ : int array; (* live entries per level *)
+  mutable overflow : 'a entry list; (* newest first *)
+  mutable n_overflow : int;
+  (* Entries of one timestamp [ready_time], ascending seq, served from
+     [ready_pos]. Filled by draining the next non-empty level-0 slot
+     (an array swap, not a copy). *)
+  mutable ready : 'a bucket;
+  mutable ready_pos : int;
+  mutable ready_time : int;
+  (* Entries legally pushed at a time in [last-popped, cur): [cur] may
+     run ahead of the engine clock after a cascade, and [Engine.run
+     ~until] stops the clock between events. Sorted by (time, seq);
+     always served before the wheel ([cur] floors the wheel). Rarely
+     populated, so a list is fine. *)
+  mutable early : 'a entry list;
+  mutable size : int;
+  mutable next_seq : int;
+  (* Filler for consumed array slots: recycled bucket storage must not
+     pin popped entries (and whatever their payloads reference) for the
+     GC. Set to the first entry that ever grows a bucket. *)
+  mutable dummy : 'a entry option;
+}
+
+let new_bucket () = { arr = [||]; len = 0 }
+
+let create () =
+  {
+    cur = 0;
+    buckets = Array.init levels (fun _ -> Array.init slots (fun _ -> new_bucket ()));
+    occ = Array.make levels 0;
+    overflow = [];
+    n_overflow = 0;
+    ready = new_bucket ();
+    ready_pos = 0;
+    ready_time = 0;
+    early = [];
+    size = 0;
+    next_seq = 0;
+    dummy = None;
+  }
+
+let size t = t.size
+
+let is_empty t = Int.equal t.size 0
+
+let entry_before a b =
+  a.e_time < b.e_time || (Int.equal a.e_time b.e_time && a.e_seq < b.e_seq)
+
+let bucket_push t b entry =
+  let cap = Array.length b.arr in
+  if Int.equal b.len cap then begin
+    (match t.dummy with None -> t.dummy <- Some entry | Some _ -> ());
+    let grown = Array.make (if cap = 0 then 8 else 2 * cap) entry in
+    Array.blit b.arr 0 grown 0 b.len;
+    b.arr <- grown
+  end;
+  b.arr.(b.len) <- entry;
+  b.len <- b.len + 1
+
+(* Overwrite a consumed range with the dummy so the storage stops
+   pinning dead entries. *)
+let clear_range t arr lo len =
+  if len > 0 then
+    match t.dummy with
+    | Some d -> Array.fill arr lo len d
+    | None -> () (* no bucket ever grew, so [arr] is empty anyway *)
+
+(* Level of [time] relative to [cur]: the highest 8-bit digit where the
+   two differ, or [levels] when the difference lies beyond the horizon
+   (overflow). The xor isolates the differing digits, so shifting it
+   away level by level finds the highest one branch-cheaply.
+   Precondition: time >= cur. *)
+let level_of t time =
+  let diff = time lxor t.cur in
+  if diff lsr bits = 0 then 0
+  else if diff lsr (2 * bits) = 0 then 1
+  else if diff lsr (3 * bits) = 0 then 2
+  else if diff lsr (4 * bits) = 0 then 3
+  else levels
+
+let insert_wheel t entry =
+  let l = level_of t entry.e_time in
+  if Int.equal l levels then begin
+    t.overflow <- entry :: t.overflow;
+    t.n_overflow <- t.n_overflow + 1
+  end
+  else begin
+    let idx = (entry.e_time lsr (bits * l)) land mask in
+    bucket_push t t.buckets.(l).(idx) entry;
+    t.occ.(l) <- t.occ.(l) + 1
+  end
+
+(* Put a premature ready buffer back into the wheel so an earlier push
+   can take its place. The walk is in seq order, so the target level-0
+   slot (empty: it was drained, and same-time pushes went to [ready])
+   stays seq-sorted. *)
+let unwind_ready t =
+  let b = t.ready in
+  for i = t.ready_pos to b.len - 1 do
+    insert_wheel t b.arr.(i)
+  done;
+  clear_range t b.arr 0 b.len;
+  b.len <- 0;
+  t.ready_pos <- 0
+
+let ready_count t = t.ready.len - t.ready_pos
+
+let push t ~time payload =
+  let entry = { e_time = time; e_seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  if time < t.cur then begin
+    (* Legal only between the last pop and [cur] (see [early]). *)
+    let rec ins = function
+      | [] -> [ entry ]
+      | e :: rest as l -> if entry_before entry e then entry :: l else e :: ins rest
+    in
+    t.early <- ins t.early
+  end
+  else if ready_count t = 0 then insert_wheel t entry
+  else if Int.equal time t.ready_time then
+    (* Seqs grow monotonically, so appending keeps [ready] sorted. *)
+    bucket_push t t.ready entry
+  else if time < t.ready_time then begin
+    unwind_ready t;
+    insert_wheel t entry
+  end
+  else insert_wheel t entry
+
+(* First non-empty slot of level [l] at digit >= cur's digit, if any. *)
+let scan_level t l =
+  let from = (t.cur lsr (bits * l)) land mask in
+  let row = t.buckets.(l) in
+  let rec go idx =
+    if idx >= slots then None else if row.(idx).len > 0 then Some idx else go (idx + 1)
+  in
+  go from
+
+(* Stage the level-0 slot as the ready buffer by swapping arrays: the
+   slot takes the spent ready storage, the ready buffer takes the
+   slot's entries — already in seq order (see the ordering invariant
+   above), all of one timestamp. *)
+let drain_l0_slot t idx =
+  let b = t.buckets.(0).(idx) in
+  if b.len > 0 then begin
+    t.occ.(0) <- t.occ.(0) - b.len;
+    let spent = t.ready in
+    (* spent.len = 0: ready is only refilled once fully consumed. *)
+    t.ready <- b;
+    t.buckets.(0).(idx) <- spent;
+    t.ready_pos <- 0;
+    t.ready_time <- b.arr.(0).e_time
+  end
+
+(* Cascade the level-l bucket at [idx] down: advance [cur] to the
+   bucket's page base (safe: every live entry is at or past it) and
+   re-insert in array order, which lands each entry at a strictly
+   lower level and preserves seq order per target bucket. *)
+let cascade t l idx =
+  let page = bits * (l + 1) in
+  let base = ((t.cur lsr page) lsl page) lor (idx lsl (bits * l)) in
+  let b = t.buckets.(l).(idx) in
+  t.occ.(l) <- t.occ.(l) - b.len;
+  t.cur <- base;
+  let n = b.len in
+  b.len <- 0;
+  for i = 0 to n - 1 do
+    insert_wheel t b.arr.(i)
+  done;
+  clear_range t b.arr 0 n
+
+(* Fold the overflow calendar back in once the wheel proper is empty:
+   jump [cur] to the earliest far-future entry and re-insert everything
+   that now fits under the horizon. The list holds newest first, so the
+   reversed walk keeps per-bucket seq order. *)
+let refill_from_overflow t =
+  match t.overflow with
+  | [] -> ()
+  | first :: rest ->
+      let earliest =
+        List.fold_left (fun m e -> if entry_before e m then e else m) first rest
+      in
+      t.cur <- earliest.e_time;
+      let all = List.rev t.overflow in
+      t.overflow <- [];
+      t.n_overflow <- 0;
+      List.iter (insert_wheel t) all
+
+let in_wheel t =
+  t.occ.(0) + t.occ.(1) + t.occ.(2) + t.occ.(3) + t.n_overflow
+
+(* Ensure [ready] holds the earliest wheel timestamp (when the wheel
+   side is non-empty). Cascades mutate placement, never order. *)
+let rec refill t =
+  if ready_count t = 0 && in_wheel t > 0 then begin
+    let rec find l =
+      if l >= levels then None
+      else if Int.equal t.occ.(l) 0 then find (l + 1)
+      else
+        match scan_level t l with
+        | Some idx -> Some (l, idx)
+        | None -> find (l + 1)
+    in
+    (match find 0 with
+    | Some (0, idx) -> drain_l0_slot t idx
+    | Some (l, idx) -> cascade t l idx
+    | None -> refill_from_overflow t);
+    refill t
+  end
+
+let take_ready t =
+  let b = t.ready in
+  let e = b.arr.(t.ready_pos) in
+  t.ready_pos <- t.ready_pos + 1;
+  if Int.equal t.ready_pos b.len then begin
+    clear_range t b.arr 0 b.len;
+    b.len <- 0;
+    t.ready_pos <- 0
+  end;
+  t.size <- t.size - 1;
+  t.cur <- e.e_time;
+  Some (e.e_time, e.payload)
+
+let pop t =
+  match t.early with
+  | e :: rest ->
+      t.early <- rest;
+      t.size <- t.size - 1;
+      Some (e.e_time, e.payload)
+  | [] ->
+      if ready_count t > 0 then take_ready t (* hot path: already staged *)
+      else begin
+        refill t;
+        if ready_count t > 0 then take_ready t else None
+      end
+
+let peek t =
+  match t.early with
+  | e :: _ -> Some (e.e_time, e.payload)
+  | [] ->
+      if ready_count t = 0 then refill t;
+      if ready_count t > 0 then begin
+        let e = t.ready.arr.(t.ready_pos) in
+        Some (e.e_time, e.payload)
+      end
+      else None
+
+let peek_time t =
+  match peek t with Some (time, _) -> Some time | None -> None

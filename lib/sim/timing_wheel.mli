@@ -1,0 +1,30 @@
+(** Hierarchical timing wheel (4 levels x 256 slots, 1 µs ticks) with a
+    calendar-style overflow list for timers past the ~71-minute horizon.
+    Drop-in replacement for {!Event_heap} in {!Engine}: identical
+    interface and the identical (time, insertion-seq) total order, at
+    O(1) amortized push/pop instead of O(log n).
+
+    Contract: [push ~time] requires [time] to be no earlier than the
+    timestamp of the most recently popped entry (the engine's clock
+    monotonicity already guarantees this). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push w ~time x] inserts [x] at [time]. *)
+val push : 'a t -> time:int -> 'a -> unit
+
+(** [pop w] removes and returns the earliest event, or [None] if empty.
+    Ties on the timestamp are broken by insertion order. *)
+val pop : 'a t -> (int * 'a) option
+
+(** [peek_time w] is the earliest timestamp without removing it. *)
+val peek_time : 'a t -> int option
+
+(** [peek w] is the earliest event without removing it. *)
+val peek : 'a t -> (int * 'a) option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -76,24 +76,31 @@ module Open = struct
       running = false;
     }
 
-  let rec arrival t =
+  let rec schedule_next t =
+    let gap =
+      Crypto.Rng.exponential t.rng ~mean:(1_000_000.0 /. t.rate_per_sec)
+    in
+    ignore
+      (Sim.Engine.schedule t.engine
+         ~delay:(max 1 (int_of_float gap))
+         (fun () -> arrival t)
+        : Sim.Engine.timer)
+
+  and arrival t =
     if t.running then begin
       ignore (t.submit ~payload:(t.payload ()) : string);
       t.submitted <- t.submitted + 1;
-      let gap =
-        Crypto.Rng.exponential t.rng ~mean:(1_000_000.0 /. t.rate_per_sec)
-      in
-      ignore
-        (Sim.Engine.schedule t.engine
-           ~delay:(max 1 (int_of_float gap))
-           (fun () -> arrival t)
-          : Sim.Engine.timer)
+      schedule_next t
     end
 
+  (* A Poisson stream's first arrival is itself an exponential gap
+     away: submitting at the instant the client starts would put a
+     deterministic cluster-wide burst at t=0 (n simultaneous one-tx
+     batches at low rates — exactly what an open-loop load is not). *)
   let start t =
     if not t.running then begin
       t.running <- true;
-      arrival t
+      schedule_next t
     end
 
   let stop t = t.running <- false

@@ -34,6 +34,20 @@ let test_d001_scoped () =
   check "replace/find in lib/lyra" [] "lib/lyra/fix.ml"
     "let f tbl = Hashtbl.replace tbl 1 2; Hashtbl.find_opt tbl 1\n"
 
+(* File-granular Strict scope: verify_cache.ml is held to the
+   deterministic rules although the rest of lib/crypto is not. *)
+let test_file_granular_strict () =
+  Alcotest.(check bool)
+    "verify_cache.ml is Strict" true
+    (Lint.Config.scope_of_path "lib/crypto/verify_cache.ml" = Lint.Config.Strict);
+  Alcotest.(check bool)
+    "sibling field.ml stays Lib" true
+    (Lint.Config.scope_of_path "lib/crypto/field.ml" = Lint.Config.Lib);
+  check "traversal fires in verify_cache"
+    [ "lib/crypto/verify_cache.ml:2:D001" ]
+    "lib/crypto/verify_cache.ml" d001_bad;
+  check "same traversal legal in sibling" [] "lib/crypto/field.ml" d001_bad
+
 let test_d001_inline_allow () =
   check "allow on previous line" [] "lib/lyra/fix.ml"
     "let f tbl =\n  (* lint: allow D001 *)\n  Hashtbl.iter (fun _ _ -> ()) tbl\n";
@@ -536,6 +550,7 @@ let suite =
   [
     Alcotest.test_case "D001 fires" `Quick test_d001_fires;
     Alcotest.test_case "D001 scoped" `Quick test_d001_scoped;
+    Alcotest.test_case "file-granular Strict scope" `Quick test_file_granular_strict;
     Alcotest.test_case "D001 inline allow" `Quick test_d001_inline_allow;
     Alcotest.test_case "D002 fires" `Quick test_d002_fires;
     Alcotest.test_case "D002 exemptions" `Quick test_d002_exemptions;

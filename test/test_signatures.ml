@@ -81,6 +81,106 @@ let test_threshold_forged_share () =
   let forged = { sh with Threshold.signer = 1 } in
   Alcotest.(check bool) "forged rejected" false (Threshold.share_verify ~dir "m" forged)
 
+(* ------------------------------------------------------------------ *)
+(* Amortized verification cache.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Cached verify must be observationally equal to direct verify on an
+   arbitrary mix of valid, cross-signed, and tampered signatures — the
+   cache may only change *when* work happens, never the answer. *)
+let prop_cache_observational_equality =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"verify cache ≡ direct verify" ~count:100
+       QCheck.(list (triple (int_bound 3) small_string (int_bound 2)))
+       (fun cases ->
+         let pairs, _dir = Keys.setup rng 4 in
+         let cache = Verify_cache.create () in
+         List.for_all
+           (fun (signer, msg, twist) ->
+             let kp = pairs.(signer) in
+             let sg = Schnorr.sign kp msg in
+             (* 0: honest; 1: tampered signature; 2: wrong key *)
+             let pk, sg =
+               match twist with
+               | 1 -> (kp.Keys.pk, { sg with Schnorr.s = sg.Schnorr.s + 1 })
+               | 2 -> (pairs.((signer + 1) mod 4).Keys.pk, sg)
+               | _ -> (kp.Keys.pk, sg)
+             in
+             Bool.equal
+               (Verify_cache.verify cache ~pk msg sg)
+               (Schnorr.verify ~pk msg sg))
+           cases))
+
+let test_cache_hits_and_misses () =
+  let kp = Keys.generate rng ~id:0 in
+  let cache = Verify_cache.create () in
+  let sg = Schnorr.sign kp "m" in
+  Alcotest.(check bool) "first ok" true (Verify_cache.verify cache ~pk:kp.pk "m" sg);
+  Alcotest.(check int) "one miss" 1 (Verify_cache.misses cache);
+  Alcotest.(check int) "no hit yet" 0 (Verify_cache.hits cache);
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "repeat ok" true
+      (Verify_cache.verify cache ~pk:kp.pk "m" sg)
+  done;
+  Alcotest.(check int) "still one miss" 1 (Verify_cache.misses cache);
+  Alcotest.(check int) "five hits" 5 (Verify_cache.hits cache);
+  (* A tampered signature is a distinct key: cached separately, and its
+     (negative) verdict is served from the cache on re-probe. *)
+  let bad = { sg with Schnorr.s = sg.Schnorr.s + 1 } in
+  Alcotest.(check bool) "tampered rejected" false
+    (Verify_cache.verify cache ~pk:kp.pk "m" bad);
+  Alcotest.(check bool) "tampered rejected again" false
+    (Verify_cache.verify cache ~pk:kp.pk "m" bad);
+  Alcotest.(check int) "two misses" 2 (Verify_cache.misses cache);
+  Alcotest.(check int) "six hits" 6 (Verify_cache.hits cache)
+
+let test_cache_combined_amortizes () =
+  let pairs, dir = Keys.setup rng 7 in
+  let cache = Verify_cache.create () in
+  let shares =
+    Array.to_list (Array.map (fun kp -> Threshold.share_sign kp "payload") pairs)
+  in
+  (* Verify shares one by one (vote arrival), then the assembled
+     certificate: the certificate costs zero fresh verifications. *)
+  List.iter
+    (fun sh ->
+      Alcotest.(check bool) "share ok" true
+        (Verify_cache.share_verify cache ~dir "payload" sh))
+    shares;
+  let fresh = Verify_cache.misses cache in
+  match Threshold.combine ~threshold:5 shares with
+  | None -> Alcotest.fail "combine failed"
+  | Some c ->
+      Alcotest.(check bool) "cert ok" true
+        (Verify_cache.verify_combined cache ~dir ~threshold:5 "payload" c);
+      Alcotest.(check bool) "cert matches direct" true
+        (Threshold.verify_combined ~dir ~threshold:5 "payload" c);
+      Alcotest.(check int) "no new misses" fresh (Verify_cache.misses cache);
+      Alcotest.(check bool) "wrong msg rejected" false
+        (Verify_cache.verify_combined cache ~dir ~threshold:5 "other" c)
+
+(* Enabling the cache must not perturb a seeded real-crypto cluster
+   run: two identical runs commit identical logs (the cache consumes no
+   randomness), pinned against the pre-cache behavior by the golden
+   cluster tests which run with real_crypto elsewhere. *)
+let test_cache_seeded_determinism () =
+  let run () =
+    let engine = Sim.Engine.create ~seed:77L () in
+    let pairs, dir = Keys.setup (Sim.Engine.rng engine) 4 in
+    let cache = Verify_cache.create () in
+    let transcript = ref [] in
+    for i = 0 to 19 do
+      let kp = pairs.(i mod 4) in
+      let msg = Printf.sprintf "msg-%d" (i mod 5) in
+      let sg = Schnorr.sign kp msg in
+      let ok = Verify_cache.verify_by cache ~dir ~signer:kp.Keys.id msg sg in
+      transcript := (i, ok) :: !transcript
+    done;
+    (!transcript, Verify_cache.hits cache, Verify_cache.misses cache)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical transcripts and counters" true (a = b)
+
 let suite =
   [
     Alcotest.test_case "sign/verify" `Quick test_sign_verify;
@@ -94,4 +194,10 @@ let suite =
     Alcotest.test_case "threshold too few" `Quick test_threshold_too_few;
     Alcotest.test_case "threshold duplicates" `Quick test_threshold_duplicate_signers;
     Alcotest.test_case "threshold forged share" `Quick test_threshold_forged_share;
+    prop_cache_observational_equality;
+    Alcotest.test_case "cache hits/misses" `Quick test_cache_hits_and_misses;
+    Alcotest.test_case "cache amortizes certificates" `Quick
+      test_cache_combined_amortizes;
+    Alcotest.test_case "cache seeded determinism" `Quick
+      test_cache_seeded_determinism;
   ]

@@ -60,6 +60,101 @@ let prop_heap_ordering =
                 (ok && monotone && t = t', Some (t, seq)))
               (true, None) popped))
 
+let test_wheel_ordering () =
+  let w = Sim.Timing_wheel.create () in
+  List.iter (fun t -> Sim.Timing_wheel.push w ~time:t t) [ 5; 1; 9; 3; 7 ];
+  let order =
+    List.init 5 (fun _ -> fst (Option.get (Sim.Timing_wheel.pop w)))
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] order
+
+let test_wheel_fifo_ties () =
+  let w = Sim.Timing_wheel.create () in
+  List.iter (fun v -> Sim.Timing_wheel.push w ~time:42 v) [ "a"; "b"; "c" ];
+  let order =
+    List.init 3 (fun _ -> snd (Option.get (Sim.Timing_wheel.pop w)))
+  in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] order
+
+(* Spread entries across every wheel level and past the 2^32 µs horizon
+   (overflow calendar), interleaving ties, and check the drain is the
+   (time, seq) total order. *)
+let test_wheel_levels_and_overflow () =
+  let w = Sim.Timing_wheel.create () in
+  let times =
+    [ 3; 300; 70_000; 17_000_000; 4_400_000_000; 3; 300; 5_000_000_000; 0 ]
+  in
+  List.iteri (fun seq t -> Sim.Timing_wheel.push w ~time:t (t, seq)) times;
+  Alcotest.(check int) "size" (List.length times) (Sim.Timing_wheel.size w);
+  let drained = ref [] in
+  let rec drain () =
+    match Sim.Timing_wheel.pop w with
+    | None -> ()
+    | Some (t, (t', seq)) ->
+        Alcotest.(check int) "tag matches slot" t t';
+        drained := (t, seq) :: !drained;
+        drain ()
+  in
+  drain ();
+  let expect =
+    List.sort compare (List.mapi (fun seq t -> (t, seq)) times)
+  in
+  Alcotest.(check (list (pair int int))) "total order" expect
+    (List.rev !drained);
+  Alcotest.(check bool) "empty" true (Sim.Timing_wheel.is_empty w)
+
+(* The structural proof the engine swap rests on: drive the heap and
+   the wheel with an identical random schedule — pushes at or after the
+   last popped time (the engine's monotonicity contract), interleaved
+   pops and peeks (peeks force cascades, exercising the early-push
+   path) — and require bit-identical output from both. Deltas mix
+   scales so schedules cross slot, page and horizon boundaries. *)
+let prop_wheel_heap_equivalence =
+  QCheck.Test.make ~name:"wheel ≡ heap on random engine schedules"
+    ~count:300
+    QCheck.(list (pair (int_bound 4) (int_bound 1_000_000)))
+    (fun ops ->
+      let h = Sim.Event_heap.create () in
+      let w = Sim.Timing_wheel.create () in
+      let floor = ref 0 in
+      let seq = ref 0 in
+      let same = ref true in
+      List.iter
+        (fun (tag, v) ->
+          match tag with
+          | 0 ->
+              let a = Sim.Event_heap.pop h in
+              let b = Sim.Timing_wheel.pop w in
+              same := !same && a = b;
+              (match a with Some (t, _) -> floor := t | None -> ())
+          | 4 ->
+              same :=
+                !same
+                && Sim.Event_heap.peek h = Sim.Timing_wheel.peek w
+                && Sim.Event_heap.peek_time h = Sim.Timing_wheel.peek_time w
+          | tag ->
+              let delta =
+                match tag with
+                | 1 -> v mod 16 (* dense: ties and same-slot pile-ups *)
+                | 2 -> v (* mid-range: crosses L0/L1 pages *)
+                | _ -> v * 8192 (* sparse: upper levels and overflow *)
+              in
+              let time = !floor + delta in
+              incr seq;
+              Sim.Event_heap.push h ~time !seq;
+              Sim.Timing_wheel.push w ~time !seq)
+        ops;
+      let rec drain () =
+        let a = Sim.Event_heap.pop h in
+        let b = Sim.Timing_wheel.pop w in
+        same := !same && a = b;
+        if a <> None then drain ()
+      in
+      drain ();
+      !same
+      && Sim.Event_heap.size h = Sim.Timing_wheel.size w
+      && Sim.Timing_wheel.is_empty w)
+
 let test_engine_ordering_and_time () =
   let e = Sim.Engine.create () in
   let log = ref [] in
@@ -242,6 +337,72 @@ let test_network_broadcast_includes_self () =
   Sim.Network.broadcast net ~src:0 (Ping 1);
   Sim.Engine.run_until_idle e;
   Alcotest.(check (array int)) "all got one" [| 1; 1; 1 |] counts
+
+let make_gossip_net ?(fanout = 3) e n =
+  Sim.Network.create e ~n
+    ~latency:(Sim.Latency.constant 1_000)
+    ~dissemination:(Sim.Network.Gossip { fanout })
+    ~cost:(fun ~dst:_ _ -> 10)
+    ~size:(fun (Ping _) -> 100)
+    ()
+
+(* A gossip broadcast reaches every node exactly once, handlers see the
+   origin as [src], and dedup (not luck) is what bounds the flood. *)
+let test_gossip_broadcast_reaches_all () =
+  let e = Sim.Engine.create () in
+  let n = 12 in
+  let net = make_gossip_net e n in
+  let counts = Array.make n 0 in
+  let srcs = ref [] in
+  for i = 0 to n - 1 do
+    Sim.Network.register net ~id:i (fun ~src (Ping _) ->
+        counts.(i) <- counts.(i) + 1;
+        srcs := src :: !srcs)
+  done;
+  Sim.Network.broadcast net ~src:5 (Ping 1);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (array int)) "each exactly once" (Array.make n 1) counts;
+  Alcotest.(check bool) "handlers see origin" true
+    (List.for_all (Int.equal 5) !srcs);
+  (* The origin pays fanout transmissions, not n - 1. *)
+  Alcotest.(check bool) "relay traffic stays O(n * fanout)" true
+    (Sim.Network.messages_sent net <= (n * 3) + 1);
+  Alcotest.(check bool) "dedup suppressed copies" true
+    (Sim.Network.messages_suppressed net > 0)
+
+let test_gossip_neighbors_deterministic () =
+  let overlay seed =
+    let e = Sim.Engine.create ~seed () in
+    let net = make_gossip_net e 10 in
+    List.init 10 (Sim.Network.neighbors net)
+  in
+  Alcotest.(check bool) "same seed, same overlay" true
+    (overlay 42L = overlay 42L);
+  List.iteri
+    (fun i nbs ->
+      Alcotest.(check bool) "ring successor present" true
+        (List.mem ((i + 1) mod 10) nbs);
+      Alcotest.(check bool) "no self-loop" false (List.mem i nbs);
+      Alcotest.(check int) "fanout-sized" 3 (List.length nbs))
+    (overlay 42L)
+
+(* Point-to-point sends bypass the overlay entirely, and repeated
+   broadcasts don't confuse each other's dedup state. *)
+let test_gossip_send_and_repeat () =
+  let e = Sim.Engine.create () in
+  let net = make_gossip_net e 6 in
+  let got = ref 0 in
+  for i = 0 to 5 do
+    Sim.Network.register net ~id:i (fun ~src:_ (Ping _) -> incr got)
+  done;
+  Sim.Network.send net ~src:0 ~dst:3 (Ping 9);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "p2p delivered once" 1 !got;
+  got := 0;
+  Sim.Network.broadcast net ~src:0 (Ping 1);
+  Sim.Network.broadcast net ~src:0 (Ping 2);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check int) "two broadcasts, 6 nodes" 12 !got
 
 let test_network_crash () =
   let e = Sim.Engine.create () in
@@ -598,6 +759,11 @@ let suite =
     Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
     Alcotest.test_case "heap grows" `Quick test_heap_grows;
     QCheck_alcotest.to_alcotest prop_heap_ordering;
+    Alcotest.test_case "wheel ordering" `Quick test_wheel_ordering;
+    Alcotest.test_case "wheel fifo ties" `Quick test_wheel_fifo_ties;
+    Alcotest.test_case "wheel levels + overflow" `Quick
+      test_wheel_levels_and_overflow;
+    QCheck_alcotest.to_alcotest prop_wheel_heap_equivalence;
     Alcotest.test_case "engine ordering" `Quick test_engine_ordering_and_time;
     Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
     Alcotest.test_case "engine run until" `Quick test_engine_run_until;
@@ -612,6 +778,12 @@ let suite =
     Alcotest.test_case "adversary targeted" `Quick test_adversary_targeted;
     Alcotest.test_case "network delivery" `Quick test_network_delivery;
     Alcotest.test_case "network broadcast" `Quick test_network_broadcast_includes_self;
+    Alcotest.test_case "gossip broadcast reaches all" `Quick
+      test_gossip_broadcast_reaches_all;
+    Alcotest.test_case "gossip overlay deterministic" `Quick
+      test_gossip_neighbors_deterministic;
+    Alcotest.test_case "gossip p2p + repeat broadcasts" `Quick
+      test_gossip_send_and_repeat;
     Alcotest.test_case "network crash" `Quick test_network_crash;
     Alcotest.test_case "network nic serializes" `Quick test_network_nic_serializes;
     Alcotest.test_case "network bad endpoint" `Quick test_network_bad_endpoint;
