@@ -778,6 +778,149 @@ let faults () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* ATTACK — the attacker-window scorecard: per protocol, the minimal   *)
+(* adversary budget (owned victim links / route inflation / pre-GST    *)
+(* delay) before an oracle trips. The campaigns come from              *)
+(* Explore.Attack; this experiment prints the scorecard, enforces the  *)
+(* headline claims (full isolation must starve the victim everywhere;  *)
+(* f+1 netgroup-diverse links must keep Lyra's suite clean) and        *)
+(* emits BENCH_ATTACK.json.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let attack () =
+  let n = 4 in
+  let seed = 7L in
+  let placements = if !smoke then 1 else 3 in
+  let rows = Explore.Attack.scorecard ~seed ~n ~placements () in
+  let opt_i = function None -> "-" | Some b -> string_of_int b in
+  let opt_s = function None -> "-" | Some s -> s in
+  Metrics.Table.print
+    ~title:
+      (Printf.sprintf
+         "ATTACK  minimal adversary budget before an oracle trips (n=%d, \
+          %d placement%s; '-' = no window up to the ceiling)"
+         n placements
+         (if placements = 1 then "" else "s"))
+    ~header:
+      [
+        "protocol"; "attack"; "budget unit"; "max"; "minimal"; "tripped";
+        "at ceiling"; "runs";
+      ]
+    (List.map
+       (fun (r : Explore.Attack.row) ->
+         [
+           r.protocol;
+           r.attack;
+           r.budget_unit;
+           string_of_int r.max_budget;
+           opt_i r.minimal_budget;
+           opt_s r.tripped;
+           opt_s r.ceiling_tripped;
+           string_of_int r.runs;
+         ])
+       rows);
+  (* The scorecard's headline claims are regressions, not observations:
+     fail the run if they stop holding. *)
+  let find protocol attack =
+    match
+      List.find_opt
+        (fun (r : Explore.Attack.row) ->
+          String.equal r.protocol protocol && String.equal r.attack attack)
+        rows
+    with
+    | Some r -> r
+    | None -> failwith (Printf.sprintf "attack: missing row %s/%s" protocol attack)
+  in
+  let full_eclipse = Explore.Attack.kind_label (Eclipse { diversity = 0 }) in
+  let f = (n - 1) / 3 in
+  let diverse_eclipse =
+    Explore.Attack.kind_label (Eclipse { diversity = f + 1 })
+  in
+  List.iter
+    (fun protocol ->
+      let r = find protocol full_eclipse in
+      (match r.ceiling_tripped with
+      | Some "victim-liveness" -> ()
+      | other ->
+          failwith
+            (Printf.sprintf
+               "attack: %s under full isolation tripped %s, expected \
+                victim-liveness"
+               protocol (opt_s other)));
+      if Option.is_none r.minimal_budget then
+        failwith
+          (Printf.sprintf "attack: %s has no eclipse window at diversity 0"
+             protocol))
+    Explore.Attack.default_protocols;
+  (let r = find "lyra" diverse_eclipse in
+   match r.minimal_budget with
+   | None -> ()
+   | Some b ->
+       failwith
+         (Printf.sprintf
+            "attack: %d diverse links should deny lyra's eclipse window, \
+             but budget %d tripped %s"
+            (f + 1) b (opt_s r.tripped)));
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_ATTACK.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ("n", Int_s);
+             ("seed", Int_s);
+             ("placements", Int_s);
+             ( "rows",
+               List_of
+                 (Obj_of
+                    [
+                      ("protocol", Str_s);
+                      ("attack", Str_s);
+                      ("budget_unit", Str_s);
+                      ("max_budget", Int_s);
+                      ("minimal_budget", Nullable Int_s);
+                      ("tripped", Nullable Str_s);
+                      ("ceiling_tripped", Nullable Str_s);
+                      ("runs", Int_s);
+                    ]) );
+           ])
+      (Obj
+         [
+           ("experiment", Str "attack");
+           ("smoke", Bool !smoke);
+           ("n", Int n);
+           ("seed", Int (Int64.to_int seed));
+           ("placements", Int placements);
+           ( "rows",
+             List
+               (List.map
+                  (fun (r : Explore.Attack.row) ->
+                    Obj
+                      [
+                        ("protocol", Str r.protocol);
+                        ("attack", Str r.attack);
+                        ("budget_unit", Str r.budget_unit);
+                        ("max_budget", Int r.max_budget);
+                        ( "minimal_budget",
+                          match r.minimal_budget with
+                          | None -> Null
+                          | Some b -> Int b );
+                        ( "tripped",
+                          match r.tripped with
+                          | None -> Null
+                          | Some s -> Str s );
+                        ( "ceiling_tripped",
+                          match r.ceiling_tripped with
+                          | None -> Null
+                          | Some s -> Str s );
+                        ("runs", Int r.runs);
+                      ])
+                  rows) );
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* ABLATE — sensitivity of the Fig. 3 story to the testbed model.     *)
 (*                                                                     *)
 (* The paper attributes Pompe's decline to the leader bottleneck and   *)
@@ -1101,6 +1244,7 @@ let all =
     ("mev", mev);
     ("censor", censor);
     ("faults", faults);
+    ("attack", attack);
     ("ablate", ablate);
     ("simspeed", simspeed);
     ("micro", micro);

@@ -7,7 +7,12 @@
 
    [lyra_explore replay FILE] re-executes a repro artifact
    deterministically — twice, verifying both executions agree — and
-   reports the oracle verdict. *)
+   reports the oracle verdict.
+
+   [lyra_explore attack] runs the attacker-window search: seeded
+   eclipse / delay-inflation / pre-GST campaigns per protocol,
+   binary-searching the minimal adversary budget before an oracle
+   trips, and prints the scorecard. *)
 
 open Cmdliner
 
@@ -152,6 +157,32 @@ let replay file expect_violation =
             print_findings findings;
             if expect_violation then 0 else 1)
 
+let attack seed n clients placements protocol =
+  let protocols =
+    match protocol with
+    | None -> Explore.Attack.default_protocols
+    | Some p -> [ p ]
+  in
+  match Explore.Attack.scorecard ~seed ~n ~clients ~placements ~protocols ~log () with
+  | exception Invalid_argument msg ->
+      prerr_endline ("lyra_explore: " ^ msg);
+      2
+  | rows ->
+      List.iter
+        (fun (r : Explore.Attack.row) ->
+          log
+            (Printf.sprintf "%-9s %-14s %-16s max=%d minimal=%s tripped=%s \
+                             ceiling=%s runs=%d"
+               r.protocol r.attack r.budget_unit r.max_budget
+               (match r.minimal_budget with
+               | None -> "-"
+               | Some b -> string_of_int b)
+               (Option.value r.tripped ~default:"-")
+               (Option.value r.ceiling_tripped ~default:"-")
+               r.runs))
+        rows;
+      0
+
 let sweep_cmd =
   let doc = "Sweep the schedule space under safety oracles." in
   Cmd.v (Cmd.info "sweep" ~doc)
@@ -173,9 +204,22 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file_t $ expect_t)
 
+let attack_cmd =
+  let doc =
+    "Search minimal attacker windows (eclipse, delay inflation, pre-GST \
+     delay) per protocol."
+  in
+  let placements_t =
+    let doc = "Seeded adversary placements per campaign row." in
+    Arg.(value & opt int 1 & info [ "placements" ] ~docv:"K" ~doc)
+  in
+  Cmd.v (Cmd.info "attack" ~doc)
+    Term.(
+      const attack $ seed_t $ n_t $ clients_t $ placements_t $ protocol_t)
+
 let main =
   let doc = "deterministic schedule-space explorer with safety oracles" in
   Cmd.group (Cmd.info "lyra_explore" ~doc ~version:"1.0.0")
-    [ sweep_cmd; replay_cmd ]
+    [ sweep_cmd; replay_cmd; attack_cmd ]
 
 let () = exit (Cmd.eval' main)

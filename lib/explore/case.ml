@@ -6,23 +6,28 @@ type t = {
   duration_us : int;
   clients : int;
   faults : Sim.Faults.plan;
+  adversary : Sim.Adversary.spec option;
   perturb : Sim.Perturb.t;
 }
 
 let make ?(knob = "default") ?(n = 4) ?(seed = 1L) ?(duration_us = 1_500_000)
-    ?(clients = 2) ?(faults = Sim.Faults.none) ?(perturb = Sim.Perturb.none)
-    protocol =
-  { protocol; knob; n; seed; duration_us; clients; faults; perturb }
+    ?(clients = 2) ?(faults = Sim.Faults.none) ?adversary
+    ?(perturb = Sim.Perturb.none) protocol =
+  { protocol; knob; n; seed; duration_us; clients; faults; adversary; perturb }
 
 let label t =
   let extras =
     (if Sim.Faults.is_none t.faults then 0 else 1)
+    + (if Option.is_none t.adversary then 0 else 1)
     + List.length t.perturb
   in
-  Printf.sprintf "%s/%s n=%d seed=%Ld (%d perturbation op%s%s)" t.protocol
+  Printf.sprintf "%s/%s n=%d seed=%Ld (%d perturbation op%s%s%s)" t.protocol
     t.knob t.n t.seed (List.length t.perturb)
     (if Int.equal (List.length t.perturb) 1 then "" else "s")
     (if Sim.Faults.is_none t.faults then "" else ", faulty")
+    (match t.adversary with
+    | None -> ""
+    | Some spec -> ", " ^ Sim.Adversary.spec_label spec)
   |> fun s -> if Int.equal extras 0 then s ^ " [clean schedule]" else s
 
 let run t =
@@ -32,8 +37,9 @@ let run t =
         (Printf.sprintf "Explore.Case.run: unknown knob %s/%s" t.protocol
            t.knob)
   | Some p ->
-      Harness.Scenario.run ~seed:t.seed ~faults:t.faults ~perturb:t.perturb p
-        ~n:t.n
+      Harness.Scenario.run ~seed:t.seed ~faults:t.faults
+        ?adversary:(Option.map Sim.Adversary.of_spec t.adversary)
+        ~perturb:t.perturb p ~n:t.n
         ~load:(Harness.Scenario.Closed t.clients)
         ~duration_us:t.duration_us ()
 
@@ -46,18 +52,28 @@ let run t =
 let liveness t : Harness.Oracle.liveness_level =
   if
     (not (Sim.Faults.is_none t.faults))
+    || Option.is_some t.adversary
     || Knobs.is_broken ~protocol:t.protocol ~knob:t.knob
   then Harness.Oracle.Off
   else if String.equal t.protocol "pompe" then Harness.Oracle.Commit_only
   else Harness.Oracle.Full
 
-let check t result = Harness.Oracle.check ~liveness:(liveness t) result
+(* Eclipse plans arm the per-victim oracles on their victims; the graded
+   suite is unchanged for attack-free cases. *)
+let check t result =
+  Harness.Oracle.check
+    ~victims:(Sim.Faults.eclipse_victims t.faults)
+    ~liveness:(liveness t) result
 
 (* ------------------------------------------------------------------ *)
 (* Repro-artifact serialization (Metrics.Json).                        *)
 (* ------------------------------------------------------------------ *)
 
-let version = 1
+(* Version 2 added the attack vocabulary: eclipses / inflations inside
+   "faults" and the top-level nullable "adversary". Version-1 artifacts
+   (which predate all three) still load, with the new fields empty —
+   the checked-in repro corpus must keep replaying. *)
+let version = 2
 
 let opt_int = function None -> Metrics.Json.Null | Some i -> Metrics.Json.Int i
 
@@ -141,7 +157,62 @@ let faults_to_json (p : Sim.Faults.plan) =
                    ("skew_us", Metrics.Json.Int skew_us);
                  ])
              p.skews_us) );
+      ( "eclipses",
+        Metrics.Json.List
+          (List.map
+             (fun (e : Sim.Faults.eclipse) ->
+               Metrics.Json.Obj
+                 [
+                   ("victim", Metrics.Json.Int e.e_victim);
+                   ("from_us", Metrics.Json.Int e.e_from_us);
+                   ("until_us", Metrics.Json.Int e.e_until_us);
+                   ( "owned",
+                     Metrics.Json.List
+                       (List.map (fun i -> Metrics.Json.Int i) e.e_owned) );
+                   ( "diverse",
+                     Metrics.Json.List
+                       (List.map (fun i -> Metrics.Json.Int i) e.e_diverse) );
+                   ("delay_us", opt_int e.e_delay_us);
+                 ])
+             p.eclipses) );
+      ( "inflations",
+        Metrics.Json.List
+          (List.map
+             (fun (d : Sim.Faults.delay_inflate) ->
+               Metrics.Json.Obj
+                 [
+                   ("from_us", Metrics.Json.Int d.d_from_us);
+                   ("until_us", Metrics.Json.Int d.d_until_us);
+                   ( "a",
+                     Metrics.Json.List
+                       (List.map (fun i -> Metrics.Json.Int i) d.d_a) );
+                   ( "b",
+                     Metrics.Json.List
+                       (List.map (fun i -> Metrics.Json.Int i) d.d_b) );
+                   ("extra_us", Metrics.Json.Int d.d_extra_us);
+                 ])
+             p.inflations) );
     ]
+
+let adversary_to_json = function
+  | None -> Metrics.Json.Null
+  | Some (Sim.Adversary.Pre_gst { gst; max_extra }) ->
+      Metrics.Json.Obj
+        [
+          ("kind", Metrics.Json.Str "pre-gst");
+          ("gst_us", Metrics.Json.Int gst);
+          ("max_extra_us", Metrics.Json.Int max_extra);
+        ]
+  | Some (Sim.Adversary.Targeted { gst; max_extra; victims }) ->
+      Metrics.Json.Obj
+        [
+          ("kind", Metrics.Json.Str "targeted");
+          ("gst_us", Metrics.Json.Int gst);
+          ("max_extra_us", Metrics.Json.Int max_extra);
+          ( "victims",
+            Metrics.Json.List (List.map (fun i -> Metrics.Json.Int i) victims)
+          );
+        ]
 
 let to_json t =
   Metrics.Json.Obj
@@ -154,6 +225,7 @@ let to_json t =
       ("duration_us", Metrics.Json.Int t.duration_us);
       ("clients", Metrics.Json.Int t.clients);
       ("faults", faults_to_json t.faults);
+      ("adversary", adversary_to_json t.adversary);
       ("perturb", Metrics.Json.List (List.map perturb_op_to_json t.perturb));
     ]
 
@@ -198,6 +270,13 @@ let as_list name v =
   | Metrics.Json.List l -> Ok l
   | _ -> Error (Printf.sprintf "field %S: expected list" name)
 
+(* Fields that version 1 did not have: absent reads as empty. *)
+let as_list_default name v =
+  match Metrics.Json.member name v with
+  | None -> Ok []
+  | Some (Metrics.Json.List l) -> Ok l
+  | Some _ -> Error (Printf.sprintf "field %S: expected list" name)
+
 let map_result f l =
   List.fold_right
     (fun x acc ->
@@ -205,6 +284,14 @@ let map_result f l =
       let* y = f x in
       Ok (y :: acc))
     l (Ok [])
+
+let as_int_list name v =
+  let* l = as_list name v in
+  map_result
+    (function
+      | Metrics.Json.Int i -> Ok i
+      | _ -> Error (Printf.sprintf "field %S: expected int elements" name))
+    l
 
 let perturb_op_of_json v =
   let* op = as_str "op" v in
@@ -286,11 +373,58 @@ let faults_of_json v =
         Ok (node, skew_us))
       skews
   in
-  Ok { Sim.Faults.losses; partitions; crashes; skews_us }
+  let* eclipses = as_list_default "eclipses" v in
+  let* eclipses =
+    map_result
+      (fun e ->
+        let* e_victim = as_int "victim" e in
+        let* e_from_us = as_int "from_us" e in
+        let* e_until_us = as_int "until_us" e in
+        let* e_owned = as_int_list "owned" e in
+        let* e_diverse = as_int_list "diverse" e in
+        let* e_delay_us = as_opt_int "delay_us" e in
+        Ok
+          {
+            Sim.Faults.e_victim;
+            e_from_us;
+            e_until_us;
+            e_owned;
+            e_diverse;
+            e_delay_us;
+          })
+      eclipses
+  in
+  let* inflations = as_list_default "inflations" v in
+  let* inflations =
+    map_result
+      (fun d ->
+        let* d_from_us = as_int "from_us" d in
+        let* d_until_us = as_int "until_us" d in
+        let* d_a = as_int_list "a" d in
+        let* d_b = as_int_list "b" d in
+        let* d_extra_us = as_int "extra_us" d in
+        Ok { Sim.Faults.d_from_us; d_until_us; d_a; d_b; d_extra_us })
+      inflations
+  in
+  Ok { Sim.Faults.losses; partitions; crashes; skews_us; eclipses; inflations }
+
+let adversary_of_json v =
+  match Metrics.Json.member "adversary" v with
+  | None | Some Metrics.Json.Null -> Ok None
+  | Some a -> (
+      let* kind = as_str "kind" a in
+      let* gst = as_int "gst_us" a in
+      let* max_extra = as_int "max_extra_us" a in
+      match kind with
+      | "pre-gst" -> Ok (Some (Sim.Adversary.Pre_gst { gst; max_extra }))
+      | "targeted" ->
+          let* victims = as_int_list "victims" a in
+          Ok (Some (Sim.Adversary.Targeted { gst; max_extra; victims }))
+      | other -> Error (Printf.sprintf "unknown adversary kind %S" other))
 
 let of_json v =
   let* version_read = as_int "version" v in
-  if not (Int.equal version_read version) then
+  if version_read < 1 || version_read > version then
     Error (Printf.sprintf "unsupported repro version %d" version_read)
   else
     let* protocol = as_str "protocol" v in
@@ -301,6 +435,7 @@ let of_json v =
     let* clients = as_int "clients" v in
     let* faults_v = field "faults" v in
     let* faults = faults_of_json faults_v in
+    let* adversary = adversary_of_json v in
     let* perturb_l = as_list "perturb" v in
     let* perturb = map_result perturb_op_of_json perturb_l in
     let t =
@@ -312,6 +447,7 @@ let of_json v =
         duration_us;
         clients;
         faults;
+        adversary;
         perturb;
       }
     in
@@ -319,6 +455,7 @@ let of_json v =
        with out-of-range nodes or inverted windows is a user error. *)
     (try
        Sim.Faults.validate t.faults ~n:t.n;
+       Option.iter (fun s -> Sim.Adversary.validate_spec s ~n:t.n) t.adversary;
        Sim.Perturb.validate t.perturb ~n:t.n;
        Ok t
      with Invalid_argument msg -> Error msg)

@@ -12,6 +12,8 @@ type t = {
   duration_us : int;  (** measurement window (warm-up is the protocol's) *)
   clients : int;  (** closed-loop clients per node *)
   faults : Sim.Faults.plan;
+  adversary : Sim.Adversary.spec option;
+      (** pre-GST message-delay policy, as replayable pure data *)
   perturb : Sim.Perturb.t;
 }
 
@@ -22,6 +24,7 @@ val make :
   ?duration_us:int ->
   ?clients:int ->
   ?faults:Sim.Faults.plan ->
+  ?adversary:Sim.Adversary.spec ->
   ?perturb:Sim.Perturb.t ->
   string ->
   t
@@ -33,16 +36,19 @@ val label : t -> string
     protocol/knob pair. *)
 val run : t -> Harness.Scenario.result
 
-(** The liveness level this case owes: [Off] under fault plans or
-    broken knobs, [Commit_only] for Pompē (bursty commit cadence),
-    [Full] otherwise. *)
+(** The liveness level this case owes: [Off] under fault plans,
+    adversaries or broken knobs, [Commit_only] for Pompē (bursty
+    commit cadence), [Full] otherwise. *)
 val liveness : t -> Harness.Oracle.liveness_level
 
 (** [check t result] — the oracle verdict, liveness armed per
-    {!liveness}. [] means clean. *)
+    {!liveness}; eclipse plans additionally arm the per-victim attack
+    oracles on their victims. [] means clean. *)
 val check : t -> Harness.Scenario.result -> Harness.Oracle.finding list
 
-(** Repro artifact format version (the [version] field). *)
+(** Repro artifact format version (the [version] field). Version 2
+    added eclipses/inflations and the adversary; version-1 artifacts
+    still load with those empty. *)
 val version : int
 
 val to_json : t -> Metrics.Json.t

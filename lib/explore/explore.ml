@@ -1,3 +1,4 @@
 module Knobs = Knobs
 module Case = Case
 module Search = Search
+module Attack = Attack

@@ -1,8 +1,10 @@
 (** Deterministic schedule-space explorer: perturbed schedules, fault
-    mutations and Byzantine knobs swept under the {!Harness.Oracle}
-    safety oracles, with greedy shrinking to minimal replayable
-    repro artifacts. *)
+    mutations, Byzantine knobs and targeted network-adversary
+    campaigns swept under the {!Harness.Oracle} safety oracles, with
+    greedy shrinking to minimal replayable repro artifacts and an
+    attacker-window search over adversary placements. *)
 
 module Knobs = Knobs
 module Case = Case
 module Search = Search
+module Attack = Attack

@@ -49,6 +49,11 @@ val shrink :
     is omitted (Pompē needs multi-second pipelines to commit at all). *)
 val duration_for : string -> int
 
+(** Per-protocol warm-up the generated cases assume (Lyra's distance
+    measurement needs 1.5 s); the attack campaigns place their windows
+    after it. *)
+val warmup_of_protocol : string -> int
+
 (** [sweep ()] — up to [runs] (default 30) executions cycling through
     [pairs] (default: every {!Knobs.safe} knob of every registered
     protocol). The first pass over the catalog runs clean schedules as

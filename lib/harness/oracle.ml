@@ -158,6 +158,74 @@ let liveness (r : Scenario.result) =
                   from_us until_us;
             })
 
+(* Per-victim liveness: the victim's own committed prefix stalls while
+   the rest of the cluster keeps advancing. Judged on last-commit
+   times, not log lengths — a victim that merely lags by a few entries
+   is still receiving; one whose frontier gap exceeds the stall budget
+   is starved. Vacuously clean when no non-victim progressed either
+   (that is cluster-wide liveness's job, not this oracle's). *)
+let victim_liveness ?(stall_gap_us = 1_500_000) ~victims (r : Scenario.result) =
+  let last = r.Scenario.last_commit_us in
+  let is_victim i = List.exists (Int.equal i) victims in
+  let frontier =
+    Array.fold_left
+      (fun acc i -> if is_victim i then acc else max acc last.(i))
+      (-1) r.Scenario.honest_ids
+  in
+  if frontier < 0 then None
+  else begin
+    let bad = ref None in
+    List.iter
+      (fun v ->
+        if Option.is_none !bad && v >= 0 && v < Array.length last then begin
+          let v_last = max last.(v) 0 in
+          if frontier - v_last > stall_gap_us then bad := Some (v, v_last)
+        end)
+      victims;
+    match !bad with
+    | None -> None
+    | Some (v, v_last) ->
+        Some
+          {
+            oracle = "victim-liveness";
+            detail =
+              Printf.sprintf
+                "victim node #%d last advanced its committed log at %dus \
+                 while the non-victim frontier reached %dus"
+                v v_last frontier;
+          }
+  end
+
+(* Censorship exposure: the victim's clients submitted transactions yet
+   no honest replica ever committed one of them — the adversary kept
+   the victim's load out of the total order entirely. Counted over the
+   whole run and cluster-wide so closed-loop clients (which stop
+   submitting once starved) cannot make the check vacuous. *)
+let censorship_exposure ~victims (r : Scenario.result) =
+  let bad = ref None in
+  List.iter
+    (fun v ->
+      if
+        Option.is_none !bad
+        && v >= 0
+        && v < Array.length r.Scenario.submitted_by
+        && r.Scenario.submitted_by.(v) > 0
+        && Int.equal r.Scenario.committed_own.(v) 0
+      then bad := Some v)
+    victims;
+  match !bad with
+  | None -> None
+  | Some v ->
+      Some
+        {
+          oracle = "censorship-exposure";
+          detail =
+            Printf.sprintf
+              "node #%d submitted %d transaction(s) but no honest replica \
+               ever committed one of them"
+              v r.Scenario.submitted_by.(v);
+        }
+
 (* ------------------------------------------------------------------ *)
 (* The suite.                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -171,10 +239,19 @@ let safety_suite =
     monotone_seqs;
   ]
 
+let attack_suite ~victims =
+  [ (fun r -> victim_liveness ~victims r); censorship_exposure ~victims ]
+
 let suite ~liveness:level =
   match level with
   | Off -> safety_suite
   | Commit_only -> safety_suite @ [ liveness_commit ]
   | Full -> safety_suite @ [ liveness ]
 
-let check ~liveness r = List.filter_map (fun oracle -> oracle r) (suite ~liveness)
+let check ?(victims = []) ~liveness r =
+  let oracles =
+    match victims with
+    | [] -> suite ~liveness
+    | _ -> suite ~liveness @ attack_suite ~victims
+  in
+  List.filter_map (fun oracle -> oracle r) oracles

@@ -49,11 +49,37 @@ val liveness_commit : Scenario.result -> finding option
     budget. Arm only for protocols with sub-budget commit cadence. *)
 val liveness : Scenario.result -> finding option
 
+(** [victim_liveness ~victims] judges attacked runs: fires when a
+    victim's own committed log stopped advancing more than
+    [stall_gap_us] (default 1.5 s) behind the most advanced honest
+    non-victim — the signature of a starved (eclipsed) node.
+    Vacuously clean when no non-victim progressed either. *)
+val victim_liveness :
+  ?stall_gap_us:int -> victims:int list -> Scenario.result -> finding option
+
+(** [censorship_exposure ~victims] fires when a victim submitted
+    transactions yet no honest replica ever committed one of them
+    (judged cluster-wide over the whole run, so closed-loop clients
+    that stop once starved cannot make it vacuous). *)
+val censorship_exposure :
+  victims:int list -> Scenario.result -> finding option
+
 (** The five safety oracles above, in order. *)
 val safety_suite : (Scenario.result -> finding option) list
 
+(** The two per-victim attack oracles, liveness first (with the
+    default stall gap; use {!victim_liveness} directly to tune it). *)
+val attack_suite :
+  victims:int list -> (Scenario.result -> finding option) list
+
+(** The graded suite: safety plus the selected liveness level. *)
 val suite : liveness:liveness_level -> (Scenario.result -> finding option) list
 
 (** [check ~liveness r] — every finding of the selected suite, in
-    suite order; [] means the run is clean. *)
-val check : liveness:liveness_level -> Scenario.result -> finding list
+    suite order; [] means the run is clean. A non-empty [victims]
+    (default []) appends {!attack_suite} after the graded suite. *)
+val check :
+  ?victims:int list ->
+  liveness:liveness_level ->
+  Scenario.result ->
+  finding list

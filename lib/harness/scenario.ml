@@ -22,6 +22,10 @@ type result = {
   profile : Sim.Profile.t option;
   honest_logs : (string * string) list array;
   seq_bounds : (int * int * int) list array;
+  honest_ids : int array;
+  submitted_by : int array;
+  committed_own : int array;
+  last_commit_us : int array;
 }
 
 let wan_ns_per_byte = 40 (* ≈ 200 Mb/s effective per node over the WAN *)
@@ -74,15 +78,15 @@ let prefix_safe logs =
 let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
 let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
-    ?(faults = Sim.Faults.none) ?perturb ?trace ?dissemination ?profile_bucket_us
-    (module P : Protocol.NODE) ~n ~load ~duration_us () =
+    ?(faults = Sim.Faults.none) ?adversary ?perturb ?trace ?dissemination
+    ?profile_bucket_us (module P : Protocol.NODE) ~n ~load ~duration_us () =
   let warmup_us =
     match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
   let engine = Sim.Engine.create ~seed () in
   let net =
-    P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?perturb ?trace
-      ?dissemination ()
+    P.make_net engine ~n ~jitter ~ns_per_byte ~faults ?adversary ?perturb
+      ?trace ?dissemination ()
   in
   let rng = Sim.Engine.rng engine in
   let latency_rec, _, committed = make_recorders ~n in
@@ -96,11 +100,25 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
       ~until_us:(warmup_us + duration_us) ()
   in
   let honest_commit : (int -> bool) ref = ref (fun _ -> true) in
+  (* Per-node attack-oracle bookkeeping: what each node submitted, how
+     often any honest node observed a commit of its transactions, and
+     the last simulated time each node's own log advanced. An eclipsed
+     victim's [last_commit_us] freezes while the rest of the cluster
+     moves on; a censored node keeps [committed_own] at zero despite
+     [submitted_by] growing. *)
+  let submitted_by = Array.make n 0 in
+  let committed_own = Array.make n 0 in
+  let last_commit_us = Array.make n (-1) in
   let on_output id (c : Protocol.committed) =
-    if !honest_commit id then
+    let honest_observer = !honest_commit id in
+    if honest_observer then begin
       Invariant_monitor.on_commit monitor ~node:id ~key:c.key;
+      last_commit_us.(id) <- Sim.Engine.now engine
+    end;
     Array.iter
       (fun (tx : Lyra.Types.tx) ->
+        if honest_observer && tx.origin >= 0 && tx.origin < n then
+          committed_own.(tx.origin) <- committed_own.(tx.origin) + 1;
         (match pools.(id) with
         | Some pool when Int.equal tx.origin id ->
             Workload.Clients.Closed.tx_done pool tx.tx_id
@@ -162,7 +180,10 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
          Array.iteri
            (fun id node ->
              if P.honest node then
-               let submit ~payload = P.submit node ~payload in
+               let submit ~payload =
+                 submitted_by.(id) <- submitted_by.(id) + 1;
+                 P.submit node ~payload
+               in
                let payload =
                  Workload.Clients.fixed_payload ~size:(P.tx_size net)
                    (Crypto.Rng.split rng)
@@ -287,6 +308,10 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     profile;
     honest_logs;
     seq_bounds;
+    honest_ids = honest;
+    submitted_by;
+    committed_own;
+    last_commit_us;
   }
 
 (* The LAT3R anatomy table: one row per pipeline phase, aggregated over

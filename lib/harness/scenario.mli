@@ -45,6 +45,20 @@ type result = {
   seq_bounds : (int * int * int) list array;
       (** per honest node, the adapter's per-output (seq, low, high)
           admissibility bounds ([] for height-based protocols) *)
+  honest_ids : int array;
+      (** node ids of the honest nodes, ascending — the index map for
+          [honest_logs] and [seq_bounds] *)
+  submitted_by : int array;
+      (** per node id, transactions that node's clients submitted *)
+  committed_own : int array;
+      (** per node id, honest commit observations of transactions that
+          node originated (cluster-wide, so each tx counts once per
+          observing honest replica; the censorship oracle only asks
+          whether it is zero) *)
+  last_commit_us : int array;
+      (** per node id, the simulated time that node's own committed log
+          last advanced (−1 if never) — the per-victim liveness
+          oracle's stall signal *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -58,7 +72,8 @@ val phase_table : result -> string
     the [?tweak]/[?byz]/[?censor] knobs on the adapter constructors).
     [warmup_us] defaults to the protocol's [default_warmup_us];
     [jitter] is the relative link jitter (default 0.01). [faults]
-    executes a {!Sim.Faults} plan on the run; an {!Invariant_monitor}
+    executes a {!Sim.Faults} plan on the run; [adversary] attaches a
+    pre-GST delay policy ({!Sim.Adversary}); an {!Invariant_monitor}
     always observes honest commits continuously, and its verdict lands
     in [first_violation]/[stall_windows]. [trace] is handed to the
     network for fault-event recording; its eviction count is surfaced
@@ -74,6 +89,7 @@ val run :
   ?jitter:float ->
   ?ns_per_byte:int ->
   ?faults:Sim.Faults.plan ->
+  ?adversary:Sim.Adversary.t ->
   ?perturb:Sim.Perturb.t ->
   ?trace:Sim.Trace.t ->
   ?dissemination:Sim.Network.dissemination ->

@@ -13,7 +13,7 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
        to act on here; the transport still executes the rest of the
        plan. *)
     let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
-        ?perturb ?trace ?dissemination () =
+        ?adversary ?perturb ?trace ?dissemination () =
       let cfg = tweak (Hotstuff.Smr.default_config ~n) in
       let regions =
         match regions with
@@ -23,8 +23,8 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false) ?regions () :
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?perturb
-          ?trace ?dissemination
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?adversary
+          ?perturb ?trace ?dissemination
           ~cost:(fun ~dst:_ m -> Hotstuff.Smr.msg_cost costs m)
           ~size:Hotstuff.Smr.msg_size ()
       in

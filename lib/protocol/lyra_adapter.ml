@@ -15,7 +15,7 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
     type t = { node : Lyra.Node.t; honest : bool }
 
     let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
-        ?perturb ?trace ?dissemination () =
+        ?adversary ?perturb ?trace ?dissemination () =
       let cfg = tweak (Lyra.Config.default ~n) in
       let regions =
         match regions with
@@ -25,8 +25,8 @@ let make ?(tweak = fun c -> c) ?(byz = fun _ -> None) ?regions
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?perturb
-          ?trace ?dissemination
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?adversary
+          ?perturb ?trace ?dissemination
           ~cost:(fun ~dst:_ m -> Lyra.Types.msg_cost costs m)
           ~size:Lyra.Types.msg_size ()
       in

@@ -42,6 +42,7 @@ module type NODE = sig
     jitter:float ->
     ?ns_per_byte:int ->
     ?faults:Sim.Faults.plan ->
+    ?adversary:Sim.Adversary.t ->
     ?perturb:Sim.Perturb.t ->
     ?trace:Sim.Trace.t ->
     ?dissemination:Sim.Network.dissemination ->

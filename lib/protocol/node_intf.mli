@@ -50,7 +50,9 @@ module type NODE = sig
       rate (≈ 1 Gb/s); the WAN harness passes its own. [faults]
       executes a {!Sim.Faults} plan on the transport (per-node clock
       skews are additionally applied by adapters that model local
-      clocks); [trace] receives the network's fault events. [perturb]
+      clocks); [adversary] attaches a pre-GST delay policy
+      ({!Sim.Adversary}, default none); [trace] receives the network's
+      fault events. [perturb]
       adds deterministic extra wire delays ({!Sim.Perturb}) — the
       schedule-space explorer's lever; the default empty spec leaves
       the schedule bit-identical. [dissemination] selects how
@@ -62,6 +64,7 @@ module type NODE = sig
     jitter:float ->
     ?ns_per_byte:int ->
     ?faults:Sim.Faults.plan ->
+    ?adversary:Sim.Adversary.t ->
     ?perturb:Sim.Perturb.t ->
     ?trace:Sim.Trace.t ->
     ?dissemination:Sim.Network.dissemination ->

@@ -15,7 +15,7 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
     type t = Pompe.Node.t
 
     let make_net engine ~n ~jitter ?ns_per_byte ?(faults = Sim.Faults.none)
-        ?perturb ?trace ?dissemination () =
+        ?adversary ?perturb ?trace ?dissemination () =
       let cfg = tweak (Pompe.Config.default ~n) in
       let regions =
         match regions with
@@ -25,8 +25,8 @@ let make ?(tweak = fun c -> c) ?(censor = fun _ _ -> false)
       let latency = Sim.Latency.regional ~jitter regions in
       let costs = Sim.Costs.default in
       let net =
-        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?perturb
-          ?trace ?dissemination
+        Sim.Network.create engine ~n ~latency ?ns_per_byte ~faults ?adversary
+          ?perturb ?trace ?dissemination
           ~cost:(fun ~dst:_ b -> Pompe.Types.msg_cost costs ~n b)
           ~size:Pompe.Types.msg_size ()
       in

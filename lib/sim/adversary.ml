@@ -30,3 +30,42 @@ let targeted ~gst ~max_extra ~victims =
   { gst; policy }
 
 let custom policy = { gst = 0; policy }
+
+(* Pure-data form of the built-in policies, for repro artifacts: the
+   closure in [t] cannot round-trip through JSON, a spec can. [custom]
+   policies are deliberately unrepresentable. *)
+type spec =
+  | Pre_gst of { gst : int; max_extra : int }
+  | Targeted of { gst : int; max_extra : int; victims : int list }
+
+let of_spec = function
+  | Pre_gst { gst; max_extra } -> pre_gst ~gst ~max_extra
+  | Targeted { gst; max_extra; victims } -> targeted ~gst ~max_extra ~victims
+
+let validate_spec spec ~n =
+  let common ctx ~gst ~max_extra =
+    if gst < 0 then invalid_arg ("Adversary.validate_spec: " ^ ctx ^ " gst negative");
+    if max_extra < 0 then
+      invalid_arg ("Adversary.validate_spec: " ^ ctx ^ " max_extra negative")
+  in
+  match spec with
+  | Pre_gst { gst; max_extra } -> common "pre-gst" ~gst ~max_extra
+  | Targeted { gst; max_extra; victims } ->
+      common "targeted" ~gst ~max_extra;
+      (match victims with
+      | [] -> invalid_arg "Adversary.validate_spec: targeted with no victims"
+      | _ -> ());
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg
+              (Printf.sprintf
+                 "Adversary.validate_spec: victim %d out of [0,%d)" v n))
+        victims
+
+let spec_label = function
+  | Pre_gst { gst; max_extra } ->
+      Printf.sprintf "pre-gst(gst=%dus,max=%dus)" gst max_extra
+  | Targeted { gst; max_extra; victims } ->
+      Printf.sprintf "targeted(gst=%dus,max=%dus,victims={%s})" gst max_extra
+        (String.concat "," (List.map string_of_int victims))

@@ -30,3 +30,22 @@ val custom : (Crypto.Rng.t -> now:int -> src:int -> dst:int -> int) -> t
 (** The adversary's GST (0 for {!none}); used by experiments that
     measure post-GST behaviour. *)
 val gst : t -> int
+
+(** Pure-data form of the built-in policies, so explorer repro
+    artifacts can carry the full adversary through a JSON round-trip
+    ([t] holds a closure and cannot). {!custom} policies have no spec
+    on purpose — anything serialized must be reconstructible. *)
+type spec =
+  | Pre_gst of { gst : int; max_extra : int }
+  | Targeted of { gst : int; max_extra : int; victims : int list }
+
+(** Reconstruct the policy a spec describes (same parameters as
+    {!pre_gst} / {!targeted}). *)
+val of_spec : spec -> t
+
+(** [validate_spec spec ~n] raises [Invalid_argument] on out-of-range
+    victims, negative times, or an empty victim list. *)
+val validate_spec : spec -> n:int -> unit
+
+(** One-line human-readable description, for sweep logs. *)
+val spec_label : spec -> string

@@ -11,18 +11,47 @@ type partition = { p_from_us : int; p_heal_us : int; p_island : int list }
 
 type crash = { c_node : int; c_at_us : int; c_recover_us : int option }
 
+type eclipse = {
+  e_victim : int;
+  e_from_us : int;
+  e_until_us : int;
+  e_owned : int list;
+  e_diverse : int list;
+  e_delay_us : int option;
+}
+
+type delay_inflate = {
+  d_from_us : int;
+  d_until_us : int;
+  d_a : int list;
+  d_b : int list;
+  d_extra_us : int;
+}
+
 type plan = {
   losses : loss_window list;
   partitions : partition list;
   crashes : crash list;
   skews_us : (int * int) list;
+  eclipses : eclipse list;
+  inflations : delay_inflate list;
 }
 
-let none = { losses = []; partitions = []; crashes = []; skews_us = [] }
+let none =
+  {
+    losses = [];
+    partitions = [];
+    crashes = [];
+    skews_us = [];
+    eclipses = [];
+    inflations = [];
+  }
 
 let is_none p =
-  match (p.losses, p.partitions, p.crashes, p.skews_us) with
-  | [], [], [], [] -> true
+  match
+    (p.losses, p.partitions, p.crashes, p.skews_us, p.eclipses, p.inflations)
+  with
+  | [], [], [], [], [], [] -> true
   | _ -> false
 
 (* Elements are appended so a plan reads top-to-bottom in the order it
@@ -51,11 +80,46 @@ let crash ?recover_us ~node ~at_us plan =
 let skew ~node ~skew_us plan =
   { plan with skews_us = plan.skews_us @ [ (node, skew_us) ] }
 
+let eclipse ?(diverse = []) ?delay_us ~victim ~from_us ~until_us ~owned plan =
+  let e =
+    {
+      e_victim = victim;
+      e_from_us = from_us;
+      e_until_us = until_us;
+      e_owned = owned;
+      e_diverse = diverse;
+      e_delay_us = delay_us;
+    }
+  in
+  { plan with eclipses = plan.eclipses @ [ e ] }
+
+let delay_inflate ~from_us ~until_us ~a ~b ~extra_us plan =
+  let d =
+    {
+      d_from_us = from_us;
+      d_until_us = until_us;
+      d_a = a;
+      d_b = b;
+      d_extra_us = extra_us;
+    }
+  in
+  { plan with inflations = plan.inflations @ [ d ] }
+
 let island_of_regions ~n regions =
   let placement = Regions.paper_placement n in
   List.filter
     (fun i -> List.exists (fun r -> Regions.equal r placement.(i)) regions)
     (List.init n (fun i -> i))
+
+(* BGP-hijack vocabulary: the hijacked route sits between two regions;
+   resolve them to node sets at build time so the plan stays pure data
+   and the per-message query needs no region lookup. *)
+let delay_inflate_regions ~n ~from_us ~until_us ~between:(ra, rb) ~extra_us plan
+    =
+  delay_inflate ~from_us ~until_us
+    ~a:(island_of_regions ~n [ ra ])
+    ~b:(island_of_regions ~n [ rb ])
+    ~extra_us plan
 
 let validate plan ~n =
   let node ctx id =
@@ -95,7 +159,43 @@ let validate plan ~n =
             invalid_arg "Faults.validate: recovery not after crash")
         c.c_recover_us)
     plan.crashes;
-  List.iter (fun (id, _) -> node "skew" id) plan.skews_us
+  List.iter (fun (id, _) -> node "skew" id) plan.skews_us;
+  List.iter
+    (fun e ->
+      window "eclipse" e.e_from_us e.e_until_us;
+      node "eclipse victim" e.e_victim;
+      List.iter (node "eclipse owned") e.e_owned;
+      List.iter (node "eclipse diverse") e.e_diverse;
+      if List.exists (Int.equal e.e_victim) e.e_owned then
+        invalid_arg "Faults.validate: eclipse victim cannot own its own link";
+      if List.exists (Int.equal e.e_victim) e.e_diverse then
+        invalid_arg "Faults.validate: eclipse victim listed as its own peer";
+      if
+        List.exists
+          (fun o -> List.exists (Int.equal o) e.e_diverse)
+          e.e_owned
+      then
+        invalid_arg
+          "Faults.validate: eclipse claims a link declared diverse \
+           (netgroup-diverse links cannot be owned)";
+      Option.iter
+        (fun d ->
+          if d < 0 then invalid_arg "Faults.validate: eclipse delay negative")
+        e.e_delay_us)
+    plan.eclipses;
+  List.iter
+    (fun d ->
+      window "delay-inflate" d.d_from_us d.d_until_us;
+      List.iter (node "delay-inflate a") d.d_a;
+      List.iter (node "delay-inflate b") d.d_b;
+      if d.d_extra_us < 0 then
+        invalid_arg "Faults.validate: delay inflation negative";
+      if
+        List.exists (fun x -> List.exists (Int.equal x) d.d_b) d.d_a
+      then
+        invalid_arg
+          "Faults.validate: delay-inflate endpoint sets must be disjoint")
+    plan.inflations
 
 let in_window ~now ~from_us ~until_us = now >= from_us && now < until_us
 
@@ -129,6 +229,51 @@ let skew_us plan id =
   List.fold_left
     (fun acc (node, s) -> if Int.equal node id then acc + s else acc)
     0 plan.skews_us
+
+type link_fate = Link_up | Link_cut | Link_delayed of int
+
+(* A link falls to an eclipse when one endpoint is the victim and the
+   other is an owned peer. A cut anywhere wins over delays; delays from
+   several overlapping eclipses stack. Deliberately RNG-free: eclipse
+   is a deterministic adversary move, so attack-free runs (and the
+   conditional fault-RNG split) keep the exact golden event sequence. *)
+let eclipse_fate plan ~now ~src ~dst =
+  List.fold_left
+    (fun fate e ->
+      match fate with
+      | Link_cut -> Link_cut
+      | Link_up | Link_delayed _ ->
+          let claimed peer other =
+            Int.equal peer e.e_victim && List.exists (Int.equal other) e.e_owned
+          in
+          if
+            in_window ~now ~from_us:e.e_from_us ~until_us:e.e_until_us
+            && (claimed src dst || claimed dst src)
+          then
+            match e.e_delay_us with
+            | None -> Link_cut
+            | Some d ->
+                Link_delayed
+                  (d + match fate with Link_delayed p -> p | _ -> 0)
+          else fate)
+    Link_up plan.eclipses
+
+(* Extra one-way delay from active region-pair inflations; directions
+   are symmetric and overlapping entries stack. *)
+let inflation_us plan ~now ~src ~dst =
+  List.fold_left
+    (fun acc d ->
+      let in_a x = List.exists (Int.equal x) d.d_a in
+      let in_b x = List.exists (Int.equal x) d.d_b in
+      if
+        in_window ~now ~from_us:d.d_from_us ~until_us:d.d_until_us
+        && ((in_a src && in_b dst) || (in_b src && in_a dst))
+      then acc + d.d_extra_us
+      else acc)
+    0 plan.inflations
+
+let eclipse_victims plan =
+  List.sort_uniq Int.compare (List.map (fun e -> e.e_victim) plan.eclipses)
 
 let active plan ~now =
   let losses =
@@ -168,4 +313,30 @@ let active plan ~now =
         else None)
       plan.crashes
   in
-  losses @ partitions @ crashes
+  let eclipses =
+    List.filter_map
+      (fun e ->
+        if in_window ~now ~from_us:e.e_from_us ~until_us:e.e_until_us then
+          Some
+            (Printf.sprintf "eclipse(n%d owned=%d diverse=%d%s)[%d,%d)"
+               e.e_victim (List.length e.e_owned) (List.length e.e_diverse)
+               (match e.e_delay_us with
+               | None -> ""
+               | Some d -> Printf.sprintf " delay=%dus" d)
+               e.e_from_us e.e_until_us)
+        else None)
+      plan.eclipses
+  in
+  let inflations =
+    List.filter_map
+      (fun d ->
+        if in_window ~now ~from_us:d.d_from_us ~until_us:d.d_until_us then
+          Some
+            (Printf.sprintf "inflate(+%dus %s|%s)[%d,%d)" d.d_extra_us
+               (String.concat "," (List.map string_of_int d.d_a))
+               (String.concat "," (List.map string_of_int d.d_b))
+               d.d_from_us d.d_until_us)
+        else None)
+      plan.inflations
+  in
+  losses @ partitions @ crashes @ eclipses @ inflations

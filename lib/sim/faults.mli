@@ -38,11 +38,41 @@ type crash = {
   c_recover_us : int option;  (** [None] = fail-stop forever *)
 }
 
+(** A targeted eclipse: during the window, every link between the
+    victim and a peer in [e_owned] is claimed by the adversary —
+    messages in either direction are dropped ([e_delay_us = None]) or
+    delayed by a fixed amount ([Some d]). Links to peers outside
+    [e_owned] keep flowing; [e_diverse] names the netgroup-diverse
+    links the adversary can never claim (the defense knob — validation
+    rejects a plan that owns a diverse link). Self-delivery never
+    touches the wire and is immune, as with every transport fault. *)
+type eclipse = {
+  e_victim : int;
+  e_from_us : int;
+  e_until_us : int;  (** exclusive *)
+  e_owned : int list;  (** peers whose link to the victim is claimed *)
+  e_diverse : int list;  (** declared unclaimable links (must be disjoint) *)
+  e_delay_us : int option;  (** [None] = cut; [Some d] = delay by d µs *)
+}
+
+(** BGP-hijack-style delay inflation: during the window, every message
+    between the two (disjoint) endpoint sets pays [d_extra_us] extra
+    one-way latency — the detour through the hijacker's route. *)
+type delay_inflate = {
+  d_from_us : int;
+  d_until_us : int;  (** exclusive *)
+  d_a : int list;
+  d_b : int list;
+  d_extra_us : int;
+}
+
 type plan = {
   losses : loss_window list;
   partitions : partition list;
   crashes : crash list;
   skews_us : (int * int) list;  (** (node, clock skew in µs) *)
+  eclipses : eclipse list;
+  inflations : delay_inflate list;
 }
 
 (** The empty plan: perfectly reliable transport, no crashes, no skew. *)
@@ -81,6 +111,49 @@ val crash : ?recover_us:int -> node:int -> at_us:int -> plan -> plan
     their own sampled clock offsets; the transport ignores it. *)
 val skew : node:int -> skew_us:int -> plan -> plan
 
+(** [eclipse ~victim ~from_us ~until_us ~owned plan] adds a targeted
+    eclipse (see {!eclipse}): the adversary owns the victim's links to
+    the [owned] peers and drops ([?delay_us] absent) or delays
+    ([?delay_us] present) everything on them, both directions.
+    [?diverse] declares the links it can never claim. Unlike loss
+    windows, an eclipse draws no randomness — it is a deterministic
+    adversary move, so adding one never shifts the RNG streams of the
+    rest of the run. *)
+val eclipse :
+  ?diverse:int list ->
+  ?delay_us:int ->
+  victim:int ->
+  from_us:int ->
+  until_us:int ->
+  owned:int list ->
+  plan ->
+  plan
+
+(** [delay_inflate ~from_us ~until_us ~a ~b ~extra_us plan] inflates
+    the one-way latency of every message between the disjoint endpoint
+    sets [a] and [b] by [extra_us] during the window (both
+    directions). Deterministic, like {!eclipse}. *)
+val delay_inflate :
+  from_us:int ->
+  until_us:int ->
+  a:int list ->
+  b:int list ->
+  extra_us:int ->
+  plan ->
+  plan
+
+(** [delay_inflate_regions ~n ~between:(ra, rb) ...] — {!delay_inflate}
+    with the endpoint sets resolved from {!Regions.paper_placement},
+    the BGP-hijack region-pair form. *)
+val delay_inflate_regions :
+  n:int ->
+  from_us:int ->
+  until_us:int ->
+  between:Regions.t * Regions.t ->
+  extra_us:int ->
+  plan ->
+  plan
+
 (** [island_of_regions ~n regions] — the node ids that
     {!Regions.paper_placement}[ n] places in any of [regions]; a
     convenience for region-granular partitions. *)
@@ -103,6 +176,24 @@ val partitioned : plan -> now:int -> src:int -> dst:int -> bool
 (** [skew_us plan node] — the node's scheduled clock skew (0 if none;
     multiple entries sum). *)
 val skew_us : plan -> int -> int
+
+(** What the active eclipses do to one wired message. *)
+type link_fate = Link_up | Link_cut | Link_delayed of int
+
+(** [eclipse_fate plan ~now ~src ~dst] — the fate of a message entering
+    the wire now: [Link_cut] if any active eclipse owns the link and
+    cuts it, [Link_delayed d] with the summed delay of active delaying
+    eclipses, [Link_up] otherwise. Pure and RNG-free. *)
+val eclipse_fate : plan -> now:int -> src:int -> dst:int -> link_fate
+
+(** [inflation_us plan ~now ~src ~dst] — summed extra one-way delay of
+    every active {!delay_inflate} matching the endpoint pair (0 when
+    none match). *)
+val inflation_us : plan -> now:int -> src:int -> dst:int -> int
+
+(** The distinct eclipse victims of the plan, ascending — the nodes the
+    per-victim oracles should judge. *)
+val eclipse_victims : plan -> int list
 
 (** [active plan ~now] — human-readable labels of every fault event
     live at [now] (crashed-and-not-yet-recovered nodes included), used

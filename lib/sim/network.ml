@@ -52,6 +52,13 @@ type 'msg t = {
   mutable dropped : int;
   mutable duped : int;
   mutable suppressed : int;  (** gossip copies discarded by dedup *)
+  mutable eclipsed : int;  (** messages cut by an eclipse *)
+  (* Relay copies (gossip) that died to a fault, by cause — the
+     observability needed to tell "the overlay routed around the
+     damage" apart from "the victim is starved". *)
+  mutable relay_cut_crash : int;
+  mutable relay_cut_partition : int;
+  mutable relay_cut_eclipse : int;
 }
 
 (* The detail payload is built at the call site but only matters when
@@ -155,6 +162,10 @@ let create engine ~n ~latency ?(adversary = Adversary.none) ?(ns_per_byte = 8)
       dropped = 0;
       duped = 0;
       suppressed = 0;
+      eclipsed = 0;
+      relay_cut_crash = 0;
+      relay_cut_partition = 0;
+      relay_cut_eclipse = 0;
     }
   in
   (* Plan-scheduled process faults. The handler survives a crash, so a
@@ -187,7 +198,14 @@ let on_recover t ~id hook = t.recover_hooks.(id) <- Some hook
    is marked, handed to the handler as coming from its origin, and
    re-forwarded to the receiver's neighbors. *)
 let rec deliver t ~src ~dst ~inc ~rx msg =
-  if (not t.crashed.(dst)) && Int.equal t.incarnation.(dst) inc then
+  if t.crashed.(dst) || not (Int.equal t.incarnation.(dst) inc) then begin
+    (* Crash tombstone. Count dead relay copies so gossip starvation
+       under process faults is observable, not just inferable. *)
+    match rx with
+    | Relay _ -> t.relay_cut_crash <- t.relay_cut_crash + 1
+    | Direct -> ()
+  end
+  else
     match rx with
     | Direct -> deliver_local t ~src ~dst ~inc msg
     | Relay { origin; gid } ->
@@ -222,10 +240,14 @@ and forward t ~relayer ~from ~origin ~gid msg =
     t.neighbors.(relayer)
 
 and schedule_delivery t ~src ~dst ~perturb_us ~rx msg =
+  let now = Engine.now t.engine in
   let latency = Latency.sample t.latency t.link_rng ~src ~dst in
+  (* Adversarial pre-GST delay and BGP-style inflation stack on the
+     sampled latency; the inflation query is pure, so fault-free plans
+     cost two empty-list folds here and nothing else. *)
   let extra =
-    Adversary.extra_delay t.adversary t.link_rng ~now:(Engine.now t.engine)
-      ~src ~dst
+    Adversary.extra_delay t.adversary t.link_rng ~now ~src ~dst
+    + Faults.inflation_us t.faults ~now ~src ~dst
   in
   let inc = t.incarnation.(dst) in
   ignore
@@ -253,33 +275,48 @@ and wire t ~src ~dst ~rx msg =
   in
   if Faults.partitioned t.faults ~now ~src ~dst then begin
     t.dropped <- t.dropped + 1;
+    (match rx with
+    | Relay _ -> t.relay_cut_partition <- t.relay_cut_partition + 1
+    | Direct -> ());
     trace_fault t ~node:dst (Trace.Partition_drop { src })
   end
-  else begin
-    let copies = ref 1 in
-    (match t.fault_rng with
-    | None -> ()
-    | Some rng ->
-        let drop_p, dup_p = Faults.drop_dup t.faults ~now ~src ~dst in
-        (* Drop and duplication are sampled independently: gating the
-           dup draw on the drop not firing would make the effective
-           duplicate rate dup_p * (1 - drop_p) instead of the
-           configured dup_p. A message can lose its original and still
-           have its duplicate delivered. *)
-        if drop_p > 0.0 && Crypto.Rng.float rng < drop_p then begin
-          copies := !copies - 1;
-          t.dropped <- t.dropped + 1;
-          trace_fault t ~node:dst (Trace.Drop { src })
-        end;
-        if dup_p > 0.0 && Crypto.Rng.float rng < dup_p then begin
-          copies := !copies + 1;
-          t.duped <- t.duped + 1;
-          trace_fault t ~node:dst (Trace.Dup { src })
-        end);
-    for _ = 1 to !copies do
-      schedule_delivery t ~src ~dst ~perturb_us ~rx msg
-    done
-  end
+  else
+    match Faults.eclipse_fate t.faults ~now ~src ~dst with
+    | Faults.Link_cut ->
+        t.dropped <- t.dropped + 1;
+        t.eclipsed <- t.eclipsed + 1;
+        (match rx with
+        | Relay _ -> t.relay_cut_eclipse <- t.relay_cut_eclipse + 1
+        | Direct -> ());
+        trace_fault t ~node:dst (Trace.Eclipse_drop { src })
+    | (Faults.Link_up | Faults.Link_delayed _) as fate ->
+        let perturb_us =
+          perturb_us
+          + match fate with Faults.Link_delayed d -> d | _ -> 0
+        in
+        let copies = ref 1 in
+        (match t.fault_rng with
+        | None -> ()
+        | Some rng ->
+            let drop_p, dup_p = Faults.drop_dup t.faults ~now ~src ~dst in
+            (* Drop and duplication are sampled independently: gating the
+               dup draw on the drop not firing would make the effective
+               duplicate rate dup_p * (1 - drop_p) instead of the
+               configured dup_p. A message can lose its original and still
+               have its duplicate delivered. *)
+            if drop_p > 0.0 && Crypto.Rng.float rng < drop_p then begin
+              copies := !copies - 1;
+              t.dropped <- t.dropped + 1;
+              trace_fault t ~node:dst (Trace.Drop { src })
+            end;
+            if dup_p > 0.0 && Crypto.Rng.float rng < dup_p then begin
+              copies := !copies + 1;
+              t.duped <- t.duped + 1;
+              trace_fault t ~node:dst (Trace.Dup { src })
+            end);
+        for _ = 1 to !copies do
+          schedule_delivery t ~src ~dst ~perturb_us ~rx msg
+        done
 
 and transmit t ~src ~dst ~rx msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -351,6 +388,14 @@ let messages_dropped t = t.dropped
 let messages_duplicated t = t.duped
 
 let messages_suppressed t = t.suppressed
+
+let messages_eclipsed t = t.eclipsed
+
+let relay_suppressed_crash t = t.relay_cut_crash
+
+let relay_suppressed_partition t = t.relay_cut_partition
+
+let relay_suppressed_eclipse t = t.relay_cut_eclipse
 
 let dissemination t = t.dissemination
 

@@ -14,9 +14,11 @@
     plan, messages are never lost or tampered with and Byzantine
     behaviour lives in the node logic, not the transport. A non-empty
     plan may drop or duplicate messages inside loss windows, cut links
-    across a partition, and crash/recover nodes on schedule — all
-    deterministically in the engine seed. Messages are never tampered
-    with or reordered beyond their sampled delays in any plan.
+    across a partition, crash/recover nodes on schedule, cut or delay
+    an eclipse victim's owned links, and inflate region-pair latency
+    (BGP-hijack style) — all deterministically in the engine seed.
+    Messages are never tampered with or reordered beyond their sampled
+    delays in any plan.
 
     Orthogonally, a {!Perturb} spec adds deterministic extra delay to
     selected wire messages — the schedule-space explorer's lever for
@@ -141,6 +143,23 @@ val messages_duplicated : 'msg t -> int
 (** Gossip copies discarded by the receiver's dedup (0 under
     [All_to_all]). *)
 val messages_suppressed : 'msg t -> int
+
+(** Messages an eclipse cut at wire entry (counted into
+    {!messages_dropped} as well). *)
+val messages_eclipsed : 'msg t -> int
+
+(** Gossip relay copies that died to a crash tombstone at delivery —
+    the receiver crashed (or crashed and recovered) after the copy
+    entered the wire. *)
+val relay_suppressed_crash : 'msg t -> int
+
+(** Gossip relay copies a partition cut at wire entry. *)
+val relay_suppressed_partition : 'msg t -> int
+
+(** Gossip relay copies an eclipse cut at wire entry — when this
+    accounts for every relay link into a victim, the victim is starved
+    (see the gossip-reachability tests). *)
+val relay_suppressed_eclipse : 'msg t -> int
 
 (** The dissemination mode the network was created with. *)
 val dissemination : 'msg t -> dissemination

@@ -16,6 +16,7 @@ type detail =
   | Drop of { src : int }
   | Dup of { src : int }
   | Partition_drop of { src : int }
+  | Eclipse_drop of { src : int }
   | Crash
   | Recover
   | Send of { dst : int; bytes : int }
@@ -77,6 +78,7 @@ let pp_detail fmt = function
   | Drop { src } -> Format.fprintf fmt "drop src=%d" src
   | Dup { src } -> Format.fprintf fmt "dup src=%d" src
   | Partition_drop { src } -> Format.fprintf fmt "partition-drop src=%d" src
+  | Eclipse_drop { src } -> Format.fprintf fmt "eclipse-drop src=%d" src
   | Crash -> Format.pp_print_string fmt "crash"
   | Recover -> Format.pp_print_string fmt "recover"
   | Send { dst; bytes } -> Format.fprintf fmt "send dst=%d bytes=%d" dst bytes

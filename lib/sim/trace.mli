@@ -27,6 +27,7 @@ type detail =
   | Drop of { src : int }  (** loss window dropped a message *)
   | Dup of { src : int }  (** duplication window injected a copy *)
   | Partition_drop of { src : int }  (** partition cut the link *)
+  | Eclipse_drop of { src : int }  (** an eclipse owned the link *)
   | Crash
   | Recover
   | Send of { dst : int; bytes : int }  (** transport accepted a message *)

@@ -28,7 +28,17 @@ let rich_case =
              ~dup_p:0.01 ~src:1
         |> partition ~from_us:2_000_000 ~heal_us:2_200_000 ~island:[ 2 ]
         |> crash ~node:3 ~at_us:2_400_000 ~recover_us:2_700_000
-        |> skew ~node:1 ~skew_us:500);
+        |> skew ~node:1 ~skew_us:500
+        |> eclipse ~victim:2 ~from_us:2_500_000 ~until_us:3_000_000
+             ~owned:[ 0 ] ~diverse:[ 1 ] ~delay_us:40_000
+        |> eclipse ~victim:0 ~from_us:2_600_000 ~until_us:2_900_000
+             ~owned:[ 3 ]
+        |> delay_inflate ~from_us:1_800_000 ~until_us:2_400_000 ~a:[ 0; 1 ]
+             ~b:[ 2 ] ~extra_us:75_000);
+    adversary =
+      Some
+        (Sim.Adversary.Targeted
+           { gst = 1_600_000; max_extra = 90_000; victims = [ 2 ] });
     perturb =
       [
         Sim.Perturb.Delay_nth { nth = 41; extra_us = 250_000 };
@@ -62,7 +72,23 @@ let test_case_roundtrip () =
         "perturb ops" 3
         (List.length c.Explore.Case.perturb);
       Alcotest.(check bool) "faults survive" false
-        (Sim.Faults.is_none c.Explore.Case.faults)
+        (Sim.Faults.is_none c.Explore.Case.faults);
+      Alcotest.(check int)
+        "eclipses survive" 2
+        (List.length c.Explore.Case.faults.Sim.Faults.eclipses);
+      Alcotest.(check int)
+        "inflations survive" 1
+        (List.length c.Explore.Case.faults.Sim.Faults.inflations);
+      Alcotest.(check (list int))
+        "eclipse victims" [ 0; 2 ]
+        (Sim.Faults.eclipse_victims c.Explore.Case.faults);
+      (match c.Explore.Case.adversary with
+      | Some (Sim.Adversary.Targeted { gst; max_extra; victims }) ->
+          Alcotest.(check int) "adversary gst" 1_600_000 gst;
+          Alcotest.(check int) "adversary max_extra" 90_000 max_extra;
+          Alcotest.(check (list int)) "adversary victims" [ 2 ] victims
+      | Some (Sim.Adversary.Pre_gst _) | None ->
+          Alcotest.fail "targeted adversary lost in round-trip")
 
 let test_case_rejects_garbage () =
   let reject label s =
@@ -89,7 +115,41 @@ let test_case_rejects_garbage () =
         ];
     }
   in
-  reject "src out of range" (Explore.Case.to_string bad)
+  reject "src out of range" (Explore.Case.to_string bad);
+  (* attack fields go through the same validation on load *)
+  let replace ~from ~into s =
+    let fl = String.length from and sl = String.length s in
+    let b = Buffer.create sl in
+    let i = ref 0 in
+    while !i < sl do
+      if !i + fl <= sl && String.equal (String.sub s !i fl) from then begin
+        Buffer.add_string b into;
+        i := !i + fl
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  reject "unknown adversary kind"
+    (replace ~from:"targeted" ~into:"martian"
+       (Explore.Case.to_string rich_case));
+  (* owning a declared-diverse link must fail Faults.validate on load:
+     victim 2's eclipse owns [0] and declares [1]; flip the diverse
+     declaration onto the owned peer *)
+  let owned_diverse =
+    {
+      rich_case with
+      Explore.Case.faults =
+        Sim.Faults.(
+          none
+          |> eclipse ~victim:2 ~from_us:0 ~until_us:10 ~owned:[ 0 ]
+               ~diverse:[ 0 ]);
+    }
+  in
+  reject "owned diverse link" (Explore.Case.to_string owned_diverse)
 
 (* ------------------------------------------------------------------ *)
 (* Disabled perturbation is free: a run with [Perturb.none] must be    *)
@@ -269,6 +329,20 @@ let load_checked_in_repro () =
       | Ok case -> case
       | Error e -> Alcotest.failf "checked-in repro does not parse: %s" e)
 
+(* A version-1 artifact written before the attack vocabulary existed -
+   the checked-in reproducer is exactly that - must keep loading, with
+   an empty attack plan and no adversary. *)
+let test_case_v1_compat () =
+  let case = load_checked_in_repro () in
+  Alcotest.(check int)
+    "no eclipses" 0
+    (List.length case.Explore.Case.faults.Sim.Faults.eclipses);
+  Alcotest.(check int)
+    "no inflations" 0
+    (List.length case.Explore.Case.faults.Sim.Faults.inflations);
+  Alcotest.(check bool) "no adversary" true
+    (Option.is_none case.Explore.Case.adversary)
+
 let test_checked_in_repro_regression () =
   let case = load_checked_in_repro () in
   let first = Explore.Case.check case (Explore.Case.run case) in
@@ -295,4 +369,5 @@ let suite =
     Alcotest.test_case "smoke sweep clean" `Slow test_smoke_sweep;
     Alcotest.test_case "checked-in repro regression" `Quick
       test_checked_in_repro_regression;
+    Alcotest.test_case "v1 artifact back-compat" `Quick test_case_v1_compat;
   ]

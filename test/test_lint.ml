@@ -43,6 +43,14 @@ let test_file_granular_strict () =
   Alcotest.(check bool)
     "sibling field.ml stays Lib" true
     (Lint.Config.scope_of_path "lib/crypto/field.ml" = Lint.Config.Lib);
+  (* the attack-campaign modules sit in already-Strict dirs; pin that
+     so a future scope refactor cannot silently drop them *)
+  Alcotest.(check bool)
+    "explore/attack.ml is Strict" true
+    (Lint.Config.scope_of_path "lib/explore/attack.ml" = Lint.Config.Strict);
+  Alcotest.(check bool)
+    "sim/adversary.ml is Strict" true
+    (Lint.Config.scope_of_path "lib/sim/adversary.ml" = Lint.Config.Strict);
   check "traversal fires in verify_cache"
     [ "lib/crypto/verify_cache.ml:2:D001" ]
     "lib/crypto/verify_cache.ml" d001_bad;

@@ -21,6 +21,7 @@ let () =
       ("pompe", Test_pompe.suite);
       ("protocol-runtime", Test_protocol.suite);
       ("faults", Test_faults.suite);
+      ("adversary", Test_adversary.suite);
       ("explore", Test_explore.suite);
       ("apps", Test_apps.suite);
       ("metrics-workload", Test_metrics_workload.suite);

@@ -11,9 +11,10 @@ let get_protocol name =
 (* The standard harness invocation: n=4, two closed-loop clients per
    node. Goldens in test_protocol.ml pin results of exactly this call,
    so its defaults must not drift. *)
-let run_scenario ?seed ?(n = 4) ?(clients = 2) ?faults ?perturb ~duration_us
-    protocol =
-  Harness.Scenario.run ?seed ?faults ?perturb (get_protocol protocol) ~n
+let run_scenario ?seed ?(n = 4) ?(clients = 2) ?faults ?adversary ?perturb
+    ~duration_us protocol =
+  Harness.Scenario.run ?seed ?faults ?adversary ?perturb (get_protocol protocol)
+    ~n
     ~load:(Harness.Scenario.Closed clients)
     ~duration_us ()
 
