@@ -681,6 +681,318 @@ let mev () =
     (List.map row Attacks.Sandwich.protocols)
 
 (* ------------------------------------------------------------------ *)
+(* WORKLOAD — the open-loop workload engine: a million modelled        *)
+(* clients in O(1) state, flash-crowd + hot-key + MEV-rich AMM flows   *)
+(* driven through every protocol, with per-protocol extracted value.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Part 1: the pinned scale self-check. A single stream modelling 10⁶
+   clients runs against a sink that echoes commits back after a fixed
+   delay — no consensus, pure engine — and the run must (a) actually
+   sustain the aggregate rate, (b) flip its latency recorder into
+   streaming mode, and (c) retain zero raw samples afterwards (the
+   bounded-memory claim, checked structurally rather than by RSS). *)
+let workload_selfcheck () =
+  let clients = 1_000_000 in
+  let horizon_us = if !smoke then 250_000 else 1_000_000 in
+  let echo_delay_us = 3_000 in
+  let engine = Sim.Engine.create ~seed:7L () in
+  let spec =
+    Workload.Engine.spec
+      [
+        {
+          Workload.Engine.name = "scale";
+          clients;
+          rate_per_client = 0.1;
+          shape =
+            Workload.Engine.Flash_crowd
+              {
+                at_us = horizon_us / 4;
+                ramp_us = horizon_us / 8;
+                peak = 3.0;
+                decay_us = horizon_us / 4;
+              };
+          mix = Workload.Engine.Fixed { size = 8 };
+        };
+      ]
+  in
+  let wl = ref None in
+  let next = ref 0 in
+  let submit ~node:_ ~payload =
+    let tx_id = "t" ^ string_of_int !next in
+    incr next;
+    let p = payload in
+    ignore
+      (Sim.Engine.schedule engine ~delay:echo_delay_us (fun () ->
+           match !wl with
+           | Some w ->
+               Workload.Engine.on_commit w ~tx_id ~payload:p
+                 ~now_us:(Sim.Engine.now engine)
+           | None -> ())
+        : Sim.Engine.timer);
+    tx_id
+  in
+  let w = Workload.Engine.create engine spec ~nodes:1 ~submit () in
+  wl := Some w;
+  Workload.Engine.start w;
+  Sim.Engine.run engine ~until:horizon_us;
+  Workload.Engine.stop w;
+  (* drain in-flight echoes so every submission resolves *)
+  Sim.Engine.run engine ~until:(horizon_us + (2 * echo_delay_us));
+  let rec_ = Workload.Engine.stream_recorder w 0 in
+  let submitted = Workload.Engine.total_submitted w in
+  let committed = Workload.Engine.total_committed w in
+  let fail fmt = Printf.ksprintf failwith ("workload selfcheck: " ^^ fmt) in
+  if submitted < 2 * Workload.Engine.default_latency_cap then
+    fail "only %d arrivals; rate not sustained" submitted;
+  if not (Metrics.Recorder.is_streaming rec_) then
+    fail "recorder never engaged streaming mode (%d samples)"
+      (Metrics.Recorder.count rec_);
+  if Metrics.Recorder.retained_samples rec_ <> 0 then
+    fail "streaming recorder retains %d raw samples"
+      (Metrics.Recorder.retained_samples rec_);
+  if committed <> submitted then
+    fail "echo sink lost transactions (%d submitted, %d committed)" submitted
+      committed;
+  if Workload.Engine.pending_count w <> 0 then
+    fail "%d transactions still pending after drain"
+      (Workload.Engine.pending_count w);
+  (clients, submitted, committed, rec_)
+
+let workload () =
+  let clients, sc_submitted, sc_committed, sc_rec = workload_selfcheck () in
+  Metrics.Table.print
+    ~title:
+      "WORKLOAD  scale self-check (open-loop engine vs echo sink; streaming \
+       recorder must engage)"
+    ~header:
+      [ "modelled clients"; "submitted"; "committed"; "streaming"; "retained" ]
+    [
+      [
+        string_of_int clients;
+        string_of_int sc_submitted;
+        string_of_int sc_committed;
+        string_of_bool (Metrics.Recorder.is_streaming sc_rec);
+        string_of_int (Metrics.Recorder.retained_samples sc_rec);
+      ];
+    ];
+  (* Part 2: the protocol scorecard. A flash-crowd KV stream (hot-key
+     Zipf skew) plus an AMM user stream raced by seeded searchers run
+     through every protocol; the committed order is replayed to price
+     the searchers' extraction. Fair ordering should crush it. *)
+  let market =
+    { Workload.Engine.reserve_x = 50_000_000; reserve_y = 50_000_000 }
+  in
+  let searcher =
+    {
+      Workload.Engine.searchers = 3;
+      observe_delay_us = 3_000;
+      back_delay_us = 2_000;
+      front_fraction = 0.5;
+      min_victim_amount = 10_000;
+    }
+  in
+  let scale = if !smoke then 1.0 else 4.0 in
+  let wl_spec =
+    Workload.Engine.spec ~market ~searcher
+      [
+        {
+          Workload.Engine.name = "kv-flash";
+          clients = 200_000;
+          rate_per_client = 0.0004 *. scale;
+          shape =
+            Workload.Engine.Flash_crowd
+              {
+                at_us = 1_000_000;
+                ramp_us = 300_000;
+                peak = 5.0;
+                decay_us = 500_000;
+              };
+          mix = Workload.Engine.Kv { keys = 1_000; zipf = 1.1 };
+        };
+        {
+          Workload.Engine.name = "amm-users";
+          clients = 50_000;
+          rate_per_client = 0.0008 *. scale;
+          shape = Workload.Engine.Constant;
+          mix = Workload.Engine.Amm_swaps { amount_min = 20_000; amount_max = 80_000 };
+        };
+      ]
+  in
+  let extra = function
+    | "lyra" -> if !smoke then 1_400_000 else 0
+    | _ -> if !smoke then 5_400_000 else 3_000_000
+  in
+  let n = small_n 7 in
+  let results =
+    List.map
+      (fun (name, p) ->
+        let r =
+          Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 0)
+            ~workload:wl_spec
+            ~duration_us:(scale_dur 3_000_000 + extra name)
+            ()
+        in
+        check_safety "workload" r;
+        check_smoke_commits "workload" r;
+        (* every stream must land transactions even at smoke scale — a
+           silent 0 here means the workload never reached consensus *)
+        List.iter
+          (fun (s : Workload.Engine.stream_summary) ->
+            if !smoke && s.s_committed = 0 then
+              failwith
+                (Printf.sprintf
+                   "workload --smoke: %s stream %s committed 0 of %d submitted"
+                   r.protocol s.s_name s.s_submitted))
+          r.workload_streams;
+        r)
+      (Protocol.Registry.all ())
+  in
+  Metrics.Table.print
+    ~title:
+      (Printf.sprintf
+         "WORKLOAD  flash-crowd + hot-key + AMM flows, per protocol (n=%d)" n)
+    ~header:
+      [ "protocol"; "stream"; "clients"; "submitted"; "committed"; "p50 ms"; "p99 ms" ]
+    (List.concat_map
+       (fun (r : Harness.Scenario.result) ->
+         List.map
+           (fun (s : Workload.Engine.stream_summary) ->
+             [
+               r.protocol;
+               s.s_name;
+               string_of_int s.s_clients;
+               string_of_int s.s_submitted;
+               string_of_int s.s_committed;
+               Printf.sprintf "%.0f" (s.s_lat_p50_us /. 1000.);
+               Printf.sprintf "%.0f" (s.s_lat_p99_us /. 1000.);
+             ])
+           r.workload_streams)
+       results);
+  Metrics.Table.print
+    ~title:
+      "WORKLOAD/MEV  searcher extraction from the committed order (replayed; \
+       fair ordering should crush it)"
+    ~header:
+      [
+        "protocol";
+        "user swaps";
+        "searcher swaps";
+        "extracted Y";
+        "victim slippage Y";
+      ]
+    (List.map
+       (fun (r : Harness.Scenario.result) ->
+         match r.mev with
+         | None -> [ r.protocol; "-"; "-"; "-"; "-" ]
+         | Some m ->
+             [
+               r.protocol;
+               string_of_int m.Workload.Engine.user_swaps;
+               string_of_int m.Workload.Engine.searcher_swaps;
+               Printf.sprintf "%.0f" m.Workload.Engine.extracted_value_y;
+               string_of_int m.Workload.Engine.victim_slippage_y;
+             ])
+       results);
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_WORKLOAD.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ( "selfcheck",
+               Obj_of
+                 [
+                   ("modelled_clients", Int_s);
+                   ("submitted", Int_s);
+                   ("committed", Int_s);
+                   ("streaming", Bool_s);
+                   ("retained_samples", Int_s);
+                   ("latency_cap", Int_s);
+                   ("peak_rss_kb", Int_s);
+                 ] );
+             ( "rows",
+               List_of
+                 (Obj_of
+                    [
+                      ("protocol", Str_s);
+                      ("stream", Str_s);
+                      ("clients", Int_s);
+                      ("submitted", Int_s);
+                      ("committed", Int_s);
+                      ("lat_p50_ms", Nullable Num_s);
+                      ("lat_p99_ms", Nullable Num_s);
+                      ("streaming", Bool_s);
+                    ]) );
+             ( "mev",
+               List_of
+                 (Obj_of
+                    [
+                      ("protocol", Str_s);
+                      ("user_swaps", Int_s);
+                      ("searcher_swaps", Int_s);
+                      ("extracted_value_y", Nullable Num_s);
+                      ("victim_slippage_y", Int_s);
+                      ("final_price_x_micro", Int_s);
+                    ]) );
+           ])
+      (Obj
+         [
+           ("experiment", Str "workload");
+           ("smoke", Bool !smoke);
+           ( "selfcheck",
+             Obj
+               [
+                 ("modelled_clients", Int clients);
+                 ("submitted", Int sc_submitted);
+                 ("committed", Int sc_committed);
+                 ("streaming", Bool (Metrics.Recorder.is_streaming sc_rec));
+                 ( "retained_samples",
+                   Int (Metrics.Recorder.retained_samples sc_rec) );
+                 ("latency_cap", Int Workload.Engine.default_latency_cap);
+                 ("peak_rss_kb", Int (peak_rss_kb ()));
+               ] );
+           ( "rows",
+             List
+               (List.concat_map
+                  (fun (r : Harness.Scenario.result) ->
+                    List.map
+                      (fun (s : Workload.Engine.stream_summary) ->
+                        Obj
+                          [
+                            ("protocol", Str r.protocol);
+                            ("stream", Str s.s_name);
+                            ("clients", Int s.s_clients);
+                            ("submitted", Int s.s_submitted);
+                            ("committed", Int s.s_committed);
+                            ("lat_p50_ms", num (s.s_lat_p50_us /. 1000.));
+                            ("lat_p99_ms", num (s.s_lat_p99_us /. 1000.));
+                            ("streaming", Bool s.s_streaming);
+                          ])
+                      r.workload_streams)
+                  results) );
+           ( "mev",
+             List
+               (List.filter_map
+                  (fun (r : Harness.Scenario.result) ->
+                    Option.map
+                      (fun (m : Workload.Engine.mev) ->
+                        Obj
+                          [
+                            ("protocol", Str r.protocol);
+                            ("user_swaps", Int m.user_swaps);
+                            ("searcher_swaps", Int m.searcher_swaps);
+                            ("extracted_value_y", num m.extracted_value_y);
+                            ("victim_slippage_y", Int m.victim_slippage_y);
+                            ("final_price_x_micro", Int m.final_price_x_micro);
+                          ])
+                      r.mev)
+                  results) );
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* CENSOR — Byzantine-leader censorship (§V-E).                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1242,6 +1554,7 @@ let all =
     ("batch", batch);
     ("byz", byz);
     ("mev", mev);
+    ("workload", workload);
     ("censor", censor);
     ("faults", faults);
     ("attack", attack);

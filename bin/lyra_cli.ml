@@ -340,12 +340,118 @@ let batch_cmd =
   let doc = "Sweep the batch size (the §VI-B experiment)." in
   Cmd.v (Cmd.info "batch" ~doc) Term.(const run $ n_t 16)
 
+(* ------------------------------------------------------------------ *)
+(* workload: the open-loop engine (Workload.Engine) from the CLI —     *)
+(* modelled-client populations, optional flash crowd and MEV searchers.*)
+(* ------------------------------------------------------------------ *)
+
+let workload_cmd =
+  let run seed n duration protocol clients rate flash searchers =
+    let shape =
+      if flash then
+        Workload.Engine.Flash_crowd
+          { at_us = 1_000_000; ramp_us = 300_000; peak = 5.0; decay_us = 500_000 }
+      else Workload.Engine.Constant
+    in
+    let streams =
+      [
+        {
+          Workload.Engine.name = "kv";
+          clients;
+          rate_per_client = rate;
+          shape;
+          mix = Workload.Engine.Kv { keys = 1000; zipf = 1.1 };
+        };
+        {
+          Workload.Engine.name = "amm";
+          clients = max 1 (clients / 4);
+          rate_per_client = rate *. 2.0;
+          shape = Workload.Engine.Constant;
+          mix = Workload.Engine.Amm_swaps { amount_min = 20_000; amount_max = 80_000 };
+        };
+      ]
+    in
+    let market =
+      { Workload.Engine.reserve_x = 50_000_000; reserve_y = 50_000_000 }
+    in
+    let searcher =
+      if searchers <= 0 then None
+      else
+        Some
+          {
+            Workload.Engine.searchers;
+            observe_delay_us = 3_000;
+            back_delay_us = 2_000;
+            front_fraction = 0.5;
+            min_victim_amount = 10_000;
+          }
+    in
+    let wl = Workload.Engine.spec ~market ?searcher streams in
+    let duration_us = int_of_float (duration *. 1e6) in
+    let r =
+      Harness.Scenario.run ~seed (adapter protocol) ~n
+        ~load:(Harness.Scenario.Closed 0) ~workload:wl ~duration_us ()
+    in
+    print_result r;
+    List.iter
+      (fun (s : Workload.Engine.stream_summary) ->
+        Format.printf
+          "  stream %-4s clients=%d submitted=%d committed=%d p50=%.1fms \
+           p99=%.1fms%s@."
+          s.s_name s.s_clients s.s_submitted s.s_committed
+          (s.s_lat_p50_us /. 1e3) (s.s_lat_p99_us /. 1e3)
+          (if s.s_streaming then " (streaming)" else ""))
+      r.workload_streams;
+    match r.mev with
+    | Some m ->
+        Format.printf
+          "  mev: user_swaps=%d searcher_swaps=%d extracted=%.0fY \
+           slippage=%dY price=%d@."
+          m.user_swaps m.searcher_swaps m.extracted_value_y
+          m.victim_slippage_y m.final_price_x_micro
+    | None -> ()
+  in
+  let pop_t =
+    Arg.(
+      value & opt int 200_000
+      & info [ "population" ] ~docv:"K"
+          ~doc:"Modelled clients on the KV stream (AMM stream gets K/4).")
+  in
+  let per_client_t =
+    Arg.(
+      value & opt float 0.0005
+      & info [ "per-client-rate" ] ~docv:"TPS"
+          ~doc:"Per-modelled-client submission rate in tx/s.")
+  in
+  let flash_t =
+    Arg.(
+      value & flag
+      & info [ "flash" ]
+          ~doc:"Overlay a flash crowd (5x ramp at t=1s) on the KV stream.")
+  in
+  let searchers_t =
+    Arg.(
+      value & opt int 3
+      & info [ "searchers" ] ~docv:"S"
+          ~doc:"MEV searcher agents racing user swaps; 0 disables the flow.")
+  in
+  let doc =
+    "Drive a protocol with the open-loop workload engine: modelled-client \
+     populations in O(1) state, optional flash crowd, Zipf hot keys, AMM \
+     swaps and MEV searchers with the committed-order extraction report."
+  in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      const run $ seed_t $ n_t 7 $ duration_t $ protocol_t $ pop_t
+      $ per_client_t $ flash_t $ searchers_t)
+
 let main =
   let doc = "Lyra: order-fair, MEV-resistant leaderless SMR (IPDPS'23 reproduction)" in
   Cmd.group (Cmd.info "lyra_cli" ~doc ~version:"1.0.0")
     [
       run_cmd;
       profile_cmd;
+      workload_cmd;
       faults_cmd;
       frontrun_cmd;
       sandwich_cmd;

@@ -31,10 +31,72 @@ let encode { trader; dir; amount_in } =
     (match dir with X_to_y -> "x2y" | Y_to_x -> "y2x")
     amount_in
 
-(* Uniswap-v2 style output with a 0.3% fee. *)
+(* ------------------------------------------------------------------ *)
+(* Exact widened arithmetic. OCaml's native int is 63-bit, so products
+   like amount_fee * r_out overflow for reserves past ~2^31; the slow
+   path below computes floor(a*b/c) exactly through a 128-bit
+   intermediate built from 32-bit Int64 limbs. Engaged only when the
+   direct product would overflow, so small-pool quotes cost what they
+   always did.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Unsigned 128-bit product of two non-negative OCaml ints as
+   (hi, lo) Int64 halves. *)
+let umul128 a b =
+  let open Int64 in
+  let mask = 0xFFFFFFFFL in
+  let a = of_int a and b = of_int b in
+  let a0 = logand a mask and a1 = shift_right_logical a 32 in
+  let b0 = logand b mask and b1 = shift_right_logical b 32 in
+  let p00 = mul a0 b0 in
+  let mid = add (mul a1 b0) (shift_right_logical p00 32) in
+  let mid2 = add (mul a0 b1) (logand mid mask) in
+  let hi =
+    add (mul a1 b1)
+      (add (shift_right_logical mid 32) (shift_right_logical mid2 32))
+  in
+  let lo = logor (shift_left mid2 32) (logand p00 mask) in
+  (hi, lo)
+
+(* floor((hi,lo) / c) by restoring binary long division, saturating at
+   max_int when the quotient does not fit a native int. c > 0. *)
+let udiv128 (hi, lo) c =
+  let open Int64 in
+  let c64 = of_int c in
+  let q = ref 0L and r = ref 0L and overflow = ref false in
+  for i = 127 downto 0 do
+    let bit =
+      if i >= 64 then logand (shift_right_logical hi (i - 64)) 1L
+      else logand (shift_right_logical lo i) 1L
+    in
+    r := logor (shift_left !r 1) bit;
+    if unsigned_compare !r c64 >= 0 then begin
+      r := sub !r c64;
+      if i >= 62 then overflow := true
+      else q := logor !q (shift_left 1L i)
+    end
+  done;
+  if !overflow then Stdlib.max_int else to_int !q
+
+(* floor(a*b/c) for non-negative a, b and positive c; exact, and
+   saturating at max_int when the quotient itself overflows. *)
+let mul_div a b c =
+  if a = 0 || b = 0 then 0
+  else if a <= max_int / b then a * b / c
+  else udiv128 (umul128 a b) c
+
+(* Uniswap-v2 style output with a 0.3% fee. A quote of 0 means the
+   swap is rejected: like a real AMM's revert, that covers dust inputs
+   whose output rounds to nothing AND parameter ranges whose fee or
+   denominator arithmetic cannot be represented in a native int
+   (Uniswap v2 itself reverts past its uint112 balance bound). *)
 let out_amount ~r_in ~r_out amount_in =
-  let amount_fee = amount_in * 997 in
-  amount_fee * r_out / ((r_in * 1000) + amount_fee)
+  if amount_in <= 0 || r_in <= 0 || r_out <= 0 then 0
+  else if amount_in > max_int / 997 then 0
+  else
+    let amount_fee = amount_in * 997 in
+    if r_in > (max_int - amount_fee) / 1000 then 0
+    else mul_div amount_fee r_out ((r_in * 1000) + amount_fee)
 
 let quote t dir amount_in =
   if amount_in <= 0 then 0
@@ -51,11 +113,15 @@ let position_refs t trader =
       Hashtbl.replace t.positions trader p;
       p
 
+(* A zero-output quote must leave the pool untouched: mutating
+   reserves, debiting the trader and bumping [swaps] for a swap that
+   pays nothing out is a free donation to liquidity providers and a
+   phantom trade in the stats. Rejected swaps are [None]. *)
 let apply t ({ trader; dir; amount_in } : swap) =
-  if amount_in <= 0 then 0
+  let out = quote t dir amount_in in
+  if out <= 0 then None
   else begin
     t.swaps <- t.swaps + 1;
-    let out = quote t dir amount_in in
     let px, py = position_refs t trader in
     (match dir with
     | X_to_y ->
@@ -68,16 +134,16 @@ let apply t ({ trader; dir; amount_in } : swap) =
         t.x <- t.x - out;
         py := !py - amount_in;
         px := !px + out);
-    out
+    Some out
   end
 
-let apply_payload t s = Option.map (apply t) (parse s)
+let apply_payload t s = Option.bind (parse s) (apply t)
 
 let reserve_x t = t.x
 
 let reserve_y t = t.y
 
-let price_x_micro t = t.y * 1_000_000 / t.x
+let price_x_micro t = mul_div t.y 1_000_000 t.x
 
 let position t trader =
   match Hashtbl.find_opt t.positions trader with

@@ -26,21 +26,32 @@ val parse : string -> swap option
 val encode : swap -> string
 
 (** [quote t dir amount_in] is the output the pool would give now
-    (after the 0.3% fee), without executing. *)
+    (after the 0.3% fee), without executing. A quote of 0 means the
+    swap would be rejected: non-positive input, dust whose output
+    rounds to nothing, or reserves/amounts past the representable
+    range (real AMMs revert in the same situations — Uniswap v2 at its
+    uint112 balance bound). Quote arithmetic is exact for all inputs:
+    intermediates are widened through 128-bit limbs when the native
+    product would overflow. *)
 val quote : t -> direction -> int -> int
 
 (** [apply t swap] executes a swap and returns the amount paid out.
-    Swaps with non-positive input are no-ops returning 0. *)
-val apply : t -> swap -> int
+    [None] — the swap is rejected as a no-op (zero-output quote, see
+    {!quote}): reserves, positions and {!swaps_applied} are untouched,
+    matching revert semantics. *)
+val apply : t -> swap -> int option
 
-(** [apply_payload t s] parses and applies; [None] if not a swap. *)
+(** [apply_payload t s] parses and applies; [None] if not a swap or
+    if the swap was rejected. *)
 val apply_payload : t -> string -> int option
 
 val reserve_x : t -> int
 
 val reserve_y : t -> int
 
-(** Mid price of X in Y, scaled by 1e6. *)
+(** Mid price of X in Y, scaled by 1e6. Exact for large reserves
+    (widened intermediates); saturates at [max_int] when the scaled
+    ratio itself cannot be represented. *)
 val price_x_micro : t -> int
 
 (** Net position (received − spent) of a trader per asset, for

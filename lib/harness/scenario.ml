@@ -26,6 +26,8 @@ type result = {
   submitted_by : int array;
   committed_own : int array;
   last_commit_us : int array;
+  workload_streams : Workload.Engine.stream_summary list;
+  mev : Workload.Engine.mev option;
 }
 
 let wan_ns_per_byte = 40 (* ≈ 200 Mb/s effective per node over the WAN *)
@@ -48,7 +50,12 @@ let pp_result fmt r =
   | None -> ()
   | Some v -> Format.fprintf fmt ", VIOLATION(%a)" Invariant_monitor.pp_violation v);
   if r.trace_dropped > 0 then
-    Format.fprintf fmt ", trace_dropped=%d" r.trace_dropped
+    Format.fprintf fmt ", trace_dropped=%d" r.trace_dropped;
+  match r.mev with
+  | None -> ()
+  | Some m ->
+      Format.fprintf fmt ", mev_extracted=%.0fY slippage=%dY"
+        m.Workload.Engine.extracted_value_y m.Workload.Engine.victim_slippage_y
 
 let is_prefix la lb =
   let rec go = function
@@ -79,7 +86,8 @@ let make_recorders ~n = (Metrics.Recorder.create (), Array.make n 0, ref 0)
 
 let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte)
     ?(faults = Sim.Faults.none) ?adversary ?perturb ?trace ?dissemination
-    ?profile_bucket_us (module P : Protocol.NODE) ~n ~load ~duration_us () =
+    ?profile_bucket_us ?workload (module P : Protocol.NODE) ~n ~load
+    ~duration_us () =
   let warmup_us =
     match warmup_us with Some w -> w | None -> P.default_warmup_us
   in
@@ -109,11 +117,23 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
   let submitted_by = Array.make n 0 in
   let committed_own = Array.make n 0 in
   let last_commit_us = Array.make n (-1) in
+  (* The open-loop workload engine (when attached) learns about commits
+     through the same output callback; its pending table dedups the
+     per-node observations so each tx records latency exactly once. *)
+  let wl_ref : Workload.Engine.t option ref = ref None in
   let on_output id (c : Protocol.committed) =
     let honest_observer = !honest_commit id in
     if honest_observer then begin
       Invariant_monitor.on_commit monitor ~node:id ~key:c.key;
-      last_commit_us.(id) <- Sim.Engine.now engine
+      last_commit_us.(id) <- Sim.Engine.now engine;
+      match !wl_ref with
+      | None -> ()
+      | Some wl ->
+          Array.iter
+            (fun (tx : Lyra.Types.tx) ->
+              Workload.Engine.on_commit wl ~tx_id:tx.tx_id ~payload:tx.payload
+                ~now_us:(Sim.Engine.now engine))
+            c.txs
     end;
     Array.iter
       (fun (tx : Lyra.Types.tx) ->
@@ -134,6 +154,28 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     Array.init n (fun id -> P.create net ~id ~on_output:(on_output id) ())
   in
   (honest_commit := fun id -> P.honest nodes.(id));
+  (match workload with
+  | None -> ()
+  | Some wspec ->
+      (* Arrivals spread over all nodes, but a client whose entry point
+         is Byzantine retries the next replica — open-loop load should
+         measure ordering behaviour, not a crashed front door. *)
+      let submit ~node ~payload =
+        let rec pick k =
+          let id = (node + k) mod n in
+          if k >= n || P.honest nodes.(id) then id else pick (k + 1)
+        in
+        let id = pick 0 in
+        submitted_by.(id) <- submitted_by.(id) + 1;
+        P.submit nodes.(id) ~payload
+      in
+      let wl = Workload.Engine.create engine wspec ~nodes:n ~submit () in
+      wl_ref := Some wl;
+      ignore
+        (Sim.Engine.schedule engine
+           ~delay:(max 200_000 (warmup_us - 700_000))
+           (fun () -> Workload.Engine.start wl)
+          : Sim.Engine.timer));
   (* Profiling is opt-in: attaching schedules sampling events, which
      perturbs the engine's event counts (never protocol behaviour). *)
   let profile =
@@ -158,6 +200,16 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
   ignore
     (Sim.Engine.schedule engine ~delay:warmup_us (fun () ->
          measure_start := Sim.Engine.now engine;
+         (* The workload's latency recorders measure the steady-state
+            window only; submitted/committed counters keep covering the
+            whole run (they are ratios, not latencies). *)
+         (match (!wl_ref, workload) with
+         | Some wl, Some wspec ->
+             List.iteri
+               (fun i _ ->
+                 Metrics.Recorder.clear (Workload.Engine.stream_recorder wl i))
+               wspec.Workload.Engine.streams
+         | _ -> ());
          Array.iteri
            (fun i node ->
              let s = P.stats node in
@@ -280,6 +332,32 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
           (label, agg))
         labels
   in
+  (* MEV is a pure function of the committed order: replay the longest
+     honest log's payload sequence (any honest log is a prefix of it
+     when the run is safe). *)
+  let workload_streams, mev =
+    match !wl_ref with
+    | None -> ([], None)
+    | Some wl ->
+        let committed_payloads =
+          if Int.equal (Array.length honest) 0 then []
+          else begin
+            let best = ref (P.output_log nodes.(honest.(0))) in
+            Array.iter
+              (fun i ->
+                let l = P.output_log nodes.(i) in
+                if List.length l > List.length !best then best := l)
+              honest;
+            List.concat_map
+              (fun (c : Protocol.committed) ->
+                Array.to_list
+                  (Array.map (fun (tx : Lyra.Types.tx) -> tx.payload) c.txs))
+              !best
+          end
+        in
+        ( Workload.Engine.summaries wl,
+          Workload.Engine.mev_report wl ~committed:committed_payloads )
+  in
   {
     n;
     protocol = P.name;
@@ -312,6 +390,8 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     submitted_by;
     committed_own;
     last_commit_us;
+    workload_streams;
+    mev;
   }
 
 (* The LAT3R anatomy table: one row per pipeline phase, aggregated over

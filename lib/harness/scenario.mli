@@ -59,6 +59,15 @@ type result = {
       (** per node id, the simulated time that node's own committed log
           last advanced (−1 if never) — the per-victim liveness
           oracle's stall signal *)
+  workload_streams : Workload.Engine.stream_summary list;
+      (** when [?workload] was attached: per-stream submitted/committed
+          counts (whole run) and commit-latency summary (measurement
+          window only — recorders are cleared at the window boundary);
+          [] otherwise *)
+  mev : Workload.Engine.mev option;
+      (** when the attached workload carries an AMM market: extracted
+          value and victim slippage from replaying the longest honest
+          log's committed order *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -82,7 +91,11 @@ val phase_table : result -> string
     changes protocol behaviour); it lands in [profile]. [perturb]
     injects deterministic extra wire delays ({!Sim.Perturb}) — the
     schedule-space explorer's lever; omitted or empty, the run is
-    bit-identical to an unperturbed one. *)
+    bit-identical to an unperturbed one. [workload] attaches an
+    open-loop {!Workload.Engine} alongside [load] (use
+    [load = Closed 0] for workload-only runs): its streams start with
+    the per-node clients, spread arrivals over honest entry points,
+    and report through [workload_streams]/[mev]. *)
 val run :
   ?seed:int64 ->
   ?warmup_us:int ->
@@ -94,6 +107,7 @@ val run :
   ?trace:Sim.Trace.t ->
   ?dissemination:Sim.Network.dissemination ->
   ?profile_bucket_us:int ->
+  ?workload:Workload.Engine.spec ->
   (module Protocol.NODE) ->
   n:int ->
   load:load ->

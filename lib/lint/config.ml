@@ -5,8 +5,8 @@
 let scanned_dirs = [ "bench"; "bin"; "examples"; "lib"; "test" ]
 
 let deterministic_dirs =
-  [ "lib/dbft"; "lib/explore"; "lib/harness"; "lib/hotstuff"; "lib/lyra";
-    "lib/pompe"; "lib/protocol"; "lib/sim" ]
+  [ "lib/app"; "lib/dbft"; "lib/explore"; "lib/harness"; "lib/hotstuff";
+    "lib/lyra"; "lib/pompe"; "lib/protocol"; "lib/sim"; "lib/workload" ]
 
 (* Individual files held to Strict scope when their directory is not.
    lib/crypto as a whole cannot be Strict (field.ml and rng.ml *are*

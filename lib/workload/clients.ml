@@ -63,6 +63,7 @@ module Open = struct
     rng : Crypto.Rng.t;
     mutable submitted : int;
     mutable running : bool;
+    mutable generation : int;
   }
 
   let create engine ~rate_per_sec ~payload ~submit () =
@@ -74,23 +75,31 @@ module Open = struct
       rng = Crypto.Rng.split (Sim.Engine.rng engine);
       submitted = 0;
       running = false;
+      generation = 0;
     }
 
-  let rec schedule_next t =
+  (* Timers cannot be revoked once scheduled, so the chain of pending
+     arrivals is tagged with the generation it belongs to. [stop]
+     leaves the pending timer in flight; without the tag, a
+     stop→start cycle before it fires would leave TWO live arrival
+     chains (the stale timer finds [running = true] again and
+     re-schedules itself), silently doubling the stream's rate — and
+     doubling it again on every subsequent cycle. *)
+  let rec schedule_next t gen =
     let gap =
       Crypto.Rng.exponential t.rng ~mean:(1_000_000.0 /. t.rate_per_sec)
     in
     ignore
       (Sim.Engine.schedule t.engine
          ~delay:(max 1 (int_of_float gap))
-         (fun () -> arrival t)
+         (fun () -> arrival t gen)
         : Sim.Engine.timer)
 
-  and arrival t =
-    if t.running then begin
+  and arrival t gen =
+    if t.running && Int.equal gen t.generation then begin
       ignore (t.submit ~payload:(t.payload ()) : string);
       t.submitted <- t.submitted + 1;
-      schedule_next t
+      schedule_next t gen
     end
 
   (* A Poisson stream's first arrival is itself an exponential gap
@@ -100,7 +109,8 @@ module Open = struct
   let start t =
     if not t.running then begin
       t.running <- true;
-      schedule_next t
+      t.generation <- t.generation + 1;
+      schedule_next t t.generation
     end
 
   let stop t = t.running <- false

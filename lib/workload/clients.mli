@@ -45,6 +45,10 @@ module Open : sig
     unit ->
     t
 
+  (** Start (or restart) the stream. Arrivals from any earlier life of
+      the stream are invalidated: a stop→start cycle never leaves a
+      stale pending arrival alive, so the rate stays [rate_per_sec]
+      across any number of cycles. *)
   val start : t -> unit
 
   val stop : t -> unit

@@ -49,9 +49,16 @@ let test_amm_quote_math () =
   let big = App.Amm.quote amm App.Amm.X_to_y 500_000 in
   Alcotest.(check bool) "slippage" true (big < 500_000 * 997 / 1000 * 9 / 10)
 
+let apply_exn amm swap =
+  match App.Amm.apply amm swap with
+  | Some out -> out
+  | None -> Alcotest.fail "swap unexpectedly rejected"
+
 let test_amm_apply_moves_reserves () =
   let amm = App.Amm.create ~reserve_x:1_000_000 ~reserve_y:1_000_000 in
-  let out = App.Amm.apply amm { trader = "t"; dir = App.Amm.X_to_y; amount_in = 10_000 } in
+  let out =
+    apply_exn amm { trader = "t"; dir = App.Amm.X_to_y; amount_in = 10_000 }
+  in
   Alcotest.(check int) "x grew" 1_010_000 (App.Amm.reserve_x amm);
   Alcotest.(check int) "y shrank" (1_000_000 - out) (App.Amm.reserve_y amm);
   let px, py = App.Amm.position amm "t" in
@@ -75,6 +82,42 @@ let prop_amm_product_nondecreasing =
               });
          App.Amm.reserve_x amm * App.Amm.reserve_y amm >= k0))
 
+(* The same invariant must survive arbitrary *sequences* of swaps —
+   including dust and over-sized amounts whose quotes get rejected —
+   checked step by step so a single violating intermediate state
+   cannot hide behind a compensating later swap. *)
+let prop_amm_product_nondecreasing_sequences =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"amm: x*y non-decreasing across any swap sequence" ~count:100
+       QCheck.(list_of_size Gen.(int_range 1 40) (pair (int_range 1 500_000) bool))
+       (fun swaps ->
+         let amm = App.Amm.create ~reserve_x:2_000_000 ~reserve_y:1_000_000 in
+         List.for_all
+           (fun (amount, dir) ->
+             let k0 = App.Amm.reserve_x amm * App.Amm.reserve_y amm in
+             let before =
+               (App.Amm.reserve_x amm, App.Amm.reserve_y amm,
+                App.Amm.swaps_applied amm)
+             in
+             let r =
+               App.Amm.apply amm
+                 {
+                   trader = "q";
+                   dir = (if dir then App.Amm.X_to_y else App.Amm.Y_to_x);
+                   amount_in = amount;
+                 }
+             in
+             let k1 = App.Amm.reserve_x amm * App.Amm.reserve_y amm in
+             match r with
+             | Some out -> out > 0 && k1 >= k0
+             | None ->
+                 (* rejected swaps must be pure no-ops *)
+                 before
+                 = (App.Amm.reserve_x amm, App.Amm.reserve_y amm,
+                    App.Amm.swaps_applied amm))
+           swaps))
+
 let test_amm_parse_encode () =
   let s = { App.Amm.trader = "bob"; dir = App.Amm.Y_to_x; amount_in = 42 } in
   Alcotest.(check bool) "roundtrip" true (App.Amm.parse (App.Amm.encode s) = Some s);
@@ -86,7 +129,7 @@ let test_amm_sandwich_profitable_in_isolation () =
      buy, back-sell in that order yields positive attacker profit. *)
   let amm = App.Amm.create ~reserve_x:10_000_000 ~reserve_y:10_000_000 in
   let front =
-    App.Amm.apply amm { trader = "m"; dir = App.Amm.X_to_y; amount_in = 250_000 }
+    apply_exn amm { trader = "m"; dir = App.Amm.X_to_y; amount_in = 250_000 }
   in
   ignore (App.Amm.apply amm { trader = "v"; dir = App.Amm.X_to_y; amount_in = 500_000 });
   ignore (App.Amm.apply amm { trader = "m"; dir = App.Amm.Y_to_x; amount_in = front });
@@ -96,13 +139,69 @@ let test_amm_sandwich_profitable_in_isolation () =
 
 let test_amm_zero_amount_noop () =
   let amm = App.Amm.create ~reserve_x:1_000 ~reserve_y:1_000 in
-  Alcotest.(check int) "zero swap" 0
-    (App.Amm.apply amm { trader = "z"; dir = App.Amm.X_to_y; amount_in = 0 });
+  Alcotest.(check bool) "zero swap rejected" true
+    (App.Amm.apply amm { trader = "z"; dir = App.Amm.X_to_y; amount_in = 0 }
+    = None);
   Alcotest.(check int) "reserves untouched" 1_000 (App.Amm.reserve_x amm)
+
+(* Regression: a dust swap whose quote rounds to zero output used to
+   mutate reserves, debit the trader and count as a swap anyway. *)
+let test_amm_zero_output_rejected () =
+  let amm = App.Amm.create ~reserve_x:1_000_000_000 ~reserve_y:1_000 in
+  (* 1 unit of X into a pool holding 1e9 X / 1e3 Y quotes 0 Y out *)
+  Alcotest.(check int) "dust quote is 0" 0 (App.Amm.quote amm App.Amm.X_to_y 1);
+  Alcotest.(check bool) "dust swap rejected" true
+    (App.Amm.apply amm { trader = "d"; dir = App.Amm.X_to_y; amount_in = 1 }
+    = None);
+  Alcotest.(check int) "x reserve untouched" 1_000_000_000
+    (App.Amm.reserve_x amm);
+  Alcotest.(check int) "y reserve untouched" 1_000 (App.Amm.reserve_y amm);
+  Alcotest.(check (pair int int)) "no position opened" (0, 0)
+    (App.Amm.position amm "d");
+  Alcotest.(check int) "no swap counted" 0 (App.Amm.swaps_applied amm);
+  Alcotest.(check bool) "payload path also rejects" true
+    (App.Amm.apply_payload amm "swap d x2y 1" = None)
+
+(* Regression: quotes on large reserves used to overflow the native
+   int product (amount_fee * r_out) and return garbage. The widened
+   path must agree with the float approximation. *)
+let test_amm_overflow_safe () =
+  let r = 1_000_000_000_000 in
+  let amm = App.Amm.create ~reserve_x:r ~reserve_y:r in
+  let amount = 1_000_000_000_000 in
+  let out = App.Amm.quote amm App.Amm.X_to_y amount in
+  let expected =
+    let a = float_of_int amount *. 997.0 in
+    a *. float_of_int r /. ((float_of_int r *. 1000.0) +. a)
+  in
+  Alcotest.(check bool) "large-reserve quote sane" true
+    (Float.abs (float_of_int out -. expected) /. expected < 1e-9);
+  Alcotest.(check bool) "output below reserve" true (out < r);
+  (* executing it keeps the invariant (float to avoid overflowing the
+     product in the test itself) *)
+  let k0 = float_of_int r *. float_of_int r in
+  ignore (App.Amm.apply amm { trader = "w"; dir = App.Amm.X_to_y; amount_in = amount });
+  let k1 =
+    float_of_int (App.Amm.reserve_x amm) *. float_of_int (App.Amm.reserve_y amm)
+  in
+  Alcotest.(check bool) "k non-decreasing" true (k1 >= k0);
+  (* absurd ranges reject instead of overflowing *)
+  let huge = App.Amm.create ~reserve_x:max_int ~reserve_y:max_int in
+  Alcotest.(check int) "unrepresentable denominator rejects" 0
+    (App.Amm.quote huge App.Amm.X_to_y 1_000_000);
+  Alcotest.(check bool) "apply on huge pool is a no-op" true
+    (App.Amm.apply huge { trader = "h"; dir = App.Amm.X_to_y; amount_in = 5 }
+    = None)
 
 let test_amm_price () =
   let amm = App.Amm.create ~reserve_x:2_000_000 ~reserve_y:1_000_000 in
-  Alcotest.(check int) "price x in y" 500_000 (App.Amm.price_x_micro amm)
+  Alcotest.(check int) "price x in y" 500_000 (App.Amm.price_x_micro amm);
+  (* large reserves: exact via widened intermediates *)
+  let big = App.Amm.create ~reserve_x:3_000_000_000_000_000 ~reserve_y:1_500_000_000_000_000 in
+  Alcotest.(check int) "large price" 500_000 (App.Amm.price_x_micro big);
+  (* a ratio whose micro-scaled value cannot be represented saturates *)
+  let skew = App.Amm.create ~reserve_x:1 ~reserve_y:max_int in
+  Alcotest.(check int) "saturates" max_int (App.Amm.price_x_micro skew)
 
 let suite =
   [
@@ -113,8 +212,11 @@ let suite =
     Alcotest.test_case "amm quote" `Quick test_amm_quote_math;
     Alcotest.test_case "amm apply" `Quick test_amm_apply_moves_reserves;
     prop_amm_product_nondecreasing;
+    prop_amm_product_nondecreasing_sequences;
     Alcotest.test_case "amm parse/encode" `Quick test_amm_parse_encode;
     Alcotest.test_case "amm sandwich math" `Quick test_amm_sandwich_profitable_in_isolation;
     Alcotest.test_case "amm zero noop" `Quick test_amm_zero_amount_noop;
+    Alcotest.test_case "amm zero-output rejected" `Quick test_amm_zero_output_rejected;
+    Alcotest.test_case "amm overflow safe" `Quick test_amm_overflow_safe;
     Alcotest.test_case "amm price" `Quick test_amm_price;
   ]

@@ -25,6 +25,7 @@ let () =
       ("explore", Test_explore.suite);
       ("apps", Test_apps.suite);
       ("metrics-workload", Test_metrics_workload.suite);
+      ("workload-engine", Test_workload_engine.suite);
       ("attacks", Test_attacks.suite);
       ("lint", Test_lint.suite);
     ]

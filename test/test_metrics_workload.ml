@@ -122,6 +122,171 @@ let test_open_rate () =
   Sim.Engine.run e ~until:2_000_000;
   Alcotest.(check bool) "stopped" true (Workload.Clients.Open.submitted gen <= before + 1)
 
+(* Regression: stop→start before the pending arrival timer fired used
+   to leave TWO live arrival chains (the stale timer saw running=true
+   and re-scheduled itself), doubling the stream's rate — and doubling
+   again on every cycle. With generation tagging the measured rate
+   stays ~rate_per_sec across restarts. *)
+let test_open_restart_rate () =
+  let e = Sim.Engine.create () in
+  let counter = ref 0 in
+  let submit ~payload:_ = incr counter; "x" in
+  let gen =
+    Workload.Clients.Open.create e ~rate_per_sec:1000.0 ~payload:(fun () -> "p")
+      ~submit ()
+  in
+  Workload.Clients.Open.start gen;
+  Sim.Engine.run e ~until:500_000;
+  (* several stop→start cycles with an arrival timer in flight at each *)
+  for _ = 1 to 4 do
+    Workload.Clients.Open.stop gen;
+    Workload.Clients.Open.start gen
+  done;
+  let before = Workload.Clients.Open.submitted gen in
+  Sim.Engine.run e ~until:1_500_000;
+  let during = Workload.Clients.Open.submitted gen - before in
+  (* one second at 1000/s: ~1000 if single chain, ~5000 if the bug is
+     back (5 live chains after 4 extra cycles) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate stays single (%d arrivals)" during)
+    true
+    (during > 800 && during < 1300)
+
+let prop_open_arrival_concentration =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"open loop: arrivals concentrate at rate*horizon"
+       ~count:20
+       QCheck.(int_range 1 10_000)
+       (fun seed ->
+         let e = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+         let counter = ref 0 in
+         let submit ~payload:_ = incr counter; "x" in
+         let gen =
+           Workload.Clients.Open.create e ~rate_per_sec:500.0
+             ~payload:(fun () -> "p") ~submit ()
+         in
+         Workload.Clients.Open.start gen;
+         Sim.Engine.run e ~until:2_000_000;
+         (* Poisson(1000): 1000 ± 200 is ~6.3 sigma *)
+         let n = Workload.Clients.Open.submitted gen in
+         n > 800 && n < 1200))
+
+(* ------------------------------------------------------------------ *)
+(* Streaming recorder (P² past the sample cap).                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_streaming_mode () =
+  let r = Metrics.Recorder.create ~cap:64 () in
+  Alcotest.(check int) "cap" 64 (Metrics.Recorder.sample_cap r);
+  for i = 1 to 63 do
+    Metrics.Recorder.record r (float_of_int i)
+  done;
+  Alcotest.(check bool) "still exact" false (Metrics.Recorder.is_streaming r);
+  Alcotest.(check int) "retained" 63 (Metrics.Recorder.retained_samples r);
+  for i = 64 to 10_000 do
+    Metrics.Recorder.record r (float_of_int i)
+  done;
+  Alcotest.(check bool) "streaming" true (Metrics.Recorder.is_streaming r);
+  Alcotest.(check int) "nothing retained" 0 (Metrics.Recorder.retained_samples r);
+  Alcotest.(check int) "count exact" 10_000 (Metrics.Recorder.count r);
+  Alcotest.(check (float 1e-6)) "mean exact" 5000.5 (Metrics.Recorder.mean r);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0
+    (Metrics.Recorder.percentile 0.0 r);
+  Alcotest.(check (float 1e-9)) "p100 is max" 10_000.0
+    (Metrics.Recorder.percentile 100.0 r);
+  (* estimates for the tracked grid stay close on a uniform ramp *)
+  Alcotest.(check bool) "p50 close" true
+    (Float.abs (Metrics.Recorder.percentile 50.0 r -. 5000.0) < 200.0);
+  Alcotest.(check bool) "p99 close" true
+    (Float.abs (Metrics.Recorder.percentile 99.0 r -. 9900.0) < 200.0);
+  (* raw-sample views are gone *)
+  Alcotest.(check bool) "to_array raises" true
+    (try ignore (Metrics.Recorder.to_array r); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "sorted raises" true
+    (try ignore (Metrics.Recorder.sorted r); false
+     with Invalid_argument _ -> true);
+  (* clear returns to exact mode *)
+  Metrics.Recorder.clear r;
+  Alcotest.(check bool) "cleared to exact" false (Metrics.Recorder.is_streaming r);
+  Alcotest.(check int) "cleared count" 0 (Metrics.Recorder.count r);
+  Metrics.Recorder.record r 3.0;
+  Alcotest.(check (float 1e-9)) "exact again" 3.0
+    (Metrics.Recorder.percentile 50.0 r);
+  Alcotest.(check int) "exact retains again" 1
+    (Metrics.Recorder.retained_samples r)
+
+let test_recorder_small_cap_rejected () =
+  Alcotest.(check bool) "cap<8 raises" true
+    (try ignore (Metrics.Recorder.create ~cap:4 ()); false
+     with Invalid_argument _ -> true)
+
+let prop_streaming_matches_exact =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"recorder: streaming percentiles track exact mode" ~count:30
+       QCheck.(int_range 1 100_000)
+       (fun seed ->
+         let rng = Crypto.Rng.create (Int64.of_int seed) in
+         let exact = Metrics.Recorder.create () in
+         let stream = Metrics.Recorder.create ~cap:256 () in
+         for _ = 1 to 4_000 do
+           let x = Crypto.Rng.float rng *. 100.0 in
+           Metrics.Recorder.record exact x;
+           Metrics.Recorder.record stream x
+         done;
+         Metrics.Recorder.is_streaming stream
+         && List.for_all
+              (fun p ->
+                Float.abs
+                  (Metrics.Recorder.percentile p stream
+                  -. Metrics.Recorder.percentile p exact)
+                < 6.0)
+              [ 50.0; 90.0; 95.0; 99.0 ]
+         && Float.abs
+              (Metrics.Recorder.mean stream -. Metrics.Recorder.mean exact)
+            < 1e-6))
+
+let test_p2_exact_below_five () =
+  let m = Metrics.P2.create ~p:0.5 in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Metrics.P2.value m);
+  Metrics.P2.add m 10.0;
+  Metrics.P2.add m 2.0;
+  Metrics.P2.add m 6.0;
+  (* below 5 samples the estimator answers exactly from the buffer *)
+  Alcotest.(check (float 1e-9)) "median of 3" 6.0 (Metrics.P2.value m);
+  Alcotest.(check int) "count" 3 (Metrics.P2.count m);
+  Alcotest.(check bool) "bad p raises" true
+    (try ignore (Metrics.P2.create ~p:1.0); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf sampling.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_skew () =
+  let rng = Crypto.Rng.create 11L in
+  let z = Workload.Zipf.create ~n:100 ~s:1.2 in
+  Alcotest.(check int) "size" 100 (Workload.Zipf.size z);
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Workload.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* rank 0 dominates and the tail is thin *)
+  Alcotest.(check bool) "rank0 hot" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "head heavy" true
+    (counts.(0) + counts.(1) + counts.(2) > 20_000 / 3);
+  (* s = 0 degenerates to uniform: no rank takes even 5% *)
+  let u = Workload.Zipf.create ~n:100 ~s:0.0 in
+  let ucounts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Workload.Zipf.sample u rng in
+    ucounts.(k) <- ucounts.(k) + 1
+  done;
+  Alcotest.(check bool) "uniform" true
+    (Array.for_all (fun c -> c < 1_000) ucounts)
+
 let test_payload_generators () =
   let rng = Crypto.Rng.create 9L in
   let fixed = Workload.Clients.fixed_payload ~size:32 rng in
@@ -141,5 +306,15 @@ let suite =
     Alcotest.test_case "closed pool" `Quick test_closed_pool;
     Alcotest.test_case "closed pool think time" `Quick test_closed_pool_think_time;
     Alcotest.test_case "open rate" `Quick test_open_rate;
+    Alcotest.test_case "open restart rate" `Quick test_open_restart_rate;
+    prop_open_arrival_concentration;
+    Alcotest.test_case "recorder streaming mode" `Quick
+      test_recorder_streaming_mode;
+    Alcotest.test_case "recorder cap validation" `Quick
+      test_recorder_small_cap_rejected;
+    prop_streaming_matches_exact;
+    Alcotest.test_case "p2 small-sample exactness" `Quick
+      test_p2_exact_below_five;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "payload generators" `Quick test_payload_generators;
   ]
