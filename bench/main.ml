@@ -681,6 +681,183 @@ let mev () =
     (List.map row Attacks.Sandwich.protocols)
 
 (* ------------------------------------------------------------------ *)
+(* FAIRNESS — the receive-order fairness scorecard (docs/FAIRNESS.md). *)
+(*                                                                     *)
+(* Every protocol runs three scenarios — honest closed-loop load, an   *)
+(* MEV-searcher AMM workload (frontrun), and a targeted pre-GST        *)
+(* adversary distorting one node's links (eclipse) — and each run is   *)
+(* scored by Fairness.score from the harness's receive-order tap:      *)
+(* Kendall-tau inversion rate, γ-batch-order violations, per-sender    *)
+(* positional advantage and (for the searcher scenario) the            *)
+(* front-run-success rate. The timestamp-ordered protocols (lyra, dag) *)
+(* should sit at the bottom of the inversion column.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A fairness row that commits nothing scores an empty report and the
+   scorecard silently degenerates; same failure mode (and same loud
+   fix) as [check_smoke_commits]. *)
+let check_smoke_fairness label (r : Harness.Scenario.result) =
+  check_smoke_commits label r;
+  if !smoke then
+    match r.fairness with
+    | Some f when f.Fairness.decided > 0 && f.Fairness.observers > 0 -> ()
+    | _ ->
+        failwith
+          (Printf.sprintf
+             "%s --smoke: %s n=%d committed %d txs but scored no fairness \
+              report (no decided keys or no receive logs)"
+             label r.protocol r.n r.committed_txs)
+
+let fairness () =
+  let n = 4 in
+  (* Same per-protocol smoke stretch as fig2: the leader-based
+     closed-loop turnarounds only land a measurable commit well past
+     the 0.6 s smoke window. *)
+  let extra = function
+    | "lyra" -> if !smoke then 1_400_000 else 0
+    | "dag" -> if !smoke then 1_400_000 else 0
+    | _ -> if !smoke then 5_400_000 else 3_000_000
+  in
+  let market =
+    { Workload.Engine.reserve_x = 50_000_000; reserve_y = 50_000_000 }
+  in
+  let searcher =
+    {
+      Workload.Engine.searchers = 2;
+      observe_delay_us = 3_000;
+      back_delay_us = 2_000;
+      front_fraction = 0.5;
+      min_victim_amount = 10_000;
+    }
+  in
+  let wl_spec =
+    Workload.Engine.spec ~market ~searcher
+      [
+        {
+          Workload.Engine.name = "amm-users";
+          clients = 50_000;
+          rate_per_client = 0.0008;
+          shape = Workload.Engine.Constant;
+          mix = Workload.Engine.Amm_swaps { amount_min = 20_000; amount_max = 80_000 };
+        };
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, ((module P : Protocol.NODE) as p)) ->
+        let dur = scale_dur 3_000_000 + extra name in
+        let scenarios =
+          [
+            ( "honest",
+              fun () ->
+                Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 2)
+                  ~duration_us:dur () );
+            ( "frontrun",
+              fun () ->
+                Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 0)
+                  ~workload:wl_spec ~duration_us:dur () );
+            ( "eclipse",
+              fun () ->
+                (* One victim's links are slowed until a GST in the
+                   middle of the measurement window, so half the run's
+                   receive orders disagree with the cluster's. *)
+                let gst = P.default_warmup_us + (dur / 2) in
+                Harness.Scenario.run p ~n ~load:(Harness.Scenario.Closed 2)
+                  ~adversary:
+                    (Sim.Adversary.targeted ~gst ~max_extra:120_000
+                       ~victims:[ 1 ])
+                  ~duration_us:dur () );
+          ]
+        in
+        List.map
+          (fun (scenario, f) ->
+            let r = f () in
+            if not r.Harness.Scenario.prefix_safe then
+              failwith
+                (Printf.sprintf "fairness %s/%s: prefix violation" name scenario);
+            check_smoke_fairness "fairness" r;
+            (scenario, r))
+          scenarios)
+      (Protocol.Registry.all ())
+  in
+  let report (r : Harness.Scenario.result) =
+    match r.fairness with
+    | Some f -> f
+    | None -> failwith ("fairness: no report for " ^ r.protocol)
+  in
+  let gamma_cell (f : Fairness.report) =
+    String.concat " "
+      (List.map
+         (fun (g : Fairness.gamma_row) ->
+           Printf.sprintf "%.1f:%d" g.gamma g.violations)
+         f.gamma_rows)
+  in
+  Metrics.Table.print
+    ~title:
+      (Printf.sprintf
+         "FAIRNESS  receive-order fairness per protocol and scenario (n=%d; \
+          inversion rate: timestamp-ordered protocols should dominate)"
+         n)
+    ~header:
+      [
+        "protocol"; "scenario"; "committed"; "pairs"; "inversions"; "inv rate";
+        "gamma viol"; "frontrun ok";
+      ]
+    (List.map
+       (fun (scenario, (r : Harness.Scenario.result)) ->
+         let f = report r in
+         [
+           r.protocol;
+           scenario;
+           string_of_int r.committed_txs;
+           string_of_int f.pairs;
+           string_of_int f.inversions;
+           Printf.sprintf "%.4f" f.inversion_rate;
+           gamma_cell f;
+           (match f.frontrun_success with
+           | None -> "-"
+           | Some s -> Printf.sprintf "%.2f" s);
+         ])
+       rows);
+  if !json then
+    let open Metrics.Json in
+    write_json ~file:"BENCH_FAIRNESS.json"
+      ~schema:
+        (Obj_of
+           [
+             ("experiment", Str_s);
+             ("smoke", Bool_s);
+             ("n", Int_s);
+             ( "rows",
+               List_of
+                 (Obj_of
+                    [
+                      ("protocol", Str_s);
+                      ("scenario", Str_s);
+                      ("committed_txs", Int_s);
+                      ("fairness", Fairness.schema);
+                    ]) );
+           ])
+      (Obj
+         [
+           ("experiment", Str "fairness");
+           ("smoke", Bool !smoke);
+           ("n", Int n);
+           ( "rows",
+             List
+               (List.map
+                  (fun (scenario, (r : Harness.Scenario.result)) ->
+                    Obj
+                      [
+                        ("protocol", Str r.protocol);
+                        ("scenario", Str scenario);
+                        ("committed_txs", Int r.committed_txs);
+                        ("fairness", Fairness.to_json (report r));
+                      ])
+                  rows) );
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* WORKLOAD — the open-loop workload engine: a million modelled        *)
 (* clients in O(1) state, flash-crowd + hot-key + MEV-rich AMM flows   *)
 (* driven through every protocol, with per-protocol extracted value.   *)
@@ -1554,6 +1731,7 @@ let all =
     ("batch", batch);
     ("byz", byz);
     ("mev", mev);
+    ("fairness", fairness);
     ("workload", workload);
     ("censor", censor);
     ("faults", faults);

@@ -445,6 +445,75 @@ let workload_cmd =
       const run $ seed_t $ n_t 7 $ duration_t $ protocol_t $ pop_t
       $ per_client_t $ flash_t $ searchers_t)
 
+(* ------------------------------------------------------------------ *)
+(* fairness: score a run's receive-order fairness (docs/FAIRNESS.md) — *)
+(* Kendall-tau inversion rate, γ-batch-order violations, per-sender    *)
+(* positional advantage, and (with searchers) front-run success.       *)
+(* ------------------------------------------------------------------ *)
+
+let fairness_cmd =
+  let run seed n duration clients protocol searchers =
+    let duration_us = int_of_float (duration *. 1e6) in
+    let workload =
+      if searchers <= 0 then None
+      else
+        Some
+          (Workload.Engine.spec
+             ~market:
+               { Workload.Engine.reserve_x = 50_000_000; reserve_y = 50_000_000 }
+             ~searcher:
+               {
+                 Workload.Engine.searchers;
+                 observe_delay_us = 3_000;
+                 back_delay_us = 2_000;
+                 front_fraction = 0.5;
+                 min_victim_amount = 10_000;
+               }
+             [
+               {
+                 Workload.Engine.name = "amm-users";
+                 clients = 50_000;
+                 rate_per_client = 0.0008;
+                 shape = Workload.Engine.Constant;
+                 mix =
+                   Workload.Engine.Amm_swaps
+                     { amount_min = 20_000; amount_max = 80_000 };
+               };
+             ])
+    in
+    let load =
+      if Option.is_some workload then Harness.Scenario.Closed 0
+      else Harness.Scenario.Closed clients
+    in
+    let r =
+      Harness.Scenario.run ~seed ?workload (adapter protocol) ~n ~load
+        ~duration_us ()
+    in
+    print_result r;
+    match r.fairness with
+    | None ->
+        Format.printf "  no fairness report (nothing committed)@.";
+        exit 1
+    | Some f -> Format.printf "%a@." Fairness.pp f
+  in
+  let searchers_t =
+    Arg.(
+      value & opt int 0
+      & info [ "searchers" ] ~docv:"S"
+          ~doc:
+            "Attach an AMM workload raced by $(docv) MEV searchers (reports \
+             front-run success); 0 scores plain closed-loop load.")
+  in
+  let doc =
+    "Run a protocol and score its receive-order fairness: Kendall-tau \
+     inversion rate, gamma-batch-order violations, per-sender positional \
+     advantage and searcher front-run success."
+  in
+  Cmd.v (Cmd.info "fairness" ~doc)
+    Term.(
+      const run $ seed_t $ n_t 4 $ duration_t $ clients_t $ protocol_t
+      $ searchers_t)
+
 let main =
   let doc = "Lyra: order-fair, MEV-resistant leaderless SMR (IPDPS'23 reproduction)" in
   Cmd.group (Cmd.info "lyra_cli" ~doc ~version:"1.0.0")
@@ -456,6 +525,7 @@ let main =
       frontrun_cmd;
       sandwich_cmd;
       censor_cmd;
+      fairness_cmd;
       byz_cmd;
       lambda_cmd;
       batch_cmd;

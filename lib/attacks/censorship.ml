@@ -85,6 +85,14 @@ let adapter ~censors ~byz = function
         ~tweak:(fun c ->
           { c with Hotstuff.Smr.batch_timeout_us = 10_000; batch_size = 8 })
         ~censor:(censor_predicate censors) ()
+  | "dag" ->
+      (* Censoring replicas withhold their receive reports for the
+         victim's batches; with n−f of n censoring, the report quorum
+         the linearizer waits for never forms. *)
+      Protocol.Dagorder_adapter.make
+        ~tweak:(fun c ->
+          { c with Dagorder.Node.round_interval_us = 20_000; batch_size = 8 })
+        ~censor:(censor_predicate censors) ~clock_offsets:false ()
   | other -> invalid_arg ("Censorship: unknown protocol " ^ other)
 
 let latency_run (module P : Protocol.NODE) ~n seed =

@@ -76,6 +76,11 @@ let adapter = function
         ~tweak:(fun c ->
           { c with Hotstuff.Smr.batch_timeout_us = 10_000; batch_size = 8 })
         ~regions ()
+  | "dag" ->
+      Protocol.Dagorder_adapter.make
+        ~tweak:(fun c ->
+          { c with Dagorder.Node.round_interval_us = 20_000; batch_size = 8 })
+        ~regions ~clock_offsets:false ()
   | other -> invalid_arg ("Frontrun: unknown protocol " ^ other)
 
 let protocols = Protocol.Registry.names

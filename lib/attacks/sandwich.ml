@@ -88,6 +88,11 @@ let adapter ~attack_enabled = function
         ~tweak:(fun c ->
           { c with Hotstuff.Smr.batch_timeout_us = 10_000; batch_size = 8 })
         ~regions ()
+  | "dag" ->
+      Protocol.Dagorder_adapter.make
+        ~tweak:(fun c ->
+          { c with Dagorder.Node.round_interval_us = 20_000; batch_size = 8 })
+        ~regions ~clock_offsets:false ()
   | other -> invalid_arg ("Sandwich: unknown protocol " ^ other)
 
 let protocols = Protocol.Registry.names

@@ -1,0 +1,62 @@
+(** A replica of the DAG fair-ordering baseline on the simulated
+    network: timer-paced rounds, quorum-gated advancement, a pending
+    buffer + pull-based fetch for vertices whose causal frontier has
+    not arrived (loss windows, crash recovery, partition heals), and
+    {!Dag} underneath deciding everything order-sensitive. *)
+
+type config = {
+  n : int;
+  f : int;  (** tolerated faults; quorum is n − f *)
+  round_interval_us : int;  (** minimum pacing between own vertices *)
+  fetch_interval_us : int;  (** missing-vertex re-request period *)
+  batch_size : int;  (** max transactions per embedded batch *)
+  max_batches_per_vertex : int;
+  tx_size : int;
+  clock_offset_max_us : int;
+      (** extra uniform offset on the local receive-report clock *)
+}
+
+val default_config : n:int -> config
+
+type msg =
+  | Vertex of Dag.vertex
+  | Vertex_req of { round : int; creator : int }
+      (** pull request for a missing vertex *)
+  | Vertices of Dag.vertex list
+      (** fetch response: the requested vertex plus a shallow ancestor
+          closure, so deep catch-up costs few round-trips *)
+
+val msg_size : msg -> int
+
+val msg_cost : Sim.Costs.t -> msg -> int
+
+type output = { delivery : Dag.delivery; seq : int; output_at : int }
+
+type t
+
+val create :
+  config ->
+  msg Sim.Network.t ->
+  id:int ->
+  ?clock_offset_us:int ->
+  ?on_observe:(Lyra.Types.batch -> unit) ->
+  ?on_output:(output -> unit) ->
+  ?censor:(Lyra.Types.iid -> bool) ->
+  unit ->
+  t
+
+val start : t -> unit
+
+val submit : t -> payload:string -> string
+
+val output_log : t -> output list
+
+val mempool_size : t -> int
+
+val own_emitted : t -> int
+
+val committed_seq : t -> int
+
+val decide_rounds : t -> Metrics.Recorder.t
+
+val phases : t -> Metrics.Phases.t

@@ -55,6 +55,7 @@ let make ~protocol ~knob : (module Protocol.NODE) option =
   | "pompe", "byz-ts-skew" ->
       Some (Protocol.Pompe_adapter.make ~respond_ts:pompe_ts_skew ())
   | "hotstuff", "default" -> Some (Protocol.Hotstuff_adapter.make ())
+  | "dag", "default" -> Some (Protocol.Dagorder_adapter.make ())
   | _ -> None
 
 (* Safe knobs: runs under these on an unperturbed schedule must pass
@@ -63,6 +64,7 @@ let safe = function
   | "lyra" -> "default" :: List.map fst lyra_misbehaviors
   | "pompe" -> [ "default"; "byz-ts-skew" ]
   | "hotstuff" -> [ "default" ]
+  | "dag" -> [ "default" ]
   | _ -> []
 
 let broken = [ ("lyra", "no-window-check") ]

@@ -1,0 +1,311 @@
+(* Pure ordering-fairness metrics over (decided log, receive logs).
+   See docs/FAIRNESS.md for the definitions and their SoK citations. *)
+
+type gamma_row = { gamma : float; mandated : int; violations : int }
+
+type sender_row = { sender : int; batches : int; advantage : float }
+
+type report = {
+  decided : int;
+  observers : int;
+  pairs : int;
+  inversions : int;
+  inversion_rate : float;
+  gamma_rows : gamma_row list;
+  senders : sender_row list;
+  frontrun_success : float option;
+}
+
+let sender_of_key key =
+  match String.index_opt key '/' with
+  | None -> -1
+  | Some i -> (
+      match int_of_string_opt (String.sub key 0 i) with
+      | Some p when p >= 0 -> p
+      | _ -> -1)
+
+(* Merge-sort inversion counting: O(k log k), exact over all pairs. *)
+let count_inversions (a : int array) =
+  let n = Array.length a in
+  let buf = Array.make n 0 in
+  let inv = ref 0 in
+  let rec sort lo hi =
+    (* sorts a.(lo..hi-1), counting crossings *)
+    if hi - lo > 1 then begin
+      let mid = (lo + hi) / 2 in
+      sort lo mid;
+      sort mid hi;
+      Array.blit a lo buf lo (hi - lo);
+      let i = ref lo and j = ref mid in
+      for k = lo to hi - 1 do
+        if !i < mid && (!j >= hi || buf.(!i) <= buf.(!j)) then begin
+          a.(k) <- buf.(!i);
+          incr i
+        end
+        else begin
+          (* buf.(j) jumps ahead of the mid - i left elements *)
+          a.(k) <- buf.(!j);
+          incr j;
+          inv := !inv + (mid - !i)
+        end
+      done
+    end
+  in
+  sort 0 n;
+  !inv
+
+(* First decided rank of each key; later duplicates (a protocol bug,
+   but scoring must not crash on one) keep the first rank. *)
+let decided_ranks decided =
+  let tbl = Hashtbl.create 257 in
+  List.iteri
+    (fun i key -> if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key i)
+    decided;
+  tbl
+
+(* One observer's receive log projected onto decided ranks: unknown
+   keys are invisible to the decided order and repeats (the tap dedups,
+   this is defensive) keep the first sighting. *)
+let projected_ranks drank received =
+  let seen = Hashtbl.create 257 in
+  let rev =
+    List.fold_left
+      (fun acc key ->
+        if Hashtbl.mem seen key then acc
+        else begin
+          Hashtbl.replace seen key ();
+          match Hashtbl.find_opt drank key with
+          | Some r -> r :: acc
+          | None -> acc
+        end)
+      [] received
+  in
+  Array.of_list (List.rev rev)
+
+let inversions ~decided ~received =
+  let drank = decided_ranks decided in
+  let ranks = projected_ranks drank received in
+  let k = Array.length ranks in
+  (count_inversions ranks, k * (k - 1) / 2)
+
+let default_gammas = [ 0.55; 0.67; 0.75; 0.9; 1.0 ]
+
+(* Lower median of a sorted float array. *)
+let median_sorted (a : float array) = a.((Array.length a - 1) / 2)
+
+let score ?(gammas = default_gammas) ?(max_lag = 64) ?frontrun_success
+    ~decided ~received () =
+  let drank = decided_ranks decided in
+  (* Decided keys, first occurrence only, in decided order. *)
+  let dec =
+    let seen = Hashtbl.create 257 in
+    Array.of_list
+      (List.filter
+         (fun key ->
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.replace seen key ();
+             true
+           end)
+         decided)
+  in
+  let k = Array.length dec in
+  let m = Array.length received in
+  (* Kendall inversions, exact over all pairs, per observer. *)
+  let inv = ref 0 and pairs = ref 0 in
+  Array.iter
+    (fun log ->
+      let ranks = projected_ranks drank (List.map fst log) in
+      let kk = Array.length ranks in
+      inv := !inv + count_inversions ranks;
+      pairs := !pairs + (kk * (kk - 1) / 2))
+    received;
+  (* Per-observer raw receive position of each decided key (relative
+     order is all the pairwise pass needs), and the per-observer
+     normalized position of each decided key for the advantage pass. *)
+  let opos =
+    Array.map
+      (fun log ->
+        let tbl = Hashtbl.create 257 in
+        List.iteri
+          (fun i (key, _t) ->
+            if Hashtbl.mem drank key && not (Hashtbl.mem tbl key) then
+              Hashtbl.add tbl key i)
+          log;
+        tbl)
+      received
+  in
+  (* γ-batch-order violations over decided pairs within [max_lag]. *)
+  let gammas = List.sort_uniq Float.compare gammas in
+  let counters = List.map (fun g -> (g, ref 0, ref 0)) gammas in
+  for i = 0 to k - 1 do
+    let hi = min (k - 1) (i + max_lag) in
+    for j = i + 1 to hi do
+      let a = dec.(i) and b = dec.(j) in
+      let both = ref 0 and b_first = ref 0 in
+      Array.iter
+        (fun tbl ->
+          match (Hashtbl.find_opt tbl a, Hashtbl.find_opt tbl b) with
+          | Some ra, Some rb ->
+              incr both;
+              if rb < ra then incr b_first
+          | _ -> ())
+        opos;
+      let both = !both and b_first = !b_first in
+      let a_first = both - b_first in
+      if both > 0 then
+        List.iter
+          (fun (g, mandated, viol) ->
+            let super x =
+              2 * x > both && float_of_int x >= g *. float_of_int both
+            in
+            if super a_first || super b_first then begin
+              incr mandated;
+              (* decided order is (a, b): a b_first supermajority
+                 contradicts it *)
+              if super b_first then incr viol
+            end)
+          counters
+    done
+  done;
+  let gamma_rows =
+    List.map
+      (fun (gamma, mandated, viol) ->
+        { gamma; mandated = !mandated; violations = !viol })
+      counters
+  in
+  (* Positional advantage: normalized receive position per observer,
+     median across observers, against normalized decided position. *)
+  let norm pos len =
+    if len <= 1 then 0.0 else float_of_int pos /. float_of_int (len - 1)
+  in
+  let recv_norms : (string, float list ref) Hashtbl.t = Hashtbl.create 257 in
+  Array.iter
+    (fun log ->
+      let ks = projected_ranks drank (List.map fst log) in
+      (* ks holds decided ranks in receive order; its index is the
+         observer-local receive position among decided keys *)
+      let len = Array.length ks in
+      Array.iteri
+        (fun pos r ->
+          let key = dec.(r) in
+          match Hashtbl.find_opt recv_norms key with
+          | Some l -> l := norm pos len :: !l
+          | None -> Hashtbl.replace recv_norms key (ref [ norm pos len ]))
+        ks)
+    received;
+  let sender_acc : (int, (float * int) ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i key ->
+      match Hashtbl.find_opt recv_norms key with
+      | None -> ()
+      | Some l ->
+          let prs = Array.of_list !l in
+          Array.sort Float.compare prs;
+          let adv = median_sorted prs -. norm i k in
+          let sender = sender_of_key key in
+          (match Hashtbl.find_opt sender_acc sender with
+          | Some r ->
+              let s, c = !r in
+              r := (s +. adv, c + 1)
+          | None -> Hashtbl.replace sender_acc sender (ref (adv, 1))))
+    dec;
+  let senders =
+    List.map
+      (fun (sender, r) ->
+        let s, c = !r in
+        { sender; batches = c; advantage = s /. float_of_int c })
+      (Sim.Det.sorted_bindings ~cmp:Int.compare sender_acc)
+  in
+  {
+    decided = k;
+    observers = m;
+    pairs = !pairs;
+    inversions = !inv;
+    inversion_rate =
+      (if !pairs > 0 then float_of_int !inv /. float_of_int !pairs else 0.0);
+    gamma_rows;
+    senders;
+    frontrun_success;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "decided=%d observers=%d inversions=%d/%d (rate %.4f)" r.decided
+    r.observers r.inversions r.pairs r.inversion_rate;
+  List.iter
+    (fun g ->
+      Format.fprintf fmt ", γ=%.2f: %d/%d" g.gamma g.violations g.mandated)
+    r.gamma_rows;
+  (match r.frontrun_success with
+  | Some f -> Format.fprintf fmt ", frontrun_success=%.2f" f
+  | None -> ());
+  match
+    List.filter (fun s -> Float.abs s.advantage > 0.05) r.senders
+  with
+  | [] -> ()
+  | biased ->
+      Format.fprintf fmt ", biased_senders=[%s]"
+        (String.concat ";"
+           (List.map
+              (fun s -> Printf.sprintf "%d:%+.3f" s.sender s.advantage)
+              biased))
+
+let to_json r =
+  let open Metrics.Json in
+  Obj
+    [
+      ("decided", Int r.decided);
+      ("observers", Int r.observers);
+      ("pairs", Int r.pairs);
+      ("inversions", Int r.inversions);
+      ("inversion_rate", num r.inversion_rate);
+      ( "gamma",
+        List
+          (List.map
+             (fun g ->
+               Obj
+                 [
+                   ("gamma", num g.gamma);
+                   ("mandated", Int g.mandated);
+                   ("violations", Int g.violations);
+                 ])
+             r.gamma_rows) );
+      ( "senders",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("sender", Int s.sender);
+                   ("batches", Int s.batches);
+                   ("advantage", num s.advantage);
+                 ])
+             r.senders) );
+      ( "frontrun_success",
+        match r.frontrun_success with None -> Null | Some f -> num f );
+    ]
+
+let schema =
+  let open Metrics.Json in
+  Obj_of
+    [
+      ("decided", Int_s);
+      ("observers", Int_s);
+      ("pairs", Int_s);
+      ("inversions", Int_s);
+      ("inversion_rate", Num_s);
+      ( "gamma",
+        List_of
+          (Obj_of
+             [
+               ("gamma", Num_s); ("mandated", Int_s); ("violations", Int_s);
+             ]) );
+      ( "senders",
+        List_of
+          (Obj_of
+             [
+               ("sender", Int_s); ("batches", Int_s); ("advantage", Num_s);
+             ]) );
+      ("frontrun_success", Nullable Num_s);
+    ]

@@ -28,6 +28,8 @@ type result = {
   last_commit_us : int array;
   workload_streams : Workload.Engine.stream_summary list;
   mev : Workload.Engine.mev option;
+  receive_logs : (string * int) list array;
+  fairness : Fairness.report option;
 }
 
 let wan_ns_per_byte = 40 (* ≈ 200 Mb/s effective per node over the WAN *)
@@ -150,8 +152,23 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
         end)
       c.txs
   in
+  (* Receive-order tap: each node's first sighting of every batch, in
+     arrival order, via the adapters' [on_observe] hook. Pure
+     bookkeeping — no engine interaction, so attaching it never moves
+     a golden. *)
+  let receive_rev : (string * int) list array = Array.make n [] in
+  let observed = Array.init n (fun _ -> Hashtbl.create 256) in
+  let on_observe id (b : Lyra.Types.batch) =
+    let key = Protocol.key_of_iid b.Lyra.Types.iid in
+    if not (Hashtbl.mem observed.(id) key) then begin
+      Hashtbl.replace observed.(id) key ();
+      receive_rev.(id) <- (key, Sim.Engine.now engine) :: receive_rev.(id)
+    end
+  in
   let nodes =
-    Array.init n (fun id -> P.create net ~id ~on_output:(on_output id) ())
+    Array.init n (fun id ->
+        P.create net ~id ~on_observe:(on_observe id)
+          ~on_output:(on_output id) ())
   in
   (honest_commit := fun id -> P.honest nodes.(id));
   (match workload with
@@ -358,6 +375,30 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
         ( Workload.Engine.summaries wl,
           Workload.Engine.mev_report wl ~committed:committed_payloads )
   in
+  let receive_logs = Array.map (fun i -> List.rev receive_rev.(i)) honest in
+  (* Fairness scores the longest honest log (the decided order every
+     honest log is a prefix of when the run is safe) against every
+     honest receive log; the searcher landing rate rides along when a
+     PR 9 MEV flow was attached. *)
+  let fairness =
+    let decided =
+      Array.fold_left
+        (fun best l -> if List.length l > List.length best then l else best)
+        [] logs
+    in
+    if List.is_empty decided then None
+    else
+      let frontrun_success =
+        match !wl_ref with
+        | Some wl when Workload.Engine.searcher_submitted wl > 0 ->
+            Some
+              (float_of_int (Workload.Engine.searcher_committed wl)
+              /. float_of_int (Workload.Engine.searcher_submitted wl))
+        | _ -> None
+      in
+      Some
+        (Fairness.score ?frontrun_success ~decided ~received:receive_logs ())
+  in
   {
     n;
     protocol = P.name;
@@ -392,6 +433,8 @@ let run ?(seed = 1L) ?warmup_us ?(jitter = 0.01) ?(ns_per_byte = wan_ns_per_byte
     last_commit_us;
     workload_streams;
     mev;
+    receive_logs;
+    fairness;
   }
 
 (* The LAT3R anatomy table: one row per pipeline phase, aggregated over

@@ -68,6 +68,14 @@ type result = {
       (** when the attached workload carries an AMM market: extracted
           value and victim slippage from replaying the longest honest
           log's committed order *)
+  receive_logs : (string * int) list array;
+      (** per honest node (index map [honest_ids]), the batches it
+          first observed as [(key, first-seen µs)] in arrival order —
+          the receive-order tap behind [fairness] *)
+  fairness : Fairness.report option;
+      (** receive-order fairness scored against the longest honest log
+          (docs/FAIRNESS.md); [None] when no honest node committed
+          anything *)
 }
 
 val pp_result : Format.formatter -> result -> unit

@@ -5,8 +5,9 @@
 let scanned_dirs = [ "bench"; "bin"; "examples"; "lib"; "test" ]
 
 let deterministic_dirs =
-  [ "lib/app"; "lib/dbft"; "lib/explore"; "lib/harness"; "lib/hotstuff";
-    "lib/lyra"; "lib/pompe"; "lib/protocol"; "lib/sim"; "lib/workload" ]
+  [ "lib/app"; "lib/dagorder"; "lib/dbft"; "lib/explore"; "lib/fairness";
+    "lib/harness"; "lib/hotstuff"; "lib/lyra"; "lib/pompe"; "lib/protocol";
+    "lib/sim"; "lib/workload" ]
 
 (* Individual files held to Strict scope when their directory is not.
    lib/crypto as a whole cannot be Strict (field.ml and rng.ml *are*
@@ -20,7 +21,8 @@ let deterministic_files =
 (* P001 (handler totality) applies where protocol messages are
    dispatched: the protocol implementations and their adapters. *)
 let totality_dirs =
-  [ "lib/dbft"; "lib/hotstuff"; "lib/lyra"; "lib/pompe"; "lib/protocol" ]
+  [ "lib/dagorder"; "lib/dbft"; "lib/hotstuff"; "lib/lyra"; "lib/pompe";
+    "lib/protocol" ]
 
 let under dir path = String.length path > String.length dir && String.starts_with ~prefix:(dir ^ "/") path
 

@@ -1,0 +1,17 @@
+(** {!Node_intf.NODE} adapter over {!Dagorder.Node} — the leaderless
+    DAG fair-ordering baseline (Malkhi–Szalachowski, PAPERS.md).
+
+    [censor id] gives node [id]'s report-withholding predicate: batches
+    whose receive report (and embedding, were it the origin) node [id]
+    suppresses — a fairness-layer censorship knob, since a batch
+    linearizes only once a quorum of receive reports commits.
+    Plan clock skews plus a sampled uniform offset (when
+    [clock_offsets], mirroring the Lyra adapter) act on the local
+    receive-report clock that the linearizer takes medians over. *)
+val make :
+  ?tweak:(Dagorder.Node.config -> Dagorder.Node.config) ->
+  ?censor:(int -> Lyra.Types.iid -> bool) ->
+  ?regions:Sim.Regions.t array ->
+  ?clock_offsets:bool ->
+  unit ->
+  (module Node_intf.NODE)

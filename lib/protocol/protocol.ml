@@ -5,6 +5,7 @@ module Node_intf = Node_intf
 module Lyra_adapter = Lyra_adapter
 module Pompe_adapter = Pompe_adapter
 module Hotstuff_adapter = Hotstuff_adapter
+module Dagorder_adapter = Dagorder_adapter
 module Registry = Registry
 
 module type NODE = Node_intf.NODE

@@ -7,9 +7,10 @@ let all () =
     ("lyra", Lyra_adapter.make ());
     ("pompe", Pompe_adapter.make ());
     ("hotstuff", Hotstuff_adapter.make ());
+    ("dag", Dagorder_adapter.make ());
   ]
 
-let names = [ "lyra"; "pompe"; "hotstuff" ]
+let names = [ "lyra"; "pompe"; "hotstuff"; "dag" ]
 
 let get name =
   List.find_map

@@ -35,6 +35,18 @@ let plan_for name ~n =
         |> loss ~from_us:800_000 ~until_us:1_400_000 ~drop_p:0.01
         |> crash ~node:1 ~at_us:1_000_000 ~recover_us:1_700_000
         |> partition ~from_us:2_000_000 ~heal_us:2_300_000 ~island:sydney)
+  | "dag" ->
+      (* warm-up 0.5 s + 4 s: window [0.5 s, 4.5 s]. Leaderless rounds
+         stall while fewer than n−f replicas participate (the crash and
+         the partition each sink below quorum at n=4); the pending
+         buffer + fetch path must replay the missed waves after each
+         heal. A skewed replica stresses the median receive reports. *)
+      Sim.Faults.(
+        none
+        |> loss ~from_us:800_000 ~until_us:1_400_000 ~drop_p:0.01
+        |> crash ~node:1 ~at_us:1_000_000 ~recover_us:1_700_000
+        |> partition ~from_us:2_200_000 ~heal_us:2_500_000 ~island:sydney
+        |> skew ~node:2 ~skew_us:2_500)
   | _ -> Alcotest.failf "no fault plan for %s" name
 
 let duration_for = function

@@ -480,6 +480,54 @@ let test_p001_silent () =
         \  | _ -> ()\n" );
     ]
 
+(* The fairness/DAG-ordering libraries are held to Strict scope, and
+   the DAG message dispatch to P001 totality — pin both so a scope
+   refactor cannot silently drop the newest deterministic code. *)
+let test_dagorder_fairness_scope () =
+  Alcotest.(check bool)
+    "dagorder/node.ml is Strict" true
+    (Lint.Config.scope_of_path "lib/dagorder/node.ml" = Lint.Config.Strict);
+  Alcotest.(check bool)
+    "fairness/fairness.ml is Strict" true
+    (Lint.Config.scope_of_path "lib/fairness/fairness.ml" = Lint.Config.Strict);
+  Alcotest.(check bool)
+    "dagorder is in totality scope" true
+    (Lint.Config.in_totality_scope "lib/dagorder/node.ml");
+  Alcotest.(check bool)
+    "fairness is not in totality scope" false
+    (Lint.Config.in_totality_scope "lib/fairness/fairness.ml");
+  check "unordered traversal fires in lib/fairness"
+    [ "lib/fairness/fix.ml:2:D001" ]
+    "lib/fairness/fix.ml" d001_bad;
+  check "unordered traversal fires in lib/dagorder"
+    [ "lib/dagorder/fix.ml:2:D001" ]
+    "lib/dagorder/fix.ml" d001_bad;
+  (* a wildcard arm over the DAG gossip message type is a P001 finding,
+     exactly like the other protocols' dispatchers *)
+  let dag_types =
+    "type msg = Vertex of int | Vertex_req of int | Vertices of int list\n"
+  in
+  check_project "wildcard dispatch over the dag message type"
+    [ "lib/dagorder/node.ml:4:P001" ]
+    [
+      ("lib/dagorder/types.ml", dag_types);
+      ( "lib/dagorder/node.ml",
+        "let handle (_net : Types.msg Sim.Network.t) (m : Types.msg) =\n\
+        \  match m with\n\
+        \  | Types.Vertex _ -> ()\n\
+        \  | _ -> ()\n" );
+    ];
+  check_project "total dag dispatch is fine" []
+    [
+      ("lib/dagorder/types.ml", dag_types);
+      ( "lib/dagorder/node.ml",
+        "let handle (_net : Types.msg Sim.Network.t) (m : Types.msg) =\n\
+        \  match m with\n\
+        \  | Types.Vertex _ -> ()\n\
+        \  | Types.Vertex_req _ -> ()\n\
+        \  | Types.Vertices _ -> ()\n" );
+    ]
+
 (* S004: allows must keep suppressing something. *)
 let test_s004_stale_entries () =
   check_project ~allow:"D001 lib/lyra/ghost.ml\n" "stale lint.allow entry"
@@ -582,6 +630,8 @@ let suite =
     Alcotest.test_case "D102 scoped" `Quick test_d102_scoped;
     Alcotest.test_case "P001 fires" `Quick test_p001_fires;
     Alcotest.test_case "P001 silent" `Quick test_p001_silent;
+    Alcotest.test_case "dagorder/fairness scope" `Quick
+      test_dagorder_fairness_scope;
     Alcotest.test_case "S004 staleness" `Quick test_s004_stale_entries;
     Alcotest.test_case "JSON report" `Quick test_json_report;
   ]

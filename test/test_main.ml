@@ -19,6 +19,8 @@ let () =
       ("lyra-cluster", Test_lyra_cluster.suite);
       ("hotstuff", Test_hotstuff.suite);
       ("pompe", Test_pompe.suite);
+      ("dagorder", Test_dagorder.suite);
+      ("fairness", Test_fairness.suite);
       ("protocol-runtime", Test_protocol.suite);
       ("faults", Test_faults.suite);
       ("adversary", Test_adversary.suite);

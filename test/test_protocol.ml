@@ -20,7 +20,7 @@ let run ?seed protocol ~duration_us =
 let test_registry () =
   Alcotest.(check (list string))
     "registered baselines"
-    [ "lyra"; "pompe"; "hotstuff" ]
+    [ "lyra"; "pompe"; "hotstuff"; "dag" ]
     Protocol.Registry.names;
   List.iter
     (fun name ->
@@ -63,6 +63,19 @@ let test_golden_pompe () =
   Alcotest.(check (float 1e-9)) "accept rate" 1.0 r.accept_rate;
   Alcotest.(check int) "latency samples" 14 (Metrics.Recorder.count r.latency_ms);
   Alcotest.(check (float 1e-6)) "latency mean" 2692.355143
+    (Metrics.Recorder.mean r.latency_ms)
+
+let test_golden_dag () =
+  let r = run ~seed:7L "dag" ~duration_us:2_000_000 in
+  Alcotest.(check int) "committed" 28 r.committed_txs;
+  Alcotest.(check int) "messages" 416 r.messages;
+  Alcotest.(check int) "bytes" 43080 r.bytes;
+  Alcotest.(check bool) "prefix safe" true r.prefix_safe;
+  Alcotest.(check int) "late accepts" 0 r.late_accepts;
+  Alcotest.(check (float 1e-9)) "decide rounds" 2.277777777778 r.decide_rounds;
+  Alcotest.(check (float 1e-9)) "accept rate" 1.0 r.accept_rate;
+  Alcotest.(check int) "latency samples" 28 (Metrics.Recorder.count r.latency_ms);
+  Alcotest.(check (float 1e-6)) "latency mean" 428.646429
     (Metrics.Recorder.mean r.latency_ms)
 
 (* ------------------------------------------------------------------ *)
@@ -171,6 +184,7 @@ let suite =
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "golden lyra" `Slow test_golden_lyra;
     Alcotest.test_case "golden pompe" `Slow test_golden_pompe;
+    Alcotest.test_case "golden dag" `Slow test_golden_dag;
     Alcotest.test_case "seeded determinism" `Slow test_determinism;
     Alcotest.test_case "hotstuff baseline" `Slow test_hotstuff_baseline;
     Alcotest.test_case "gossip dissemination" `Slow test_gossip_dissemination;
