@@ -1,0 +1,5 @@
+let () =
+  (try
+    let r = Fairness.score ~decided:["a";"a";"b"] ~received:[| [("b",1);("a",2)] |] () in
+    Printf.printf "ok inversions=%d decided=%d\n" r.Fairness.inversions r.Fairness.decided
+  with e -> Printf.printf "EXCEPTION: %s\n" (Printexc.to_string e))
